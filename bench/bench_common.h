@@ -1,0 +1,39 @@
+// Shared helpers for the benchmark binaries that regenerate the paper's
+// tables and figures.
+#ifndef SPATTER_BENCH_BENCH_COMMON_H_
+#define SPATTER_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+
+#include "fuzz/campaign.h"
+
+namespace spatter::bench {
+
+/// Runs an AEI campaign against one faulty dialect and returns the set of
+/// ground-truth unique bugs it detected.
+inline fuzz::CampaignResult RunDialectCampaign(engine::Dialect dialect,
+                                               uint64_t seed,
+                                               size_t iterations,
+                                               size_t queries) {
+  fuzz::CampaignConfig config;
+  config.dialect = dialect;
+  config.seed = seed;
+  config.iterations = iterations;
+  config.queries_per_iteration = queries;
+  config.generator.num_geometries = 10;
+  fuzz::Campaign campaign(config);
+  return campaign.Run();
+}
+
+/// Pretty separator line.
+inline void Rule(char c = '-', int width = 72) {
+  for (int i = 0; i < width; ++i) std::putchar(c);
+  std::putchar('\n');
+}
+
+}  // namespace spatter::bench
+
+#endif  // SPATTER_BENCH_BENCH_COMMON_H_

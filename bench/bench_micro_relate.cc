@@ -1,0 +1,154 @@
+// Micro ablations of the topology core (google-benchmark): relate cost by
+// geometry complexity, prepared vs plain predicates, R-tree vs linear
+// filtering. These quantify the design choices DESIGN.md calls out.
+#include <benchmark/benchmark.h>
+
+#include "algo/canonicalize.h"
+#include "common/rng.h"
+#include "fuzz/aei.h"
+#include "geom/wkt_reader.h"
+#include "index/rtree.h"
+#include "relate/named_predicates.h"
+#include "relate/prepared.h"
+#include "relate/relate.h"
+
+namespace {
+
+using namespace spatter;  // NOLINT
+
+// A ring polygon with `n` vertices approximating a circle on integer-ish
+// coordinates.
+geom::GeomPtr MakeRingPolygon(int n, double radius, double cx, double cy) {
+  geom::Polygon::Ring ring;
+  for (int i = 0; i < n; ++i) {
+    const double a = 2.0 * M_PI * i / n;
+    ring.push_back({cx + std::round(radius * std::cos(a)),
+                    cy + std::round(radius * std::sin(a) * 0.9)});
+  }
+  ring.push_back(ring.front());
+  return geom::MakePolygon({std::move(ring)});
+}
+
+void BM_RelatePolygonPair(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto a = MakeRingPolygon(n, 100, 0, 0);
+  const auto b = MakeRingPolygon(n, 100, 60, 0);
+  for (auto _ : state) {
+    auto im = relate::Relate(*a, *b, {});
+    benchmark::DoNotOptimize(im);
+  }
+  state.SetLabel("vertices=" + std::to_string(n));
+}
+BENCHMARK(BM_RelatePolygonPair)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_PlainIntersectsManyCandidates(benchmark::State& state) {
+  const auto target = MakeRingPolygon(32, 100, 0, 0);
+  std::vector<geom::GeomPtr> candidates;
+  Rng rng(1);
+  for (int i = 0; i < 64; ++i) {
+    candidates.push_back(geom::MakePoint(
+        static_cast<double>(rng.IntIn(-200, 200)),
+        static_cast<double>(rng.IntIn(-200, 200))));
+  }
+  for (auto _ : state) {
+    int hits = 0;
+    for (const auto& c : candidates) {
+      hits += relate::Intersects(*target, *c, {}).value() ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_PlainIntersectsManyCandidates);
+
+void BM_PreparedIntersectsManyCandidates(benchmark::State& state) {
+  const auto target = MakeRingPolygon(32, 100, 0, 0);
+  std::vector<geom::GeomPtr> candidates;
+  Rng rng(1);
+  for (int i = 0; i < 64; ++i) {
+    candidates.push_back(geom::MakePoint(
+        static_cast<double>(rng.IntIn(-200, 200)),
+        static_cast<double>(rng.IntIn(-200, 200))));
+  }
+  relate::PreparedGeometry prep(*target);
+  for (auto _ : state) {
+    int hits = 0;
+    for (const auto& c : candidates) {
+      hits += prep.Intersects(*c).value() ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_PreparedIntersectsManyCandidates);
+
+void BM_RTreeQuery(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(7);
+  index::RTree tree;
+  std::vector<index::RTreeEntry> entries;
+  for (uint64_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(rng.IntIn(-1000, 1000));
+    const double y = static_cast<double>(rng.IntIn(-1000, 1000));
+    entries.push_back({geom::Envelope(x, y, x + 10, y + 10), i});
+  }
+  tree.BulkLoad(entries);
+  for (auto _ : state) {
+    const double x = static_cast<double>(rng.IntIn(-1000, 1000));
+    const auto ids = tree.QueryIds(geom::Envelope(x, x, x + 50, x + 50));
+    benchmark::DoNotOptimize(ids);
+  }
+}
+BENCHMARK(BM_RTreeQuery)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_LinearFilter(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(7);
+  std::vector<index::RTreeEntry> entries;
+  for (uint64_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(rng.IntIn(-1000, 1000));
+    const double y = static_cast<double>(rng.IntIn(-1000, 1000));
+    entries.push_back({geom::Envelope(x, y, x + 10, y + 10), i});
+  }
+  for (auto _ : state) {
+    const double x = static_cast<double>(rng.IntIn(-1000, 1000));
+    const geom::Envelope q(x, x, x + 50, x + 50);
+    size_t hits = 0;
+    for (const auto& e : entries) {
+      if (e.box.Intersects(q)) hits++;
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_LinearFilter)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_Canonicalize(benchmark::State& state) {
+  const auto g = geom::ReadWkt(
+                     "GEOMETRYCOLLECTION(MULTILINESTRING((0 2,1 0,3 1,3 1,5 "
+                     "0),EMPTY),POLYGON((0 0,10 0,10 10,0 10,0 0)),"
+                     "MULTIPOINT((2 2),(1 1),(1 1)))")
+                     .Take();
+  for (auto _ : state) {
+    auto canon = algo::Canonicalize(*g);
+    benchmark::DoNotOptimize(canon);
+  }
+}
+BENCHMARK(BM_Canonicalize);
+
+void BM_AffineTransformDatabase(benchmark::State& state) {
+  fuzz::DatabaseSpec sdb;
+  fuzz::TableSpec table{"t1", {}};
+  for (int i = 0; i < 50; ++i) {
+    table.rows.push_back("POLYGON((0 0,10 0,10 10,0 10,0 0))");
+  }
+  sdb.tables.push_back(table);
+  Rng rng(3);
+  const auto t = fuzz::RandomIntegerAffine(&rng);
+  for (auto _ : state) {
+    auto out = fuzz::TransformDatabase(sdb, t, /*canonicalize=*/true);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_AffineTransformDatabase);
+
+}  // namespace
+
+BENCHMARK_MAIN();

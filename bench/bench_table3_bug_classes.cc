@@ -1,0 +1,73 @@
+// Reproduces Table 3: "A classification of the confirmed and fixed bugs"
+// (logic vs crash), with the campaign-measured detection beside the
+// catalog counts.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "faults/fault.h"
+
+using namespace spatter;        // NOLINT
+using namespace spatter::bench;  // NOLINT
+
+int main() {
+  std::printf("Table 3: logic/crash classification of confirmed+fixed "
+              "bugs\n");
+  Rule('=');
+
+  std::set<faults::FaultId> detected;
+  for (const auto& [dialect, seed] :
+       std::map<engine::Dialect, uint64_t>{
+           {engine::Dialect::kPostgis, 2001},
+           {engine::Dialect::kDuckdbSpatial, 2002},
+           {engine::Dialect::kMysql, 2003}}) {
+    const auto result = RunDialectCampaign(dialect, seed, 50, 60);
+    for (const auto& [id, _] : result.unique_bugs) detected.insert(id);
+  }
+
+  std::printf("%-16s | %12s %12s | %12s %12s | %5s\n", "SDBMS",
+              "logic(fixed)", "logic(conf)", "crash(fixed)", "crash(conf)",
+              "Sum");
+  Rule();
+  int sum_lf = 0;
+  int sum_lc = 0;
+  int sum_cf = 0;
+  int sum_cc = 0;
+  for (faults::Component comp :
+       {faults::Component::kGeos, faults::Component::kPostgis,
+        faults::Component::kMysql, faults::Component::kDuckdb}) {
+    int lf = 0;
+    int lc = 0;
+    int cf = 0;
+    int cc = 0;
+    int found = 0;
+    int total = 0;
+    for (const auto& info : faults::FaultCatalog()) {
+      if (info.component != comp) continue;
+      if (info.status != faults::BugStatus::kFixed &&
+          info.status != faults::BugStatus::kConfirmed) {
+        continue;
+      }
+      total++;
+      if (detected.count(info.id)) found++;
+      const bool fixed = info.status == faults::BugStatus::kFixed;
+      if (info.kind == faults::BugKind::kLogic) {
+        (fixed ? lf : lc)++;
+      } else {
+        (fixed ? cf : cc)++;
+      }
+    }
+    sum_lf += lf;
+    sum_lc += lc;
+    sum_cf += cf;
+    sum_cc += cc;
+    std::printf("%-16s | %12d %12d | %12d %12d | %2d  (detected %d/%d)\n",
+                faults::ComponentName(comp), lf, lc, cf, cc,
+                lf + lc + cf + cc, found, total);
+  }
+  Rule();
+  std::printf("%-16s | %12d %12d | %12d %12d | %2d\n", "Sum", sum_lf, sum_lc,
+              sum_cf, sum_cc, sum_lf + sum_lc + sum_cf + sum_cc);
+  std::printf("\npaper reference: 20 logic bugs (8 fixed, 12 confirmed), "
+              "10 crash bugs (10 fixed); sum 30\n");
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Reproduces Table 5: "Code coverage of the systems tested".
+//
+// The paper gcovs PostGIS and GEOS after (a) Spatter alone, (b) the
+// official unit tests, (c) unit tests + Spatter. We measure the analogous
+// quantity over our instrumented coverage points, grouped into the
+// "GEOS-like" shared geometry/topology layer and the "PostGIS-like"
+// engine layer. The unit-test corpus is a fixed statement set mirroring
+// how regression suites exercise a broad function surface with hand-picked
+// inputs.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/coverage.h"
+
+using namespace spatter;        // NOLINT
+using namespace spatter::bench;  // NOLINT
+
+namespace {
+
+// Coverage-point modules attributed to each layer.
+const char* kGeosModules[] = {"relate", "locate", "predicate", "prepared",
+                              "canon"};
+const char* kEngineModules[] = {"engine", "engine_fn", "engine_stmt",
+                                "edit"};
+
+// Force registration of the full function/statement surface so the
+// denominator is stable across configurations.
+void RegisterSurface() {
+  engine::Engine warmup(engine::Dialect::kPostgis, false);
+  (void)warmup.Execute("SELECT ST_IsEmpty('POINT EMPTY');");
+}
+
+double Percent(const char* const* modules, size_t n) {
+  size_t hit = 0;
+  size_t total = 0;
+  auto& reg = CoverageRegistry::Instance();
+  for (size_t i = 0; i < n; ++i) {
+    hit += reg.HitPoints(modules[i]);
+    total += reg.TotalPoints(modules[i]);
+  }
+  return total == 0 ? 0.0 : 100.0 * static_cast<double>(hit) /
+                                static_cast<double>(total);
+}
+
+// A fixed "unit test" corpus: the kind of handwritten statements regression
+// suites accumulate.
+void RunUnitTestCorpus() {
+  engine::Engine e(engine::Dialect::kPostgis, /*enable_faults=*/false);
+  const char* corpus[] = {
+      "CREATE TABLE t1 (g geometry);",
+      "CREATE TABLE t2 (g geometry);",
+      "CREATE INDEX i1 ON t1 USING GIST (g);",
+      "INSERT INTO t1 (g) VALUES ('POINT(1 1)');",
+      "INSERT INTO t1 (g) VALUES ('LINESTRING(0 0,5 5)');",
+      "INSERT INTO t1 (g) VALUES ('POLYGON((0 0,4 0,4 4,0 4,0 0))');",
+      "INSERT INTO t2 (g) VALUES ('MULTIPOINT((1 1),(2 2))');",
+      "INSERT INTO t2 (g) VALUES ('POINT EMPTY');",
+      "SELECT COUNT(*) FROM t1 JOIN t2 ON ST_Intersects(t1.g, t2.g);",
+      "SELECT COUNT(*) FROM t1 JOIN t2 ON ST_Contains(t1.g, t2.g);",
+      "SELECT COUNT(*) FROM t1 JOIN t2 ON ST_Covers(t1.g, t2.g);",
+      "SELECT COUNT(*) FROM t1 JOIN t2 ON ST_Equals(t1.g, t2.g);",
+      "SELECT COUNT(*) FROM t1 WHERE g ~= 'POINT(1 1)'::geometry;",
+      "SELECT ST_Distance('POINT(0 0)'::geometry, 'POINT(3 4)'::geometry);",
+      "SELECT ST_Area('POLYGON((0 0,2 0,2 2,0 2,0 0))');",
+      "SELECT ST_Length('LINESTRING(0 0,3 4)');",
+      "SELECT ST_Dimension('GEOMETRYCOLLECTION(POINT(0 0))');",
+      "SELECT ST_AsText(ST_Boundary('POLYGON((0 0,1 0,1 1,0 0))'));",
+      "SELECT ST_AsText(ST_ConvexHull('MULTIPOINT((0 0),(1 0),(0 1))'));",
+      "SELECT ST_AsText(ST_Envelope('LINESTRING(0 0,2 3)'));",
+      "SELECT ST_AsText(ST_Reverse('LINESTRING(0 0,1 1)'));",
+      "SELECT ST_AsText(ST_PointN('LINESTRING(0 0,1 1,2 2)', 2));",
+      "SELECT ST_AsText(ST_GeometryN('MULTIPOINT((1 1),(2 2))', 1));",
+      "SELECT ST_IsValid('POLYGON((0 0,1 1,0 1,1 0,0 0))');",
+      "SELECT ST_IsEmpty('GEOMETRYCOLLECTION EMPTY');",
+      "SELECT ST_AsText(ST_Normalize('MULTIPOINT((2 2),(1 1),(1 1))'));",
+      "SELECT COUNT(*) FROM t1 JOIN t2 ON ST_DWithin(t1.g, t2.g, 3);",
+      "SELECT COUNT(*) FROM t1 JOIN t2 ON ST_Relate(t1.g, t2.g, "
+      "'T********');",
+  };
+  for (const char* sql : corpus) {
+    auto r = e.Execute(sql);
+    (void)r;
+  }
+}
+
+void RunSpatterCampaign(uint64_t seed) {
+  RunDialectCampaign(engine::Dialect::kPostgis, seed, /*iterations=*/40,
+                     /*queries=*/60);
+}
+
+void PrintRow(const char* label) {
+  std::printf("%-22s %10.1f%% %14.1f%%\n", label,
+              Percent(kEngineModules, 4), Percent(kGeosModules, 5));
+}
+
+}  // namespace
+
+int main() {
+  auto& reg = CoverageRegistry::Instance();
+  RegisterSurface();
+
+  std::printf("Table 5: coverage-point coverage per configuration\n");
+  std::printf("(instrumented-point analogue of the paper's gcov lines; "
+              "'PostGIS' = engine layer,\n 'GEOS' = shared geometry/"
+              "topology layer)\n");
+  Rule('=');
+  std::printf("%-22s %11s %15s\n", "Approach", "PostGIS", "GEOS");
+  Rule();
+
+  reg.ResetHits();
+  RunSpatterCampaign(5001);
+  PrintRow("Spatter");
+  const auto spatter_hits = reg.SnapshotHits();
+
+  reg.ResetHits();
+  RunUnitTestCorpus();
+  PrintRow("Unit Tests");
+
+  // Unit tests + Spatter: merge the snapshots.
+  const auto unit_hits = reg.SnapshotHits();
+  reg.RestoreHits(spatter_hits);
+  for (size_t i = 0; i < unit_hits.size(); ++i) {
+    if (unit_hits[i] > 0) reg.Hit(i);
+  }
+  PrintRow("Unit Tests + Spatter");
+
+  Rule();
+  std::printf("\npaper reference (line coverage): Spatter 15.8%%/20.1%%, "
+              "Unit Tests 79.5%%/54.8%%,\nUnit Tests + Spatter "
+              "79.9%%/55.2%% — Spatter adds incremental coverage on top of "
+              "unit tests,\nwhich is the property to reproduce.\n");
+  return 0;
+}

@@ -1,0 +1,122 @@
+#include "algo/affine.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace spatter::algo {
+
+AffineTransform AffineTransform::Rotation(double radians) {
+  const double c = std::cos(radians);
+  const double s = std::sin(radians);
+  return {c, -s, s, c, 0, 0};
+}
+
+Result<AffineTransform> AffineTransform::Inverse() const {
+  const double det = Determinant();
+  if (det == 0.0) {
+    return Status::InvalidArgument("affine transform is singular");
+  }
+  const double i11 = a22_ / det;
+  const double i12 = -a12_ / det;
+  const double i21 = -a21_ / det;
+  const double i22 = a11_ / det;
+  // Inverse translation: -A^{-1} b.
+  const double ib1 = -(i11 * b1_ + i12 * b2_);
+  const double ib2 = -(i21 * b1_ + i22 * b2_);
+  return AffineTransform(i11, i12, i21, i22, ib1, ib2);
+}
+
+AffineTransform AffineTransform::Compose(const AffineTransform& o) const {
+  return AffineTransform(
+      a11_ * o.a11_ + a12_ * o.a21_, a11_ * o.a12_ + a12_ * o.a22_,
+      a21_ * o.a11_ + a22_ * o.a21_, a21_ * o.a12_ + a22_ * o.a22_,
+      a11_ * o.b1_ + a12_ * o.b2_ + b1_, a21_ * o.b1_ + a22_ * o.b2_ + b2_);
+}
+
+geom::GeomPtr AffineTransform::Apply(const geom::Geometry& g) const {
+  geom::GeomPtr copy = g.Clone();
+  ApplyInPlace(copy.get());
+  return copy;
+}
+
+void AffineTransform::ApplyInPlace(geom::Geometry* g) const {
+  g->MutateCoords(
+      [this](const geom::Coord& c) -> geom::Coord { return Apply(c); });
+}
+
+std::string AffineTransform::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "A=[[%g,%g],[%g,%g]] b=(%g,%g)", a11_, a12_,
+                a21_, a22_, b1_, b2_);
+  return buf;
+}
+
+AffineTransform3D::AffineTransform3D()
+    : a_{1, 0, 0, 0, 1, 0, 0, 0, 1}, b_{0, 0, 0} {}
+
+AffineTransform3D::AffineTransform3D(const std::array<double, 9>& a,
+                                     const std::array<double, 3>& b)
+    : a_(a), b_(b) {}
+
+double AffineTransform3D::Determinant() const {
+  return a_[0] * (a_[4] * a_[8] - a_[5] * a_[7]) -
+         a_[1] * (a_[3] * a_[8] - a_[5] * a_[6]) +
+         a_[2] * (a_[3] * a_[7] - a_[4] * a_[6]);
+}
+
+Result<AffineTransform3D> AffineTransform3D::Inverse() const {
+  const double det = Determinant();
+  if (det == 0.0) {
+    return Status::InvalidArgument("3D affine transform is singular");
+  }
+  std::array<double, 9> inv;
+  inv[0] = (a_[4] * a_[8] - a_[5] * a_[7]) / det;
+  inv[1] = (a_[2] * a_[7] - a_[1] * a_[8]) / det;
+  inv[2] = (a_[1] * a_[5] - a_[2] * a_[4]) / det;
+  inv[3] = (a_[5] * a_[6] - a_[3] * a_[8]) / det;
+  inv[4] = (a_[0] * a_[8] - a_[2] * a_[6]) / det;
+  inv[5] = (a_[2] * a_[3] - a_[0] * a_[5]) / det;
+  inv[6] = (a_[3] * a_[7] - a_[4] * a_[6]) / det;
+  inv[7] = (a_[1] * a_[6] - a_[0] * a_[7]) / det;
+  inv[8] = (a_[0] * a_[4] - a_[1] * a_[3]) / det;
+  std::array<double, 3> ib;
+  for (int i = 0; i < 3; ++i) {
+    ib[i] = -(inv[i * 3] * b_[0] + inv[i * 3 + 1] * b_[1] +
+              inv[i * 3 + 2] * b_[2]);
+  }
+  return AffineTransform3D(inv, ib);
+}
+
+AffineTransform3D AffineTransform3D::Compose(
+    const AffineTransform3D& o) const {
+  std::array<double, 9> a;
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      a[i * 3 + j] = a_[i * 3] * o.a_[j] + a_[i * 3 + 1] * o.a_[3 + j] +
+                     a_[i * 3 + 2] * o.a_[6 + j];
+    }
+  }
+  std::array<double, 3> b;
+  for (int i = 0; i < 3; ++i) {
+    b[i] = a_[i * 3] * o.b_[0] + a_[i * 3 + 1] * o.b_[1] +
+           a_[i * 3 + 2] * o.b_[2] + b_[i];
+  }
+  return AffineTransform3D(a, b);
+}
+
+std::array<double, 3> AffineTransform3D::Apply(
+    const std::array<double, 3>& p) const {
+  std::array<double, 3> out;
+  for (int i = 0; i < 3; ++i) {
+    out[i] = a_[i * 3] * p[0] + a_[i * 3 + 1] * p[1] + a_[i * 3 + 2] * p[2] +
+             b_[i];
+  }
+  return out;
+}
+
+std::array<double, 16> AffineTransform3D::MappingMatrix() const {
+  return {a_[0], a_[1], a_[2], b_[0], a_[3], a_[4], a_[5], b_[1],
+          a_[6], a_[7], a_[8], b_[2], 0,     0,     0,     1};
+}
+
+}  // namespace spatter::algo

@@ -1,0 +1,111 @@
+// Affine transformations (paper §2.3, Equations (2)–(4)).
+//
+// A 2D transform is stored as the augmented 3x3 mapping matrix M of
+// Equation (4): [A b; 0 1]. The campaign only instantiates integer-valued
+// matrices with det(A) != 0 (paper §4.2) so the transform is invertible and
+// exact in double arithmetic.
+#ifndef SPATTER_ALGO_AFFINE_H_
+#define SPATTER_ALGO_AFFINE_H_
+
+#include <array>
+#include <string>
+
+#include "common/status.h"
+#include "geom/geometry.h"
+
+namespace spatter::algo {
+
+/// 2D affine transform y = A x + b.
+class AffineTransform {
+ public:
+  /// Identity transform.
+  AffineTransform() : AffineTransform(1, 0, 0, 1, 0, 0) {}
+
+  /// From linear part [[a11, a12], [a21, a22]] and translation (b1, b2).
+  AffineTransform(double a11, double a12, double a21, double a22, double b1,
+                  double b2)
+      : a11_(a11), a12_(a12), a21_(a21), a22_(a22), b1_(b1), b2_(b2) {}
+
+  static AffineTransform Identity() { return AffineTransform(); }
+  static AffineTransform Translation(double dx, double dy) {
+    return {1, 0, 0, 1, dx, dy};
+  }
+  static AffineTransform Scaling(double sx, double sy) {
+    return {sx, 0, 0, sy, 0, 0};
+  }
+  /// Rotation by `radians` counter-clockwise about the origin.
+  static AffineTransform Rotation(double radians);
+  static AffineTransform ShearX(double k) { return {1, k, 0, 1, 0, 0}; }
+  static AffineTransform ShearY(double k) { return {1, 0, k, 1, 0, 0}; }
+  /// Swaps x and y axes (the MySQL ST_SwapXY scenario, Listing 4).
+  static AffineTransform SwapXY() { return {0, 1, 1, 0, 0, 0}; }
+
+  double Determinant() const { return a11_ * a22_ - a12_ * a21_; }
+  bool IsInvertible() const { return Determinant() != 0.0; }
+  bool IsIdentity() const {
+    return a11_ == 1 && a12_ == 0 && a21_ == 0 && a22_ == 1 && b1_ == 0 &&
+           b2_ == 0;
+  }
+
+  /// Inverse transform; fails when the linear part is singular.
+  Result<AffineTransform> Inverse() const;
+
+  /// Composition: (this * other)(p) == this(other(p)).
+  AffineTransform Compose(const AffineTransform& other) const;
+
+  geom::Coord Apply(const geom::Coord& p) const {
+    return {a11_ * p.x + a12_ * p.y + b1_, a21_ * p.x + a22_ * p.y + b2_};
+  }
+
+  /// Applies the transform to a deep copy of `g`.
+  geom::GeomPtr Apply(const geom::Geometry& g) const;
+
+  /// Applies the transform to `g` in place.
+  void ApplyInPlace(geom::Geometry* g) const;
+
+  /// The augmented 3x3 mapping matrix of Equation (4), row-major.
+  std::array<double, 9> MappingMatrix() const {
+    return {a11_, a12_, b1_, a21_, a22_, b2_, 0, 0, 1};
+  }
+
+  /// "A=[[..],[..]] b=(..,..)" debug form.
+  std::string ToString() const;
+
+  double a11() const { return a11_; }
+  double a12() const { return a12_; }
+  double a21() const { return a21_; }
+  double a22() const { return a22_; }
+  double b1() const { return b1_; }
+  double b2() const { return b2_; }
+
+ private:
+  double a11_, a12_, a21_, a22_, b1_, b2_;
+};
+
+/// 3D affine transform y = A x + b over homogeneous 4x4 matrices,
+/// implementing Equation (3). The 2D campaign does not use it; it exists so
+/// the math layer covers both Euclidean spaces the paper formalizes.
+class AffineTransform3D {
+ public:
+  AffineTransform3D();  // identity
+  /// Row-major 3x3 linear part and 3-vector translation.
+  AffineTransform3D(const std::array<double, 9>& a,
+                    const std::array<double, 3>& b);
+
+  double Determinant() const;
+  bool IsInvertible() const { return Determinant() != 0.0; }
+  Result<AffineTransform3D> Inverse() const;
+  AffineTransform3D Compose(const AffineTransform3D& other) const;
+
+  std::array<double, 3> Apply(const std::array<double, 3>& p) const;
+  /// The augmented 4x4 mapping matrix, row-major.
+  std::array<double, 16> MappingMatrix() const;
+
+ private:
+  std::array<double, 9> a_;
+  std::array<double, 3> b_;
+};
+
+}  // namespace spatter::algo
+
+#endif  // SPATTER_ALGO_AFFINE_H_

@@ -1,0 +1,100 @@
+#include "algo/boundary.h"
+
+#include <map>
+#include <vector>
+
+namespace spatter::algo {
+
+using geom::Coord;
+using geom::Geometry;
+using geom::GeomPtr;
+using geom::GeomType;
+
+namespace {
+
+// Accumulates endpoint parity across line elements and ring lines from
+// areal elements.
+struct BoundaryAccumulator {
+  std::map<Coord, int> endpoint_count;
+  std::vector<std::vector<Coord>> rings;
+
+  void Add(const Geometry& basic) {
+    switch (basic.type()) {
+      case GeomType::kPoint:
+        break;  // points have empty boundary.
+      case GeomType::kLineString: {
+        const auto& line = geom::AsLineString(basic);
+        if (line.NumPoints() < 2 || line.IsClosed()) break;
+        endpoint_count[line.points().front()]++;
+        endpoint_count[line.points().back()]++;
+        break;
+      }
+      case GeomType::kPolygon: {
+        for (const auto& ring : geom::AsPolygon(basic).rings()) {
+          if (!ring.empty()) rings.push_back(ring);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  std::vector<Coord> Mod2Points() const {
+    std::vector<Coord> out;
+    for (const auto& [pt, count] : endpoint_count) {
+      if (count % 2 == 1) out.push_back(pt);
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+GeomPtr Boundary(const Geometry& g) {
+  BoundaryAccumulator acc;
+  geom::ForEachBasic(g, [&acc](const Geometry& basic) { acc.Add(basic); });
+  const std::vector<Coord> pts = acc.Mod2Points();
+
+  const bool has_points = !pts.empty();
+  const bool has_rings = !acc.rings.empty();
+
+  if (!has_points && !has_rings) {
+    // Empty boundary: match PostGIS result types by input dimension.
+    switch (g.Dimension()) {
+      case 1:
+        return geom::MakeEmpty(GeomType::kMultiPoint);
+      case 2:
+        return geom::MakeEmpty(GeomType::kMultiLineString);
+      default:
+        return geom::MakeEmpty(GeomType::kGeometryCollection);
+    }
+  }
+
+  std::vector<GeomPtr> point_elems;
+  point_elems.reserve(pts.size());
+  for (const auto& p : pts) point_elems.push_back(geom::MakePoint(p.x, p.y));
+
+  std::vector<GeomPtr> line_elems;
+  line_elems.reserve(acc.rings.size());
+  for (auto& ring : acc.rings) {
+    line_elems.push_back(geom::MakeLineString(ring));
+  }
+
+  if (has_points && has_rings) {
+    std::vector<GeomPtr> all;
+    for (auto& e : point_elems) all.push_back(std::move(e));
+    for (auto& e : line_elems) all.push_back(std::move(e));
+    return geom::MakeCollection(GeomType::kGeometryCollection, std::move(all));
+  }
+  if (has_points) {
+    if (point_elems.size() == 1) return std::move(point_elems[0]);
+    return geom::MakeCollection(GeomType::kMultiPoint,
+                                std::move(point_elems));
+  }
+  if (line_elems.size() == 1) return std::move(line_elems[0]);
+  return geom::MakeCollection(GeomType::kMultiLineString,
+                              std::move(line_elems));
+}
+
+}  // namespace spatter::algo

@@ -1,0 +1,211 @@
+#include "algo/canonicalize.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "algo/ring_ops.h"
+#include "common/coverage.h"
+
+namespace spatter::algo {
+
+using geom::Coord;
+using geom::Geometry;
+using geom::GeomPtr;
+using geom::GeomType;
+
+namespace {
+
+std::vector<Coord> RemoveConsecutiveDuplicates(const std::vector<Coord>& pts) {
+  std::vector<Coord> out;
+  out.reserve(pts.size());
+  for (const auto& p : pts) {
+    if (out.empty() || out.back() != p) out.push_back(p);
+  }
+  return out;
+}
+
+// Removes consecutive duplicates from a closed ring, preserving closure.
+std::vector<Coord> CleanRing(const std::vector<Coord>& ring) {
+  std::vector<Coord> out = RemoveConsecutiveDuplicates(ring);
+  if (out.size() >= 2 && out.front() == out.back()) {
+    // Already closed; nothing else to do.
+    return out;
+  }
+  if (out.size() >= 3) out.push_back(out.front());  // re-close if needed.
+  return out;
+}
+
+// Rotates a closed ring so it starts at its lexicographically minimal
+// vertex. Only used for shape keys; the paper's canonical form does not
+// rotate rings.
+std::vector<Coord> RotateRingToMin(const std::vector<Coord>& ring) {
+  if (ring.size() < 3) return ring;
+  const bool closed = ring.front() == ring.back();
+  std::vector<Coord> open(ring.begin(), closed ? ring.end() - 1 : ring.end());
+  const auto min_it = std::min_element(open.begin(), open.end());
+  std::rotate(open.begin(), min_it, open.end());
+  open.push_back(open.front());
+  return open;
+}
+
+GeomPtr ValueLevel(const Geometry& g) {
+  switch (g.type()) {
+    case GeomType::kPoint:
+      return g.Clone();
+    case GeomType::kLineString: {
+      SPATTER_COV("canon", "value_linestring");
+      const auto& line = geom::AsLineString(g);
+      std::vector<Coord> pts = RemoveConsecutiveDuplicates(line.points());
+      if (pts.size() == 1) {
+        // A zero-length line collapses to the point it occupies; keeping a
+        // one-point LINESTRING would lose the point set entirely.
+        SPATTER_COV("canon", "value_degenerate_line_to_point");
+        return geom::MakePoint(pts[0].x, pts[0].y);
+      }
+      if (pts.size() >= 2) {
+        const Coord& first = pts.front();
+        const Coord& last = pts.back();
+        if (last < first) {
+          SPATTER_COV("canon", "value_linestring_reversed");
+          std::reverse(pts.begin(), pts.end());
+        }
+      }
+      return geom::MakeLineString(std::move(pts));
+    }
+    case GeomType::kPolygon: {
+      SPATTER_COV("canon", "value_polygon");
+      const auto& poly = geom::AsPolygon(g);
+      std::vector<geom::Polygon::Ring> rings;
+      rings.reserve(poly.NumRings());
+      for (const auto& ring : poly.rings()) {
+        auto cleaned = CleanRing(ring);
+        // Clockwise orientation == negative signed area.
+        if (SignedRingArea(cleaned) > 0.0) {
+          SPATTER_COV("canon", "value_ring_reoriented");
+          std::reverse(cleaned.begin(), cleaned.end());
+        }
+        rings.push_back(std::move(cleaned));
+      }
+      return geom::MakePolygon(std::move(rings));
+    }
+    default: {
+      const auto& coll = geom::AsCollection(g);
+      std::vector<GeomPtr> elems;
+      elems.reserve(coll.NumElements());
+      for (size_t i = 0; i < coll.NumElements(); ++i) {
+        elems.push_back(ValueLevel(coll.ElementAt(i)));
+      }
+      return geom::MakeCollection(g.type(), std::move(elems));
+    }
+  }
+}
+
+// Splices nested collections into a flat list of basic elements.
+void Flatten(const Geometry& g, std::vector<GeomPtr>* out) {
+  if (g.IsCollection()) {
+    const auto& coll = geom::AsCollection(g);
+    for (size_t i = 0; i < coll.NumElements(); ++i) {
+      Flatten(coll.ElementAt(i), out);
+    }
+  } else {
+    out->push_back(g.Clone());
+  }
+}
+
+}  // namespace
+
+GeomPtr CanonicalizeValueLevel(const Geometry& g) { return ValueLevel(g); }
+
+std::string ShapeKey(const Geometry& g) {
+  GeomPtr canon = ValueLevel(g);
+  // Normalize ring rotation for comparison purposes.
+  if (canon->type() == GeomType::kPolygon) {
+    auto& rings = static_cast<geom::Polygon*>(canon.get())->mutable_rings();
+    for (auto& ring : rings) ring = RotateRingToMin(ring);
+    std::sort(rings.begin() + (rings.empty() ? 0 : 1), rings.end());
+  }
+  return canon->ToWkt();
+}
+
+GeomPtr Canonicalize(const Geometry& g) {
+  if (!g.IsCollection()) return ValueLevel(g);
+
+  SPATTER_COV("canon", "element_level");
+  // Step 1+2: flatten nested collections while dropping EMPTY elements.
+  std::vector<GeomPtr> flat;
+  Flatten(g, &flat);
+  std::vector<GeomPtr> kept;
+  for (auto& e : flat) {
+    if (e->IsEmpty()) {
+      SPATTER_COV("canon", "element_empty_removed");
+      continue;
+    }
+    kept.push_back(Canonicalize(*e));
+  }
+
+  // Step 3: duplicate removal by shape.
+  std::vector<GeomPtr> unique;
+  std::vector<std::string> keys;
+  for (auto& e : kept) {
+    const std::string key = ShapeKey(*e);
+    if (std::find(keys.begin(), keys.end(), key) != keys.end()) {
+      SPATTER_COV("canon", "element_duplicate_removed");
+      continue;
+    }
+    keys.push_back(key);
+    unique.push_back(std::move(e));
+  }
+
+  // Step 4: reorder by dimension (then by shape key, for determinism).
+  std::vector<size_t> order(unique.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    const int da = unique[a]->Dimension();
+    const int db = unique[b]->Dimension();
+    if (da != db) return da < db;
+    return keys[a] < keys[b];
+  });
+  std::vector<GeomPtr> ordered;
+  ordered.reserve(unique.size());
+  for (size_t idx : order) ordered.push_back(std::move(unique[idx]));
+
+  // Homogenization: a collection reduced to a single element becomes that
+  // basic-type geometry.
+  if (ordered.size() == 1) {
+    SPATTER_COV("canon", "element_homogenized_single");
+    return std::move(ordered[0]);
+  }
+  if (ordered.empty()) {
+    return geom::MakeEmpty(g.type());
+  }
+
+  // Homogenization, second half: elements sharing one basic type collapse
+  // into the corresponding MULTI type ("a uniform structural
+  // representation"); mixed content stays a GEOMETRYCOLLECTION.
+  GeomType out_type = GeomType::kGeometryCollection;
+  const GeomType first = ordered[0]->type();
+  bool uniform = !geom::IsCollectionType(first);
+  for (const auto& e : ordered) {
+    if (e->type() != first) uniform = false;
+  }
+  if (uniform) {
+    switch (first) {
+      case GeomType::kPoint:
+        out_type = GeomType::kMultiPoint;
+        break;
+      case GeomType::kLineString:
+        out_type = GeomType::kMultiLineString;
+        break;
+      case GeomType::kPolygon:
+        out_type = GeomType::kMultiPolygon;
+        break;
+      default:
+        break;
+    }
+    SPATTER_COV("canon", "element_homogenized_multi");
+  }
+  return geom::MakeCollection(out_type, std::move(ordered));
+}
+
+}  // namespace spatter::algo

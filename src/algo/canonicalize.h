@@ -1,0 +1,36 @@
+// Canonicalization (paper §4.3): converts a geometry's representation into
+// a canonical, spatially equivalent one. Used by Spatter both as a
+// standalone oracle (identity-matrix AEI) and as the pre-processing step of
+// affine-equivalent-input construction.
+#ifndef SPATTER_ALGO_CANONICALIZE_H_
+#define SPATTER_ALGO_CANONICALIZE_H_
+
+#include <string>
+
+#include "geom/geometry.h"
+
+namespace spatter::algo {
+
+/// Value-level canonicalization of a basic geometry (applied recursively to
+/// collection elements):
+///  - consecutive duplicate points removed (rings stay closed),
+///  - LINESTRINGs reversed when the last point sorts before the first
+///    (x-axis, then y-axis comparison, per the paper),
+///  - POLYGON rings forced to clockwise orientation.
+geom::GeomPtr CanonicalizeValueLevel(const geom::Geometry& g);
+
+/// Full canonicalization: element level (EMPTY removal, homogenization /
+/// flattening of nested collections, shape-based duplicate removal,
+/// reordering by dimension) followed by value level.
+geom::GeomPtr Canonicalize(const geom::Geometry& g);
+
+/// Shape key: a representation-independent fingerprint used for the
+/// element-level duplicate removal ("duplicates are identified based on
+/// their shape"). Two elements with equal keys describe the same point set
+/// for the representations the generator can produce (value-level
+/// canonical WKT with ring rotation normalized to the minimal vertex).
+std::string ShapeKey(const geom::Geometry& g);
+
+}  // namespace spatter::algo
+
+#endif  // SPATTER_ALGO_CANONICALIZE_H_

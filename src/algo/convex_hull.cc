@@ -1,0 +1,67 @@
+#include "algo/convex_hull.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "geom/predicates.h"
+
+namespace spatter::algo {
+
+using geom::Coord;
+using geom::Geometry;
+
+geom::GeomPtr ConvexHull(const Geometry& g) {
+  std::vector<Coord> pts;
+  geom::ForEachBasic(g, [&pts](const Geometry& basic) {
+    switch (basic.type()) {
+      case geom::GeomType::kPoint:
+        if (!basic.IsEmpty()) pts.push_back(*geom::AsPoint(basic).coord());
+        break;
+      case geom::GeomType::kLineString: {
+        const auto& line = geom::AsLineString(basic).points();
+        pts.insert(pts.end(), line.begin(), line.end());
+        break;
+      }
+      case geom::GeomType::kPolygon:
+        for (const auto& ring : geom::AsPolygon(basic).rings()) {
+          pts.insert(pts.end(), ring.begin(), ring.end());
+        }
+        break;
+      default:
+        break;
+    }
+  });
+
+  std::sort(pts.begin(), pts.end());
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+
+  if (pts.empty()) return geom::MakeEmpty(geom::GeomType::kGeometryCollection);
+  if (pts.size() == 1) return geom::MakePoint(pts[0].x, pts[0].y);
+
+  // Monotone chain.
+  std::vector<Coord> hull(2 * pts.size());
+  size_t k = 0;
+  for (const auto& p : pts) {  // lower hull
+    while (k >= 2 && geom::CrossProduct(hull[k - 2], hull[k - 1], p) <= 0) k--;
+    hull[k++] = p;
+  }
+  const size_t lower = k + 1;
+  for (size_t i = pts.size() - 1; i-- > 0;) {  // upper hull
+    const Coord& p = pts[i];
+    while (k >= lower && geom::CrossProduct(hull[k - 2], hull[k - 1], p) <= 0) {
+      k--;
+    }
+    hull[k++] = p;
+  }
+  hull.resize(k);  // hull.front() == hull.back() when k > 2.
+
+  if (hull.size() <= 3) {
+    // All points collinear: hull is start..end..start; emit a LINESTRING.
+    std::vector<Coord> line{hull.front(), hull[hull.size() / 2]};
+    if (line[0] == line[1]) return geom::MakePoint(line[0].x, line[0].y);
+    return geom::MakeLineString(std::move(line));
+  }
+  return geom::MakePolygon({std::move(hull)});
+}
+
+}  // namespace spatter::algo

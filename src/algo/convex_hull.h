@@ -1,0 +1,17 @@
+// Convex hull (Andrew's monotone chain).
+#ifndef SPATTER_ALGO_CONVEX_HULL_H_
+#define SPATTER_ALGO_CONVEX_HULL_H_
+
+#include "geom/geometry.h"
+
+namespace spatter::algo {
+
+/// Convex hull of all coordinates of `g`, ST_ConvexHull-style:
+/// returns a POLYGON for >= 3 non-collinear points, a LINESTRING for
+/// collinear points, a POINT for a single point, and
+/// GEOMETRYCOLLECTION EMPTY for an empty input.
+geom::GeomPtr ConvexHull(const geom::Geometry& g);
+
+}  // namespace spatter::algo
+
+#endif  // SPATTER_ALGO_CONVEX_HULL_H_

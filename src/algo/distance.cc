@@ -1,0 +1,169 @@
+#include "algo/distance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "algo/ring_ops.h"
+#include "geom/predicates.h"
+
+namespace spatter::algo {
+
+using geom::Coord;
+using geom::Geometry;
+using geom::GeomType;
+
+double PointSegmentDistance(const Coord& p, const Coord& a, const Coord& b) {
+  const double dx = b.x - a.x;
+  const double dy = b.y - a.y;
+  const double len2 = dx * dx + dy * dy;
+  if (len2 == 0.0) return geom::DistanceBetween(p, a);
+  double t = ((p.x - a.x) * dx + (p.y - a.y) * dy) / len2;
+  t = std::clamp(t, 0.0, 1.0);
+  const Coord proj{a.x + t * dx, a.y + t * dy};
+  return geom::DistanceBetween(p, proj);
+}
+
+double SegmentSegmentDistance(const Coord& a, const Coord& b, const Coord& c,
+                              const Coord& d) {
+  const auto isect = geom::IntersectSegments(a, b, c, d);
+  if (isect.kind != geom::SegSegIntersection::Kind::kNone) return 0.0;
+  return std::min({PointSegmentDistance(a, c, d), PointSegmentDistance(b, c, d),
+                   PointSegmentDistance(c, a, b),
+                   PointSegmentDistance(d, a, b)});
+}
+
+namespace {
+
+// Collects the segments of a basic geometry (line segments and ring edges).
+void CollectSegments(const Geometry& basic,
+                     std::vector<std::pair<Coord, Coord>>* segs) {
+  if (basic.type() == GeomType::kLineString) {
+    const auto& pts = geom::AsLineString(basic).points();
+    for (size_t i = 0; i + 1 < pts.size(); ++i) {
+      segs->emplace_back(pts[i], pts[i + 1]);
+    }
+  } else if (basic.type() == GeomType::kPolygon) {
+    for (const auto& ring : geom::AsPolygon(basic).rings()) {
+      for (size_t i = 0; i + 1 < ring.size(); ++i) {
+        segs->emplace_back(ring[i], ring[i + 1]);
+      }
+      if (ring.size() >= 2 && ring.front() != ring.back()) {
+        segs->emplace_back(ring.back(), ring.front());
+      }
+    }
+  }
+}
+
+void CollectVertices(const Geometry& basic, std::vector<Coord>* pts) {
+  if (basic.type() == GeomType::kPoint) {
+    if (!basic.IsEmpty()) pts->push_back(*geom::AsPoint(basic).coord());
+  } else if (basic.type() == GeomType::kLineString) {
+    const auto& line = geom::AsLineString(basic).points();
+    pts->insert(pts->end(), line.begin(), line.end());
+  } else if (basic.type() == GeomType::kPolygon) {
+    for (const auto& ring : geom::AsPolygon(basic).rings()) {
+      pts->insert(pts->end(), ring.begin(), ring.end());
+    }
+  }
+}
+
+// Distance from one basic geometry to another.
+double BasicDistance(const Geometry& a, const Geometry& b) {
+  // Containment shortcuts: a vertex of one inside a polygon of the other.
+  if (a.type() == GeomType::kPolygon && !b.IsEmpty()) {
+    std::vector<Coord> pts;
+    CollectVertices(b, &pts);
+    for (const auto& p : pts) {
+      if (LocateInPolygon(p, geom::AsPolygon(a)) != RingLocation::kExterior) {
+        return 0.0;
+      }
+    }
+  }
+  if (b.type() == GeomType::kPolygon && !a.IsEmpty()) {
+    std::vector<Coord> pts;
+    CollectVertices(a, &pts);
+    for (const auto& p : pts) {
+      if (LocateInPolygon(p, geom::AsPolygon(b)) != RingLocation::kExterior) {
+        return 0.0;
+      }
+    }
+  }
+
+  std::vector<std::pair<Coord, Coord>> segs_a;
+  std::vector<std::pair<Coord, Coord>> segs_b;
+  std::vector<Coord> pts_a;
+  std::vector<Coord> pts_b;
+  CollectSegments(a, &segs_a);
+  CollectSegments(b, &segs_b);
+  CollectVertices(a, &pts_a);
+  CollectVertices(b, &pts_b);
+
+  double best = std::numeric_limits<double>::infinity();
+  if (!segs_a.empty() && !segs_b.empty()) {
+    for (const auto& [p, q] : segs_a) {
+      for (const auto& [r, s] : segs_b) {
+        best = std::min(best, SegmentSegmentDistance(p, q, r, s));
+        if (best == 0.0) return 0.0;
+      }
+    }
+  } else if (!segs_a.empty()) {
+    for (const auto& p : pts_b) {
+      for (const auto& [r, s] : segs_a) {
+        best = std::min(best, PointSegmentDistance(p, r, s));
+      }
+    }
+  } else if (!segs_b.empty()) {
+    for (const auto& p : pts_a) {
+      for (const auto& [r, s] : segs_b) {
+        best = std::min(best, PointSegmentDistance(p, r, s));
+      }
+    }
+  } else {
+    for (const auto& p : pts_a) {
+      for (const auto& q : pts_b) {
+        best = std::min(best, geom::DistanceBetween(p, q));
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::optional<double> MinDistance(const Geometry& a, const Geometry& b) {
+  std::vector<const Geometry*> parts_a;
+  std::vector<const Geometry*> parts_b;
+  geom::ForEachBasic(a, [&](const Geometry& g) {
+    if (!g.IsEmpty()) parts_a.push_back(&g);
+  });
+  geom::ForEachBasic(b, [&](const Geometry& g) {
+    if (!g.IsEmpty()) parts_b.push_back(&g);
+  });
+  if (parts_a.empty() || parts_b.empty()) return std::nullopt;
+  double best = std::numeric_limits<double>::infinity();
+  for (const Geometry* ga : parts_a) {
+    for (const Geometry* gb : parts_b) {
+      best = std::min(best, BasicDistance(*ga, *gb));
+      if (best == 0.0) return 0.0;
+    }
+  }
+  return best;
+}
+
+std::optional<double> MaxDistance(const Geometry& a, const Geometry& b) {
+  std::vector<Coord> pts_a;
+  geom::ForEachBasic(a, [&](const Geometry& g) { CollectVertices(g, &pts_a); });
+  if (pts_a.empty() || b.IsEmpty()) return std::nullopt;
+  double worst = 0.0;
+  for (const auto& p : pts_a) {
+    geom::Point probe(p);
+    const auto d = MinDistance(probe, b);
+    if (!d) return std::nullopt;
+    worst = std::max(worst, *d);
+  }
+  return worst;
+}
+
+}  // namespace spatter::algo

@@ -1,0 +1,37 @@
+// Distance computations: minimum distance between geometries (ST_Distance)
+// and directed maximum distance (the ST_DFullyWithin support predicate).
+#ifndef SPATTER_ALGO_DISTANCE_H_
+#define SPATTER_ALGO_DISTANCE_H_
+
+#include <optional>
+
+#include "geom/geometry.h"
+
+namespace spatter::algo {
+
+/// Distance from point `p` to segment [a, b].
+double PointSegmentDistance(const geom::Coord& p, const geom::Coord& a,
+                            const geom::Coord& b);
+
+/// Minimum distance between segments [a,b] and [c,d] (0 when intersecting).
+double SegmentSegmentDistance(const geom::Coord& a, const geom::Coord& b,
+                              const geom::Coord& c, const geom::Coord& d);
+
+/// Minimum Euclidean distance between two geometries; 0 when they
+/// intersect (a point inside a polygon has distance 0). EMPTY geometries
+/// and EMPTY elements are skipped, matching the fixed PostGIS semantics of
+/// the Listing 5 bug; returns nullopt when either side has no non-empty
+/// component.
+std::optional<double> MinDistance(const geom::Geometry& a,
+                                  const geom::Geometry& b);
+
+/// Directed maximum distance: max over the vertices of `a` of the minimum
+/// distance to `b`. Exact for point/line `a` against convex `b`; a
+/// documented approximation otherwise (DESIGN.md §4). nullopt when either
+/// side is empty.
+std::optional<double> MaxDistance(const geom::Geometry& a,
+                                  const geom::Geometry& b);
+
+}  // namespace spatter::algo
+
+#endif  // SPATTER_ALGO_DISTANCE_H_

@@ -1,0 +1,117 @@
+#include "algo/noding.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/envelope.h"
+#include "geom/predicates.h"
+
+namespace spatter::algo {
+
+using geom::Coord;
+
+namespace {
+
+// Merges nearby coordinates onto canonical node positions.
+class NodeMerger {
+ public:
+  explicit NodeMerger(double eps) : eps_(eps) {}
+
+  /// Returns the canonical coordinate for `c`, registering it if new.
+  Coord Canonical(const Coord& c) {
+    for (const auto& n : nodes_) {
+      if (std::fabs(n.x - c.x) <= eps_ && std::fabs(n.y - c.y) <= eps_) {
+        return n;
+      }
+    }
+    nodes_.push_back(c);
+    return c;
+  }
+
+  const std::vector<Coord>& nodes() const { return nodes_; }
+
+ private:
+  double eps_;
+  std::vector<Coord> nodes_;
+};
+
+// Scalar position of collinear point p along segment [a, b].
+double ParamOf(const Coord& p, const Coord& a, const Coord& b) {
+  const double dx = b.x - a.x;
+  const double dy = b.y - a.y;
+  if (std::fabs(dx) >= std::fabs(dy)) {
+    return dx == 0.0 ? 0.0 : (p.x - a.x) / dx;
+  }
+  return dy == 0.0 ? 0.0 : (p.y - a.y) / dy;
+}
+
+}  // namespace
+
+NodingResult NodeSegments(const std::vector<TaggedSegment>& segments,
+                          double eps) {
+  const size_t n = segments.size();
+  // Cut points per segment (beyond the endpoints).
+  std::vector<std::vector<Coord>> cuts(n);
+
+  std::vector<geom::Envelope> boxes;
+  boxes.reserve(n);
+  for (const auto& s : segments) {
+    geom::Envelope e(s.a);
+    e.ExpandToInclude(s.b);
+    e.ExpandBy(eps);
+    boxes.push_back(e);
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (!boxes[i].Intersects(boxes[j])) continue;
+      const auto isect = geom::IntersectSegments(
+          segments[i].a, segments[i].b, segments[j].a, segments[j].b, eps);
+      switch (isect.kind) {
+        case geom::SegSegIntersection::Kind::kNone:
+          break;
+        case geom::SegSegIntersection::Kind::kPoint:
+          cuts[i].push_back(isect.p0);
+          cuts[j].push_back(isect.p0);
+          break;
+        case geom::SegSegIntersection::Kind::kOverlap:
+          cuts[i].push_back(isect.p0);
+          cuts[i].push_back(isect.p1);
+          cuts[j].push_back(isect.p0);
+          cuts[j].push_back(isect.p1);
+          break;
+      }
+    }
+  }
+
+  NodeMerger merger(eps);
+  NodingResult out;
+  for (size_t i = 0; i < n; ++i) {
+    const Coord a = merger.Canonical(segments[i].a);
+    const Coord b = merger.Canonical(segments[i].b);
+    // Sort cut points along the segment and split.
+    struct Cut {
+      double t;
+      Coord p;
+    };
+    std::vector<Cut> ordered;
+    ordered.push_back({0.0, a});
+    ordered.push_back({1.0, b});
+    for (const auto& c : cuts[i]) {
+      const Coord canon = merger.Canonical(c);
+      ordered.push_back({ParamOf(canon, segments[i].a, segments[i].b), canon});
+    }
+    std::sort(ordered.begin(), ordered.end(),
+              [](const Cut& x, const Cut& y) { return x.t < y.t; });
+    for (size_t k = 0; k + 1 < ordered.size(); ++k) {
+      const Coord& p = ordered[k].p;
+      const Coord& q = ordered[k + 1].p;
+      if (p == q) continue;  // degenerate split.
+      out.edges.push_back(NodedEdge{p, q, segments[i].src, i});
+    }
+  }
+  out.nodes = merger.nodes();
+  return out;
+}
+
+}  // namespace spatter::algo

@@ -1,0 +1,47 @@
+// Segment noding: splits an arbitrary set of tagged segments at every
+// mutual intersection (including collinear overlaps) so the output edges
+// only meet at endpoints. This is the arrangement substrate shared by the
+// DE-9IM relate computer and the polygonizer.
+#ifndef SPATTER_ALGO_NODING_H_
+#define SPATTER_ALGO_NODING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/coordinate.h"
+
+namespace spatter::algo {
+
+/// Input segment with a source tag (relate uses 0 = geometry A,
+/// 1 = geometry B; the polygonizer uses 0 for everything).
+struct TaggedSegment {
+  geom::Coord a;
+  geom::Coord b;
+  int src = 0;
+};
+
+/// Output edge: a sub-segment of exactly one input segment, crossing no
+/// other output edge except at shared endpoints.
+struct NodedEdge {
+  geom::Coord a;
+  geom::Coord b;
+  int src = 0;
+  size_t input_index = 0;  ///< index of the originating TaggedSegment
+};
+
+struct NodingResult {
+  std::vector<NodedEdge> edges;
+  /// Unique node coordinates (all edge endpoints after eps-merging).
+  std::vector<geom::Coord> nodes;
+};
+
+/// Nodes all segments pairwise (O(n^2) candidate pairs with an envelope
+/// pre-filter; campaign inputs are tiny). Nearby intersection points within
+/// `eps` are merged onto a single node so concurrent crossings from
+/// different pairs agree.
+NodingResult NodeSegments(const std::vector<TaggedSegment>& segments,
+                          double eps);
+
+}  // namespace spatter::algo
+
+#endif  // SPATTER_ALGO_NODING_H_

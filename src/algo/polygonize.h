@@ -1,0 +1,21 @@
+// Polygonization: forms polygons from the linework of the input
+// (the derivative strategy's Polygonize edit function, Table 1).
+#ifndef SPATTER_ALGO_POLYGONIZE_H_
+#define SPATTER_ALGO_POLYGONIZE_H_
+
+#include "geom/geometry.h"
+
+namespace spatter::algo {
+
+/// Nodes the input linework and traces the bounded faces of the resulting
+/// planar arrangement; each bounded face becomes a POLYGON. Returns a
+/// GEOMETRYCOLLECTION of the polygons (empty collection when the linework
+/// encloses nothing). Faces are traced with minimal-turn traversal; faces
+/// with non-positive area (the unbounded face) are discarded. Hole
+/// assembly is not performed: nested faces come back as separate polygons,
+/// which is sufficient for generating diverse topological material.
+geom::GeomPtr Polygonize(const geom::Geometry& g);
+
+}  // namespace spatter::algo
+
+#endif  // SPATTER_ALGO_POLYGONIZE_H_

@@ -1,0 +1,168 @@
+#include "algo/validity.h"
+
+#include <string>
+#include <vector>
+
+#include "algo/ring_ops.h"
+#include "geom/predicates.h"
+
+namespace spatter::algo {
+
+using geom::Coord;
+using geom::Geometry;
+using geom::GeomType;
+
+namespace {
+
+Status CheckRing(const std::vector<Coord>& ring, const std::string& what) {
+  if (ring.size() < 4) {
+    return Status::InvalidGeometry(what + " has fewer than 4 points");
+  }
+  if (ring.front() != ring.back()) {
+    return Status::InvalidGeometry(what + " is not closed");
+  }
+  // Repeated interior vertices collapse segments; reject zero-length edges.
+  for (size_t i = 0; i + 1 < ring.size(); ++i) {
+    if (ring[i] == ring[i + 1]) {
+      return Status::InvalidGeometry(what + " has a repeated point");
+    }
+  }
+  // Self-intersection: non-adjacent segments must be disjoint; adjacent
+  // segments may only share their common vertex.
+  const size_t n = ring.size() - 1;  // number of edges
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const auto isect = geom::IntersectSegments(ring[i], ring[i + 1],
+                                                 ring[j], ring[j + 1]);
+      if (isect.kind == geom::SegSegIntersection::Kind::kNone) continue;
+      const bool adjacent = (j == i + 1) || (i == 0 && j == n - 1);
+      if (!adjacent) {
+        return Status::InvalidGeometry(what + " self-intersects");
+      }
+      if (isect.kind == geom::SegSegIntersection::Kind::kOverlap) {
+        return Status::InvalidGeometry(what + " has overlapping edges");
+      }
+      // Adjacent edges: the single shared vertex is the only legal touch.
+      const Coord& shared = (j == i + 1) ? ring[j] : ring[0];
+      if (isect.p0 != shared) {
+        return Status::InvalidGeometry(what +
+                                       " adjacent edges touch off-vertex");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckPolygon(const geom::Polygon& poly) {
+  if (poly.IsEmpty()) return Status::OK();
+  SPATTER_RETURN_NOT_OK(CheckRing(poly.Shell(), "polygon shell"));
+  for (size_t h = 1; h < poly.NumRings(); ++h) {
+    SPATTER_RETURN_NOT_OK(
+        CheckRing(poly.rings()[h], "polygon hole " + std::to_string(h)));
+    // Every hole vertex must be inside or on the shell.
+    for (const auto& p : poly.rings()[h]) {
+      if (LocateInRing(p, poly.Shell()) == RingLocation::kExterior) {
+        return Status::InvalidGeometry("hole lies outside the shell");
+      }
+    }
+    // Hole edges must not cross the shell (touching at points is legal).
+    const auto& hole = poly.rings()[h];
+    const auto& shell = poly.Shell();
+    for (size_t i = 0; i + 1 < hole.size(); ++i) {
+      for (size_t j = 0; j + 1 < shell.size(); ++j) {
+        const auto isect = geom::IntersectSegments(hole[i], hole[i + 1],
+                                                   shell[j], shell[j + 1]);
+        if (isect.kind == geom::SegSegIntersection::Kind::kOverlap) {
+          return Status::InvalidGeometry("hole overlaps the shell boundary");
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckMultiPolygon(const geom::GeometryCollection& mp) {
+  for (size_t i = 0; i < mp.NumElements(); ++i) {
+    for (size_t j = i + 1; j < mp.NumElements(); ++j) {
+      const auto& pa = geom::AsPolygon(mp.ElementAt(i));
+      const auto& pb = geom::AsPolygon(mp.ElementAt(j));
+      if (pa.IsEmpty() || pb.IsEmpty()) continue;
+      // Shell vertices of one strictly inside the other -> interiors
+      // overlap.
+      for (const auto& p : pa.Shell()) {
+        if (LocateInPolygon(p, pb) == RingLocation::kInterior) {
+          return Status::InvalidGeometry(
+              "multipolygon elements overlap (vertex containment)");
+        }
+      }
+      for (const auto& p : pb.Shell()) {
+        if (LocateInPolygon(p, pa) == RingLocation::kInterior) {
+          return Status::InvalidGeometry(
+              "multipolygon elements overlap (vertex containment)");
+        }
+      }
+      // Proper shell crossings.
+      const auto& sa = pa.Shell();
+      const auto& sb = pb.Shell();
+      for (size_t x = 0; x + 1 < sa.size(); ++x) {
+        for (size_t y = 0; y + 1 < sb.size(); ++y) {
+          const auto isect =
+              geom::IntersectSegments(sa[x], sa[x + 1], sb[y], sb[y + 1]);
+          if (isect.kind == geom::SegSegIntersection::Kind::kOverlap) {
+            return Status::InvalidGeometry(
+                "multipolygon element boundaries overlap");
+          }
+          if (isect.kind == geom::SegSegIntersection::Kind::kPoint) {
+            // Touch points are allowed only at vertices of both shells.
+            const bool va = isect.p0 == sa[x] || isect.p0 == sa[x + 1];
+            const bool vb = isect.p0 == sb[y] || isect.p0 == sb[y + 1];
+            if (!va || !vb) {
+              return Status::InvalidGeometry(
+                  "multipolygon element boundaries cross");
+            }
+          }
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status CheckValid(const Geometry& g) {
+  switch (g.type()) {
+    case GeomType::kPoint:
+      return Status::OK();
+    case GeomType::kLineString: {
+      const auto& line = geom::AsLineString(g);
+      if (!line.IsEmpty() && line.NumPoints() < 2) {
+        return Status::InvalidGeometry("linestring has a single point");
+      }
+      return Status::OK();
+    }
+    case GeomType::kPolygon:
+      return CheckPolygon(geom::AsPolygon(g));
+    case GeomType::kMultiPolygon: {
+      const auto& coll = geom::AsCollection(g);
+      for (size_t i = 0; i < coll.NumElements(); ++i) {
+        SPATTER_RETURN_NOT_OK(CheckValid(coll.ElementAt(i)));
+      }
+      return CheckMultiPolygon(coll);
+    }
+    case GeomType::kMultiPoint:
+    case GeomType::kMultiLineString:
+    case GeomType::kGeometryCollection: {
+      const auto& coll = geom::AsCollection(g);
+      for (size_t i = 0; i < coll.NumElements(); ++i) {
+        SPATTER_RETURN_NOT_OK(CheckValid(coll.ElementAt(i)));
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable geometry type");
+}
+
+bool IsValid(const Geometry& g) { return CheckValid(g).ok(); }
+
+}  // namespace spatter::algo

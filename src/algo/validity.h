@@ -1,0 +1,32 @@
+// Semantic validity checks (the ST_IsValid analogue). The random-shape
+// strategy intentionally produces syntactically valid but semantically
+// invalid geometries; dialects differ in how strictly they reject them,
+// which is one source of the expected discrepancies that break differential
+// testing (paper §5.2, Listing 4).
+#ifndef SPATTER_ALGO_VALIDITY_H_
+#define SPATTER_ALGO_VALIDITY_H_
+
+#include "common/status.h"
+#include "geom/geometry.h"
+
+namespace spatter::algo {
+
+/// Per-geometry validity (OGC rules, pragmatic subset):
+///  - LINESTRING: >= 2 points when non-empty,
+///  - POLYGON rings: closed, >= 4 points, no self-intersection beyond
+///    adjacent-vertex sharing, holes inside the shell, rings may touch but
+///    not cross,
+///  - MULTIPOLYGON: element shells must not cross and no shell vertex may
+///    lie strictly inside a sibling polygon,
+///  - collections: every element valid.
+/// Cross-element interaction rules for GEOMETRYCOLLECTION (e.g. PostGIS
+/// rejecting intersecting elements in some operations) are dialect policy
+/// and live in the engine, not here.
+Status CheckValid(const geom::Geometry& g);
+
+/// Convenience wrapper: true iff CheckValid returns OK.
+bool IsValid(const geom::Geometry& g);
+
+}  // namespace spatter::algo
+
+#endif  // SPATTER_ALGO_VALIDITY_H_

@@ -1,0 +1,73 @@
+#include "common/coverage.h"
+
+namespace spatter {
+
+CoverageRegistry& CoverageRegistry::Instance() {
+  static CoverageRegistry registry;
+  return registry;
+}
+
+size_t CoverageRegistry::Register(const std::string& module,
+                                  const std::string& point) {
+  const std::string key = module + "/" + point;
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  const size_t idx = points_.size();
+  points_.push_back(Point{module, point});
+  hits_.push_back(0);
+  index_.emplace(key, idx);
+  return idx;
+}
+
+void CoverageRegistry::ResetHits() {
+  for (auto& h : hits_) h = 0;
+}
+
+size_t CoverageRegistry::TotalPoints(const std::string& module) const {
+  if (module.empty()) return points_.size();
+  size_t n = 0;
+  for (const auto& p : points_) {
+    if (p.module == module) n++;
+  }
+  return n;
+}
+
+size_t CoverageRegistry::HitPoints(const std::string& module) const {
+  size_t n = 0;
+  for (size_t i = 0; i < points_.size(); ++i) {
+    if (hits_[i] == 0) continue;
+    if (module.empty() || points_[i].module == module) n++;
+  }
+  return n;
+}
+
+double CoverageRegistry::Percent(const std::string& module) const {
+  const size_t total = TotalPoints(module);
+  if (total == 0) return 0.0;
+  return 100.0 * static_cast<double>(HitPoints(module)) /
+         static_cast<double>(total);
+}
+
+std::vector<CoverageRegistry::ModuleSummary> CoverageRegistry::Summaries()
+    const {
+  std::map<std::string, ModuleSummary> by_module;
+  for (size_t i = 0; i < points_.size(); ++i) {
+    auto& s = by_module[points_[i].module];
+    s.module = points_[i].module;
+    s.total++;
+    if (hits_[i] > 0) s.hit++;
+  }
+  std::vector<ModuleSummary> out;
+  out.reserve(by_module.size());
+  for (auto& [_, s] : by_module) out.push_back(s);
+  return out;
+}
+
+void CoverageRegistry::RestoreHits(const std::vector<uint64_t>& hits) {
+  for (size_t i = 0; i < hits_.size() && i < hits.size(); ++i) {
+    hits_[i] = hits[i];
+  }
+  for (size_t i = hits.size(); i < hits_.size(); ++i) hits_[i] = 0;
+}
+
+}  // namespace spatter

@@ -1,0 +1,85 @@
+// Lightweight coverage instrumentation.
+//
+// The paper (Table 5, Figure 8b/c) measures gcov line coverage of PostGIS
+// and GEOS. We cannot gcov systems we do not run, so the engine and the
+// geometry library register named coverage points at interesting code sites
+// (branches of the relate computer, dialect paths, edit functions, ...).
+// Coverage percentage = hit points / registered points, per module. The
+// signal is monotone in exercised behaviour, which is all the experiments
+// need (they compare generators and test corpora, not absolute gcov values).
+#ifndef SPATTER_COMMON_COVERAGE_H_
+#define SPATTER_COMMON_COVERAGE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace spatter {
+
+/// Global registry of coverage points. Not thread-safe by design: the
+/// campaign is single-threaded, matching the paper's per-run setup.
+class CoverageRegistry {
+ public:
+  static CoverageRegistry& Instance();
+
+  /// Registers a point (idempotent) and returns its index.
+  size_t Register(const std::string& module, const std::string& point);
+
+  /// Marks a point hit.
+  void Hit(size_t index) { hits_[index]++; }
+
+  /// Clears hit counters (registrations persist).
+  void ResetHits();
+
+  /// Number of registered points in a module ("" = all).
+  size_t TotalPoints(const std::string& module = "") const;
+  /// Number of registered points hit at least once in a module ("" = all).
+  size_t HitPoints(const std::string& module = "") const;
+  /// HitPoints / TotalPoints in percent; 0 if no points registered.
+  double Percent(const std::string& module = "") const;
+
+  /// Per-module (module, hit, total) summary rows.
+  struct ModuleSummary {
+    std::string module;
+    size_t hit = 0;
+    size_t total = 0;
+  };
+  std::vector<ModuleSummary> Summaries() const;
+
+  /// Snapshot of hit counters, restorable; used to combine "unit tests"
+  /// and "unit tests + Spatter" configurations in the Table 5 bench.
+  std::vector<uint64_t> SnapshotHits() const { return hits_; }
+  void RestoreHits(const std::vector<uint64_t>& hits);
+
+ private:
+  CoverageRegistry() = default;
+  struct Point {
+    std::string module;
+    std::string name;
+  };
+  std::vector<Point> points_;
+  std::vector<uint64_t> hits_;
+  std::map<std::string, size_t> index_;  // "module/point" -> index
+};
+
+namespace internal {
+/// Registers once (function-local static) and bumps the hit counter.
+struct CovSite {
+  size_t index;
+  CovSite(const char* module, const char* point)
+      : index(CoverageRegistry::Instance().Register(module, point)) {}
+};
+}  // namespace internal
+
+/// Drops a named coverage point at the current code site.
+/// Usage: SPATTER_COV("relate", "line_line_proper_crossing");
+#define SPATTER_COV(module, point)                                      \
+  do {                                                                  \
+    static ::spatter::internal::CovSite _cov_site(module, point);       \
+    ::spatter::CoverageRegistry::Instance().Hit(_cov_site.index);       \
+  } while (0)
+
+}  // namespace spatter
+
+#endif  // SPATTER_COMMON_COVERAGE_H_

@@ -1,0 +1,37 @@
+#include "common/status.h"
+
+namespace spatter {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "Ok";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kInvalidGeometry:
+      return "InvalidGeometry";
+    case StatusCode::kUnsupported:
+      return "Unsupported";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kCrash:
+      return "Crash";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "Ok";
+  std::string out = StatusCodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace spatter

@@ -1,0 +1,128 @@
+// Error model for Spatter-CPP, following the Status/Result idiom common in
+// database codebases (Arrow, RocksDB). All fallible public APIs return
+// Status or Result<T>; exceptions are not used across module boundaries.
+#ifndef SPATTER_COMMON_STATUS_H_
+#define SPATTER_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace spatter {
+
+/// Machine-readable error categories.
+///
+/// kCrash deserves a note: the paper's campaign observed real process
+/// crashes in the tested SDBMSs. Because one process hosts the whole
+/// simulated campaign here, an injected crash bug surfaces as a Status with
+/// code kCrash instead of tearing the process down; the fuzzer treats it
+/// exactly as the paper treats a crash (records a crash bug, restarts the
+/// per-iteration state).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,    ///< malformed input (bad WKT, bad SQL, bad matrix)
+  kInvalidGeometry,    ///< semantically invalid geometry rejected by a dialect
+  kUnsupported,        ///< feature/function not available in this dialect
+  kNotFound,           ///< unknown table / function / variable
+  kOutOfRange,         ///< index out of range (e.g. GeometryN)
+  kInternal,           ///< invariant violation inside the library
+  kCrash,              ///< simulated engine crash (injected crash bug fired)
+};
+
+/// Human-readable name for a StatusCode ("Ok", "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Result of a fallible operation with no payload.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status InvalidGeometry(std::string msg) {
+    return Status(StatusCode::kInvalidGeometry, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Crash(std::string msg) {
+    return Status(StatusCode::kCrash, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "Ok" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T> carries either a value or an error Status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (the common success path).
+  Result(T value)  // NOLINT(runtime/explicit)
+      : value_(std::move(value)), status_(Status::OK()) {}
+  /// Implicit from error status; must not be OK.
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return value_.has_value(); }
+  /// OK when the result holds a value; the error otherwise.
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  /// Moves the value out; callers must have checked ok().
+  T Take() { return std::move(*value_); }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::Internal("result has no value");
+};
+
+/// Propagates a non-OK Status to the caller.
+#define SPATTER_RETURN_NOT_OK(expr)            \
+  do {                                         \
+    ::spatter::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+/// Evaluates a Result-returning expression; assigns the value on success,
+/// returns the error Status otherwise.
+#define SPATTER_ASSIGN_OR_RETURN(lhs, expr)    \
+  auto SPATTER_CONCAT_(_res, __LINE__) = (expr);                     \
+  if (!SPATTER_CONCAT_(_res, __LINE__).ok())                         \
+    return SPATTER_CONCAT_(_res, __LINE__).status();                 \
+  lhs = SPATTER_CONCAT_(_res, __LINE__).Take()
+
+#define SPATTER_CONCAT_IMPL_(a, b) a##b
+#define SPATTER_CONCAT_(a, b) SPATTER_CONCAT_IMPL_(a, b)
+
+}  // namespace spatter
+
+#endif  // SPATTER_COMMON_STATUS_H_

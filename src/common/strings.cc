@@ -1,0 +1,52 @@
+#include "common/strings.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace spatter {
+
+std::string FormatCoord(double v) {
+  if (v == 0.0) return "0";  // also normalizes -0.
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[64];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc()) {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+  }
+  return std::string(buf, ptr);
+}
+
+std::string ToUpperAscii(std::string s) {
+  for (auto& c : s) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return s;
+}
+
+bool EqualsIgnoreCase(const std::string& s, const std::string& expect) {
+  if (s.size() != expect.size()) return false;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (std::toupper(static_cast<unsigned char>(s[i])) !=
+        std::toupper(static_cast<unsigned char>(expect[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+}  // namespace spatter

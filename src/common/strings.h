@@ -1,0 +1,25 @@
+// Small string helpers shared across modules.
+#ifndef SPATTER_COMMON_STRINGS_H_
+#define SPATTER_COMMON_STRINGS_H_
+
+#include <string>
+#include <vector>
+
+namespace spatter {
+
+/// Formats a double the way WKT expects: shortest round-trip form, no
+/// trailing zeros, "-0" normalized to "0".
+std::string FormatCoord(double v);
+
+/// ASCII upper-casing (locale independent).
+std::string ToUpperAscii(std::string s);
+
+/// True if `s` equals `expect` ignoring ASCII case.
+bool EqualsIgnoreCase(const std::string& s, const std::string& expect);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+}  // namespace spatter
+
+#endif  // SPATTER_COMMON_STRINGS_H_

@@ -1,0 +1,43 @@
+#include "engine/dialect.h"
+
+namespace spatter::engine {
+
+namespace {
+
+const DialectTraits kTraits[kNumDialects] = {
+    // PostGIS: GEOS-backed, prepared geometry, strict validity, has ~=.
+    {"PostGIS", faults::Component::kPostgis, /*uses_geos=*/true,
+     /*uses_prepared=*/true, /*strict_validity=*/true,
+     /*has_same_as_operator=*/true},
+    // DuckDB Spatial: GEOS-backed, no prepared path, strict validity.
+    {"DuckDB Spatial", faults::Component::kDuckdb, /*uses_geos=*/true,
+     /*uses_prepared=*/false, /*strict_validity=*/true,
+     /*has_same_as_operator=*/false},
+    // MySQL: own geometry engine, lenient validity.
+    {"MySQL", faults::Component::kMysql, /*uses_geos=*/false,
+     /*uses_prepared=*/false, /*strict_validity=*/false,
+     /*has_same_as_operator=*/false},
+    // SQL Server: own engine, lenient validity.
+    {"SQL Server", faults::Component::kSqlserver, /*uses_geos=*/false,
+     /*uses_prepared=*/false, /*strict_validity=*/false,
+     /*has_same_as_operator=*/false},
+};
+
+}  // namespace
+
+const DialectTraits& GetDialectTraits(Dialect d) {
+  return kTraits[static_cast<uint8_t>(d)];
+}
+
+const char* DialectName(Dialect d) { return GetDialectTraits(d).name; }
+
+faults::FaultState DefaultFaultStateFor(Dialect d, bool enable_faults) {
+  faults::FaultState state;
+  if (!enable_faults) return state;
+  const DialectTraits& traits = GetDialectTraits(d);
+  state.EnableAll(
+      faults::FaultsForComponent(traits.component, traits.uses_geos));
+  return state;
+}
+
+}  // namespace spatter::engine

@@ -1,0 +1,59 @@
+// SDBMS dialects. Each dialect models the documented behavioural surface
+// of one of the four systems the paper tested: which functions exist, how
+// strictly invalid geometries are rejected, and which shared library
+// ("GEOS") the system embeds. These differences are what produce the
+// expected discrepancies that defeat differential testing (paper §5.2).
+#ifndef SPATTER_ENGINE_DIALECT_H_
+#define SPATTER_ENGINE_DIALECT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "faults/fault.h"
+
+namespace spatter::engine {
+
+enum class Dialect : uint8_t {
+  kPostgis = 0,
+  kDuckdbSpatial = 1,
+  kMysql = 2,
+  kSqlserver = 3,
+};
+
+inline constexpr int kNumDialects = 4;
+
+/// Bitmask helpers for per-dialect function availability.
+inline constexpr uint8_t DialectBit(Dialect d) {
+  return static_cast<uint8_t>(1u << static_cast<uint8_t>(d));
+}
+inline constexpr uint8_t kAllDialects = 0b1111;
+inline constexpr uint8_t kGeosDialects =
+    DialectBit(Dialect::kPostgis) | DialectBit(Dialect::kDuckdbSpatial);
+
+struct DialectTraits {
+  const char* name;
+  faults::Component component;
+  /// Embeds the shared geometry library; GEOS faults apply.
+  bool uses_geos;
+  /// Uses the prepared-geometry optimization in join execution
+  /// (PostGIS only: the paper observed DuckDB Spatial returning correct
+  /// results on the Listing 7 scenario because it lacks that path).
+  bool uses_prepared;
+  /// Rejects semantically invalid geometries when an operation touches
+  /// them (PostGIS/DuckDB raise "self-intersection" style errors; MySQL
+  /// and SQL Server are lenient).
+  bool strict_validity;
+  /// Supports the bounding-box equality operator `~=`.
+  bool has_same_as_operator;
+};
+
+const DialectTraits& GetDialectTraits(Dialect d);
+const char* DialectName(Dialect d);
+
+/// Fault set a freshly provisioned engine of this dialect ships with: its
+/// own component's faults plus GEOS faults when it embeds the library.
+faults::FaultState DefaultFaultStateFor(Dialect d, bool enable_faults);
+
+}  // namespace spatter::engine
+
+#endif  // SPATTER_ENGINE_DIALECT_H_

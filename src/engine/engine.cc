@@ -1,0 +1,633 @@
+#include "engine/engine.h"
+
+#include <chrono>
+
+#include "common/coverage.h"
+#include "common/strings.h"
+#include "engine/functions.h"
+#include "geom/wkt_reader.h"
+#include "relate/prepared.h"
+#include "sql/parser.h"
+
+namespace spatter::engine {
+
+using faults::FaultId;
+using geom::Geometry;
+
+namespace {
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double* accum) : accum_(accum) {
+    start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    const auto end = std::chrono::steady_clock::now();
+    *accum_ +=
+        std::chrono::duration<double>(end - start_).count();
+  }
+
+ private:
+  double* accum_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
+
+int Table::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < column_names.size(); ++i) {
+    if (EqualsIgnoreCase(column_names[i], name)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void Table::RebuildIndex() {
+  std::vector<index::RTreeEntry> entries;
+  if (geometry_column >= 0) {
+    for (size_t r = 0; r < rows.size(); ++r) {
+      const Value& v = rows[r][geometry_column];
+      if (v.kind() != Value::Kind::kGeometry || !v.geometry()) continue;
+      entries.push_back({v.geometry()->GetEnvelope(), r});
+    }
+  }
+  rtree = index::RTree();
+  rtree.BulkLoad(std::move(entries));
+}
+
+std::string ExecResult::ToString() const {
+  switch (kind) {
+    case Kind::kNone:
+      return "OK";
+    case Kind::kCount:
+      return "{" + std::to_string(count) + "}";
+    case Kind::kRows: {
+      std::string out = "{";
+      for (size_t r = 0; r < rows.size(); ++r) {
+        if (r > 0) out += "; ";
+        for (size_t c = 0; c < rows[r].size(); ++c) {
+          if (c > 0) out += ",";
+          out += rows[r][c].ToDisplayString();
+        }
+      }
+      return out + "}";
+    }
+  }
+  return "?";
+}
+
+Engine::Engine(Dialect dialect, bool enable_faults)
+    : dialect_(dialect),
+      faults_(DefaultFaultStateFor(dialect, enable_faults)) {}
+
+void Engine::Reset() {
+  tables_.clear();
+  variables_.clear();
+}
+
+Table* Engine::FindTable(const std::string& name) {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+Result<ExecResult> Engine::Execute(const std::string& sql) {
+  SPATTER_ASSIGN_OR_RETURN(sql::StatementPtr stmt, sql::ParseStatement(sql));
+  return Execute(*stmt);
+}
+
+Result<ExecResult> Engine::ExecuteScript(const std::string& script) {
+  SPATTER_ASSIGN_OR_RETURN(std::vector<sql::StatementPtr> stmts,
+                           sql::ParseScript(script));
+  ExecResult last;
+  for (const auto& stmt : stmts) {
+    SPATTER_ASSIGN_OR_RETURN(last, Execute(*stmt));
+  }
+  return last;
+}
+
+namespace {
+
+const char* StatementKindName(sql::Statement::Kind kind) {
+  switch (kind) {
+    case sql::Statement::Kind::kCreateTable:
+      return "create_table";
+    case sql::Statement::Kind::kCreateIndex:
+      return "create_index";
+    case sql::Statement::Kind::kDropTable:
+      return "drop_table";
+    case sql::Statement::Kind::kInsert:
+      return "insert";
+    case sql::Statement::Kind::kSet:
+      return "set";
+    case sql::Statement::Kind::kSelectCountJoin:
+      return "select_count_join";
+    case sql::Statement::Kind::kSelectCountWhere:
+      return "select_count_where";
+    case sql::Statement::Kind::kSelectScalar:
+      return "select_scalar";
+  }
+  return "unknown";
+}
+
+void RegisterStatementCoverage() {
+  static const bool registered = [] {
+    for (auto kind : {sql::Statement::Kind::kCreateTable,
+                      sql::Statement::Kind::kCreateIndex,
+                      sql::Statement::Kind::kDropTable,
+                      sql::Statement::Kind::kInsert,
+                      sql::Statement::Kind::kSet,
+                      sql::Statement::Kind::kSelectCountJoin,
+                      sql::Statement::Kind::kSelectCountWhere,
+                      sql::Statement::Kind::kSelectScalar}) {
+      CoverageRegistry::Instance().Register("engine_stmt",
+                                            StatementKindName(kind));
+    }
+    return true;
+  }();
+  (void)registered;
+}
+
+}  // namespace
+
+Result<ExecResult> Engine::Execute(const sql::Statement& stmt) {
+  ScopedTimer timer(&stats_.exec_seconds);
+  stats_.statements_executed++;
+  RegisterStatementCoverage();
+  CoverageRegistry::Instance().Hit(CoverageRegistry::Instance().Register(
+      "engine_stmt", StatementKindName(stmt.kind)));
+  switch (stmt.kind) {
+    case sql::Statement::Kind::kCreateTable:
+      return ExecCreateTable(stmt);
+    case sql::Statement::Kind::kCreateIndex:
+      return ExecCreateIndex(stmt);
+    case sql::Statement::Kind::kDropTable:
+      return ExecDropTable(stmt);
+    case sql::Statement::Kind::kInsert:
+      return ExecInsert(stmt);
+    case sql::Statement::Kind::kSet:
+      return ExecSet(stmt);
+    case sql::Statement::Kind::kSelectCountJoin:
+      return ExecSelectCountJoin(stmt);
+    case sql::Statement::Kind::kSelectCountWhere:
+      return ExecSelectCountWhere(stmt);
+    case sql::Statement::Kind::kSelectScalar:
+      return ExecSelectScalar(stmt);
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+Result<ExecResult> Engine::ExecCreateTable(const sql::Statement& stmt) {
+  if (tables_.count(stmt.table) > 0) {
+    return Status::InvalidArgument("table '" + stmt.table +
+                                   "' already exists");
+  }
+  Table table;
+  for (const auto& col : stmt.columns) {
+    table.column_names.push_back(col.name);
+    table.column_types.push_back(col.type);
+    if (EqualsIgnoreCase(col.type, "geometry") &&
+        table.geometry_column < 0) {
+      table.geometry_column =
+          static_cast<int>(table.column_names.size()) - 1;
+    }
+  }
+  tables_.emplace(stmt.table, std::move(table));
+  SPATTER_COV("engine", "create_table");
+  return ExecResult{};
+}
+
+Result<ExecResult> Engine::ExecCreateIndex(const sql::Statement& stmt) {
+  Table* table = FindTable(stmt.table);
+  if (table == nullptr) {
+    return Status::NotFound("unknown table '" + stmt.table + "'");
+  }
+  if (table->geometry_column < 0 ||
+      !EqualsIgnoreCase(stmt.columns[0].name,
+                        table->column_names[table->geometry_column])) {
+    return Status::InvalidArgument("index column is not the geometry column");
+  }
+  table->has_index = true;
+  table->RebuildIndex();
+  SPATTER_COV("engine", "create_index");
+  return ExecResult{};
+}
+
+Result<ExecResult> Engine::ExecDropTable(const sql::Statement& stmt) {
+  if (tables_.erase(stmt.table) == 0) {
+    return Status::NotFound("unknown table '" + stmt.table + "'");
+  }
+  return ExecResult{};
+}
+
+Result<ExecResult> Engine::ExecInsert(const sql::Statement& stmt) {
+  Table* table = FindTable(stmt.table);
+  if (table == nullptr) {
+    return Status::NotFound("unknown table '" + stmt.table + "'");
+  }
+  std::vector<int> target_cols;
+  if (stmt.insert_cols.empty()) {
+    for (size_t i = 0; i < table->column_names.size(); ++i) {
+      target_cols.push_back(static_cast<int>(i));
+    }
+  } else {
+    for (const auto& name : stmt.insert_cols) {
+      const int idx = table->ColumnIndex(name);
+      if (idx < 0) {
+        return Status::NotFound("unknown column '" + name + "'");
+      }
+      target_cols.push_back(idx);
+    }
+  }
+  const Bindings no_bindings;
+  for (const auto& row_exprs : stmt.rows) {
+    if (row_exprs.size() != target_cols.size()) {
+      return Status::InvalidArgument("INSERT arity mismatch");
+    }
+    Row row(table->column_names.size(), Value::Null());
+    for (size_t i = 0; i < row_exprs.size(); ++i) {
+      SPATTER_ASSIGN_OR_RETURN(Value v, Eval(*row_exprs[i], no_bindings));
+      const int col = target_cols[i];
+      if (EqualsIgnoreCase(table->column_types[col], "geometry")) {
+        SPATTER_ASSIGN_OR_RETURN(v, CoerceGeometry(std::move(v)));
+      }
+      row[col] = std::move(v);
+    }
+    table->rows.push_back(std::move(row));
+  }
+  if (table->has_index) table->RebuildIndex();
+  SPATTER_COV("engine", "insert");
+  return ExecResult{};
+}
+
+Result<ExecResult> Engine::ExecSet(const sql::Statement& stmt) {
+  const Bindings no_bindings;
+  SPATTER_ASSIGN_OR_RETURN(Value v, Eval(*stmt.set_value, no_bindings));
+  variables_[stmt.set_name] = std::move(v);
+  SPATTER_COV("engine", "set_variable");
+  return ExecResult{};
+}
+
+Result<Value> Engine::CoerceGeometry(Value v) {
+  FunctionContext ctx{dialect_, &faults_};
+  SPATTER_ASSIGN_OR_RETURN(auto g, ToGeometry(ctx, v));
+  return Value::Geometry(std::move(g));
+}
+
+Status Engine::CheckOperandValidity(const Geometry& g) {
+  FunctionContext ctx{dialect_, &faults_};
+  auto r = ToGeometry(ctx, Value::Geometry(
+                               std::shared_ptr<const Geometry>(g.Clone())));
+  return r.ok() ? Status::OK() : r.status();
+}
+
+Result<Value> Engine::Eval(const sql::Expr& expr, const Bindings& bindings) {
+  switch (expr.kind) {
+    case sql::Expr::Kind::kStringLiteral:
+      return Value::String(expr.text);
+    case sql::Expr::Kind::kNumberLiteral: {
+      if (expr.number == static_cast<int64_t>(expr.number)) {
+        return Value::Int(static_cast<int64_t>(expr.number));
+      }
+      return Value::Double(expr.number);
+    }
+    case sql::Expr::Kind::kBoolLiteral:
+      return Value::Bool(expr.bool_value);
+    case sql::Expr::Kind::kVarRef: {
+      auto it = variables_.find("@" + expr.name);
+      if (it == variables_.end()) {
+        return Status::NotFound("unknown variable '@" + expr.name + "'");
+      }
+      return it->second;
+    }
+    case sql::Expr::Kind::kColumnRef: {
+      if (!expr.table.empty()) {
+        auto it = bindings.find(expr.table);
+        if (it == bindings.end()) {
+          return Status::NotFound("unknown table alias '" + expr.table + "'");
+        }
+        const int col = it->second.table->ColumnIndex(expr.name);
+        if (col < 0) {
+          return Status::NotFound("unknown column '" + expr.name + "'");
+        }
+        return (*it->second.row)[col];
+      }
+      // Unqualified: resolve against the unique binding.
+      if (bindings.size() == 1) {
+        const auto& binding = bindings.begin()->second;
+        const int col = binding.table->ColumnIndex(expr.name);
+        if (col >= 0) return (*binding.row)[col];
+      }
+      return Status::NotFound("cannot resolve column '" + expr.name + "'");
+    }
+    case sql::Expr::Kind::kFuncCall: {
+      SPATTER_ASSIGN_OR_RETURN(const FunctionDef* fn,
+                               ResolveFunction(expr.name, dialect_));
+      const int argc = static_cast<int>(expr.args.size());
+      if (argc < fn->min_args || argc > fn->max_args) {
+        return Status::InvalidArgument("wrong argument count for " +
+                                       std::string(fn->name));
+      }
+      std::vector<Value> args;
+      args.reserve(expr.args.size());
+      for (const auto& a : expr.args) {
+        SPATTER_ASSIGN_OR_RETURN(Value v, Eval(*a, bindings));
+        args.push_back(std::move(v));
+      }
+      FunctionContext ctx{dialect_, &faults_};
+      CoverageRegistry::Instance().Hit(
+          CoverageRegistry::Instance().Register("engine_fn", fn->name));
+      return fn->impl(ctx, args);
+    }
+    case sql::Expr::Kind::kCastGeometry: {
+      SPATTER_ASSIGN_OR_RETURN(Value inner, Eval(*expr.args[0], bindings));
+      return CoerceGeometry(std::move(inner));
+    }
+    case sql::Expr::Kind::kSameAs: {
+      SPATTER_ASSIGN_OR_RETURN(Value lhs, Eval(*expr.args[0], bindings));
+      SPATTER_ASSIGN_OR_RETURN(Value rhs, Eval(*expr.args[1], bindings));
+      FunctionContext ctx{dialect_, &faults_};
+      return EvalSameAs(ctx, lhs, rhs);
+    }
+    case sql::Expr::Kind::kNot: {
+      SPATTER_ASSIGN_OR_RETURN(Value inner, Eval(*expr.args[0], bindings));
+      if (inner.is_null()) return Value::Null();
+      if (inner.kind() != Value::Kind::kBool) {
+        return Status::InvalidArgument("NOT expects a boolean");
+      }
+      return Value::Bool(!inner.bool_value());
+    }
+    case sql::Expr::Kind::kIsUnknown: {
+      // Three-valued logic: predicate errors other than crashes surface as
+      // UNKNOWN, which is what TLP's third partition counts.
+      auto inner = Eval(*expr.args[0], bindings);
+      if (!inner.ok()) {
+        if (inner.status().code() == StatusCode::kCrash) {
+          return inner.status();
+        }
+        return Value::Bool(true);
+      }
+      return Value::Bool(inner.value().is_null());
+    }
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+bool Engine::IsSimpleColumnPredicate(const sql::Expr& cond,
+                                     const std::string& alias1,
+                                     const std::string& alias2,
+                                     std::string* func_name) const {
+  if (cond.kind == sql::Expr::Kind::kSameAs) {
+    if (cond.args[0]->kind == sql::Expr::Kind::kColumnRef &&
+        cond.args[1]->kind == sql::Expr::Kind::kColumnRef &&
+        cond.args[0]->table == alias1 && cond.args[1]->table == alias2) {
+      *func_name = "~=";
+      return true;
+    }
+    return false;
+  }
+  if (cond.kind != sql::Expr::Kind::kFuncCall || cond.args.size() < 2) {
+    return false;
+  }
+  if (cond.args[0]->kind != sql::Expr::Kind::kColumnRef ||
+      cond.args[1]->kind != sql::Expr::Kind::kColumnRef) {
+    return false;
+  }
+  if (cond.args[0]->table != alias1 || cond.args[1]->table != alias2) {
+    return false;
+  }
+  const FunctionDef* fn = FindFunction(cond.name);
+  if (fn == nullptr || !fn->is_predicate) return false;
+  *func_name = fn->name;
+  return true;
+}
+
+Result<Value> Engine::EvalJoinCondition(const sql::Expr& cond,
+                                        const std::string& alias1,
+                                        const Row& row1, const Table& t1,
+                                        const std::string& alias2,
+                                        const Row& row2, const Table& t2) {
+  Bindings bindings;
+  bindings[alias1] = Binding{&t1, &row1};
+  if (alias2 != alias1) bindings[alias2] = Binding{&t2, &row2};
+  return Eval(cond, bindings);
+}
+
+namespace {
+
+// Index-scan candidate filter with the two injected index bugs.
+bool IndexAdmitsRow(const faults::FaultState& faults,
+                    const geom::Envelope& probe,
+                    const geom::Envelope& row_env, bool row_empty) {
+  if (faults.IsEnabled(FaultId::kPostgisGistEmptySameAs)) {
+    // Injected bug (paper Listing 8): EMPTY rows and rows whose envelope
+    // collapses onto the origin never come back from the GiST scan.
+    const bool degenerate_at_origin =
+        !row_env.IsNull() && row_env.min_x() == 0 && row_env.max_x() == 0 &&
+        row_env.min_y() == 0 && row_env.max_y() == 0;
+    if (row_empty || degenerate_at_origin) {
+      faults.Fire(FaultId::kPostgisGistEmptySameAs);
+      return false;
+    }
+  }
+  if (row_empty || row_env.IsNull()) return true;  // evaluate exactly.
+  if (probe.IsNull()) return true;
+  geom::Envelope q = probe;
+  if (faults.IsEnabled(FaultId::kMysqlWithinIndexGrid)) {
+    const double mag =
+        std::max({std::fabs(q.min_x()), std::fabs(q.max_x()),
+                  std::fabs(q.min_y()), std::fabs(q.max_y())});
+    if (mag >= 512.0) {
+      // Injected bug: the pre-filter snaps the probe envelope DOWN onto a
+      // coarse grid, losing candidates near the upper cell edges.
+      auto snap = [](double v) { return std::floor(v / 64.0) * 64.0; };
+      geom::Envelope snapped(snap(q.min_x()), snap(q.min_y()),
+                             snap(q.max_x()), snap(q.max_y()));
+      const bool admits = snapped.Intersects(row_env);
+      if (!admits && q.Intersects(row_env)) {
+        faults.Fire(FaultId::kMysqlWithinIndexGrid);
+      }
+      return admits;
+    }
+  }
+  return q.Intersects(row_env);
+}
+
+}  // namespace
+
+Result<ExecResult> Engine::ExecSelectCountJoin(const sql::Statement& stmt) {
+  Table* t1 = FindTable(stmt.table);
+  Table* t2 = FindTable(stmt.table2);
+  if (t1 == nullptr || t2 == nullptr) {
+    return Status::NotFound("unknown table in join");
+  }
+  std::string func_name;
+  const bool simple =
+      IsSimpleColumnPredicate(*stmt.condition, stmt.table, stmt.table2,
+                              &func_name);
+
+  // Prepared-geometry path: PostGIS prepares the outer geometry when the
+  // same predicate is evaluated against many inner candidates.
+  const bool prepared_path =
+      simple && traits().uses_prepared && t2->rows.size() >= 2 &&
+      (func_name == "ST_Intersects" || func_name == "ST_Contains" ||
+       func_name == "ST_Covers");
+  // Index path: inner table has a GiST index and the predicate admits an
+  // envelope pre-filter.
+  const bool index_path =
+      simple && t2->has_index &&
+      (func_name == "~=" || func_name == "ST_Intersects" ||
+       func_name == "ST_Within" || func_name == "ST_Contains" ||
+       func_name == "ST_Covers" || func_name == "ST_CoveredBy" ||
+       func_name == "ST_Equals");
+
+  int64_t count = 0;
+  for (const Row& row1 : t1->rows) {
+    std::unique_ptr<relate::PreparedGeometry> prepared;
+    std::shared_ptr<const Geometry> outer_geom;
+    if ((prepared_path || index_path) && t1->geometry_column >= 0) {
+      const Value& gv = row1[t1->geometry_column];
+      if (gv.kind() == Value::Kind::kGeometry) outer_geom = gv.geometry();
+    }
+    if (prepared_path && outer_geom) {
+      prepared = std::make_unique<relate::PreparedGeometry>(*outer_geom);
+    }
+
+    // Candidate rows of t2, possibly via the index.
+    std::vector<size_t> candidates;
+    if (index_path && outer_geom) {
+      SPATTER_COV("engine", "join_index_scan");
+      stats_.index_scans++;
+      const geom::Envelope probe = outer_geom->GetEnvelope();
+      for (size_t r = 0; r < t2->rows.size(); ++r) {
+        const Value& gv = (*t2).rows[r][t2->geometry_column];
+        if (gv.kind() != Value::Kind::kGeometry || !gv.geometry()) continue;
+        const Geometry& g2 = *gv.geometry();
+        if (IndexAdmitsRow(faults_, probe, g2.GetEnvelope(), g2.IsEmpty())) {
+          candidates.push_back(r);
+        }
+      }
+    } else {
+      candidates.resize(t2->rows.size());
+      for (size_t r = 0; r < candidates.size(); ++r) candidates[r] = r;
+    }
+
+    for (size_t r : candidates) {
+      const Row& row2 = t2->rows[r];
+      stats_.pairs_evaluated++;
+      Result<Value> v = Status::Internal("unset");
+      if (prepared && t2->geometry_column >= 0 &&
+          row2[t2->geometry_column].kind() == Value::Kind::kGeometry) {
+        SPATTER_COV("engine", "join_prepared_path");
+        stats_.prepared_evaluations++;
+        relate::PredicateContext pctx;
+        pctx.faults = &faults_;
+        const Geometry& inner = *row2[t2->geometry_column].geometry();
+        Result<bool> pr = Status::Internal("unset");
+        if (func_name == "ST_Intersects") {
+          pr = prepared->Intersects(inner, pctx);
+        } else if (func_name == "ST_Contains") {
+          pr = prepared->Contains(inner, pctx);
+        } else {
+          pr = prepared->Covers(inner, pctx);
+        }
+        if (!pr.ok()) return pr.status();
+        v = Value::Bool(pr.value());
+      } else {
+        v = EvalJoinCondition(*stmt.condition, stmt.table, row1, *t1,
+                              stmt.table2, row2, *t2);
+      }
+      if (!v.ok()) {
+        const StatusCode code = v.status().code();
+        // Missing functions/operators fail the whole statement; per-pair
+        // semantic errors read as UNKNOWN and are not counted.
+        if (code == StatusCode::kCrash || code == StatusCode::kUnsupported ||
+            code == StatusCode::kNotFound) {
+          return v.status();
+        }
+        continue;
+      }
+      if (v.value().kind() == Value::Kind::kBool && v.value().bool_value()) {
+        count++;
+      }
+    }
+  }
+  ExecResult out;
+  out.kind = ExecResult::Kind::kCount;
+  out.count = count;
+  SPATTER_COV("engine", "select_count_join");
+  return out;
+}
+
+Result<ExecResult> Engine::ExecSelectCountWhere(const sql::Statement& stmt) {
+  Table* t = FindTable(stmt.table);
+  if (t == nullptr) {
+    return Status::NotFound("unknown table '" + stmt.table + "'");
+  }
+  int64_t count = 0;
+  // Index path for `g ~= <literal>` scans (the paper Listing 8 shape).
+  const sql::Expr* cond = stmt.condition.get();
+  bool index_scan = false;
+  geom::Envelope probe;
+  if (cond != nullptr && cond->kind == sql::Expr::Kind::kSameAs &&
+      t->has_index &&
+      cond->args[0]->kind == sql::Expr::Kind::kColumnRef) {
+    const Bindings no_bindings;
+    auto rhs = Eval(*cond->args[1], no_bindings);
+    if (rhs.ok()) {
+      auto g = CoerceGeometry(rhs.Take());
+      if (g.ok() && g.value().kind() == Value::Kind::kGeometry) {
+        probe = g.value().geometry()->GetEnvelope();
+        index_scan = true;
+        stats_.index_scans++;
+        SPATTER_COV("engine", "where_index_scan");
+      }
+    }
+  }
+  for (const Row& row : t->rows) {
+    if (cond == nullptr) {
+      count++;
+      continue;
+    }
+    if (index_scan && t->geometry_column >= 0 &&
+        row[t->geometry_column].kind() == Value::Kind::kGeometry) {
+      const Geometry& g = *row[t->geometry_column].geometry();
+      if (!IndexAdmitsRow(faults_, probe, g.GetEnvelope(), g.IsEmpty())) {
+        continue;
+      }
+    }
+    Bindings bindings;
+    bindings[stmt.table] = Binding{t, &row};
+    auto v = Eval(*cond, bindings);
+    if (!v.ok()) {
+      const StatusCode code = v.status().code();
+      if (code == StatusCode::kCrash || code == StatusCode::kUnsupported ||
+          code == StatusCode::kNotFound) {
+        return v.status();
+      }
+      continue;
+    }
+    if (v.value().kind() == Value::Kind::kBool && v.value().bool_value()) {
+      count++;
+    }
+  }
+  ExecResult out;
+  out.kind = ExecResult::Kind::kCount;
+  out.count = count;
+  SPATTER_COV("engine", "select_count_where");
+  return out;
+}
+
+Result<ExecResult> Engine::ExecSelectScalar(const sql::Statement& stmt) {
+  const Bindings no_bindings;
+  Row row;
+  for (const auto& e : stmt.select_list) {
+    SPATTER_ASSIGN_OR_RETURN(Value v, Eval(*e, no_bindings));
+    row.push_back(std::move(v));
+  }
+  ExecResult out;
+  out.kind = ExecResult::Kind::kRows;
+  out.rows.push_back(std::move(row));
+  SPATTER_COV("engine", "select_scalar");
+  return out;
+}
+
+}  // namespace spatter::engine

@@ -1,0 +1,136 @@
+// The embedded spatial SQL engine: tables of geometries, a GiST-like R-tree
+// index path, a prepared-geometry join path, per-dialect function surface,
+// and injected-fault hooks at the code sites where the paper's bugs lived.
+#ifndef SPATTER_ENGINE_ENGINE_H_
+#define SPATTER_ENGINE_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/dialect.h"
+#include "engine/value.h"
+#include "faults/fault.h"
+#include "index/rtree.h"
+#include "sql/ast.h"
+
+namespace spatter::engine {
+
+using Row = std::vector<Value>;
+
+/// One table: a column schema, rows, and an optional envelope R-tree over
+/// the geometry column.
+struct Table {
+  std::vector<std::string> column_names;
+  std::vector<std::string> column_types;
+  std::vector<Row> rows;
+  int geometry_column = -1;
+  bool has_index = false;
+  index::RTree rtree;
+
+  int ColumnIndex(const std::string& name) const;
+  void RebuildIndex();
+};
+
+/// Result of executing one statement.
+struct ExecResult {
+  enum class Kind { kNone, kCount, kRows };
+  Kind kind = Kind::kNone;
+  int64_t count = 0;                 // COUNT(*) queries
+  std::vector<Row> rows;             // scalar SELECTs (single row typical)
+
+  std::string ToString() const;
+  bool operator==(const ExecResult& other) const {
+    return ToString() == other.ToString();
+  }
+};
+
+/// Execution statistics, split the way Figure 7 reports time: the engine
+/// accounts its own statement execution time so the harness can separate
+/// "SDBMS time" from total Spatter time.
+struct EngineStats {
+  uint64_t statements_executed = 0;
+  uint64_t pairs_evaluated = 0;      // join pairs examined
+  uint64_t index_scans = 0;
+  uint64_t prepared_evaluations = 0;
+  double exec_seconds = 0.0;
+};
+
+class Engine {
+ public:
+  /// `enable_faults` provisions the dialect's default fault set (its own
+  /// component bugs plus GEOS bugs when it embeds the shared library);
+  /// pass false for a "fixed" reference engine.
+  explicit Engine(Dialect dialect, bool enable_faults = true);
+
+  Dialect dialect() const { return dialect_; }
+  const DialectTraits& traits() const { return GetDialectTraits(dialect_); }
+
+  faults::FaultState& fault_state() { return faults_; }
+  const faults::FaultState& fault_state() const { return faults_; }
+
+  EngineStats& stats() { return stats_; }
+
+  /// Parses and executes one statement.
+  Result<ExecResult> Execute(const std::string& sql);
+  Result<ExecResult> Execute(const sql::Statement& stmt);
+  /// Executes a ';'-separated script, returning the last result. Stops at
+  /// the first error.
+  Result<ExecResult> ExecuteScript(const std::string& script);
+
+  /// Drops all tables and session variables (fault configuration and
+  /// statistics are preserved).
+  void Reset();
+
+  const std::map<std::string, Table>& tables() const { return tables_; }
+  Table* FindTable(const std::string& name);
+
+  /// Evaluates a predicate-like expression over two bound geometries the
+  /// way the join executor does; exposed for the oracles.
+  Result<Value> EvalJoinCondition(const sql::Expr& cond,
+                                  const std::string& alias1, const Row& row1,
+                                  const Table& t1, const std::string& alias2,
+                                  const Row& row2, const Table& t2);
+
+ private:
+  struct Binding {
+    const Table* table;
+    const Row* row;
+  };
+  using Bindings = std::map<std::string, Binding>;
+
+  Result<ExecResult> ExecCreateTable(const sql::Statement& stmt);
+  Result<ExecResult> ExecCreateIndex(const sql::Statement& stmt);
+  Result<ExecResult> ExecDropTable(const sql::Statement& stmt);
+  Result<ExecResult> ExecInsert(const sql::Statement& stmt);
+  Result<ExecResult> ExecSet(const sql::Statement& stmt);
+  Result<ExecResult> ExecSelectCountJoin(const sql::Statement& stmt);
+  Result<ExecResult> ExecSelectCountWhere(const sql::Statement& stmt);
+  Result<ExecResult> ExecSelectScalar(const sql::Statement& stmt);
+
+  Result<Value> Eval(const sql::Expr& expr, const Bindings& bindings);
+  /// Coerces a value to geometry (parsing WKT strings), applying the
+  /// dialect's validity policy.
+  Result<Value> CoerceGeometry(Value v);
+  /// Strict-dialect semantic validity, incl. the GC cross-element check.
+  Status CheckOperandValidity(const geom::Geometry& g);
+
+  /// True when the join condition is a plain predicate over the two
+  /// geometry columns so the index / prepared paths apply.
+  bool IsSimpleColumnPredicate(const sql::Expr& cond,
+                               const std::string& alias1,
+                               const std::string& alias2,
+                               std::string* func_name) const;
+
+  Dialect dialect_;
+  faults::FaultState faults_;
+  EngineStats stats_;
+  std::map<std::string, Table> tables_;
+  std::map<std::string, Value> variables_;
+};
+
+}  // namespace spatter::engine
+
+#endif  // SPATTER_ENGINE_ENGINE_H_

@@ -1,0 +1,25 @@
+#include "engine/value.h"
+
+#include "common/strings.h"
+
+namespace spatter::engine {
+
+std::string Value::ToDisplayString() const {
+  switch (kind_) {
+    case Kind::kNull:
+      return "NULL";
+    case Kind::kBool:
+      return bool_ ? "t" : "f";
+    case Kind::kInt:
+      return std::to_string(int_);
+    case Kind::kDouble:
+      return FormatCoord(double_);
+    case Kind::kString:
+      return string_;
+    case Kind::kGeometry:
+      return geometry_ ? geometry_->ToWkt() : "NULL";
+  }
+  return "?";
+}
+
+}  // namespace spatter::engine

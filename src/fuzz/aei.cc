@@ -1,0 +1,92 @@
+#include "fuzz/aei.h"
+
+#include <cmath>
+
+#include "algo/canonicalize.h"
+#include "common/coverage.h"
+#include "geom/wkt_reader.h"
+
+namespace spatter::fuzz {
+
+algo::AffineTransform RandomIntegerAffine(Rng* rng, int max_entry,
+                                          int max_translate) {
+  while (true) {
+    const double a11 = static_cast<double>(rng->IntIn(-max_entry, max_entry));
+    const double a12 = static_cast<double>(rng->IntIn(-max_entry, max_entry));
+    const double a21 = static_cast<double>(rng->IntIn(-max_entry, max_entry));
+    const double a22 = static_cast<double>(rng->IntIn(-max_entry, max_entry));
+    const double b1 =
+        static_cast<double>(rng->IntIn(-max_translate, max_translate));
+    const double b2 =
+        static_cast<double>(rng->IntIn(-max_translate, max_translate));
+    const algo::AffineTransform t(a11, a12, a21, a22, b1, b2);
+    if (t.IsInvertible()) {
+      SPATTER_COV("aei", "mapping_matrix");
+      return t;
+    }
+    // Singular draw: retry (Algorithm 2 requires an invertible A).
+  }
+}
+
+algo::AffineTransform RandomIntegerSimilarity(Rng* rng, int max_scale,
+                                              int max_translate) {
+  // The eight signed permutation matrices: rotations by multiples of 90
+  // degrees and axis reflections.
+  static const int kP[8][4] = {
+      {1, 0, 0, 1},   {0, -1, 1, 0}, {-1, 0, 0, -1}, {0, 1, -1, 0},
+      {1, 0, 0, -1},  {-1, 0, 0, 1}, {0, 1, 1, 0},   {0, -1, -1, 0},
+  };
+  const int* p = kP[rng->Below(8)];
+  const double k = static_cast<double>(rng->IntIn(1, max_scale));
+  const double b1 =
+      static_cast<double>(rng->IntIn(-max_translate, max_translate));
+  const double b2 =
+      static_cast<double>(rng->IntIn(-max_translate, max_translate));
+  SPATTER_COV("aei", "similarity_matrix");
+  return algo::AffineTransform(k * p[0], k * p[1], k * p[2], k * p[3], b1,
+                               b2);
+}
+
+std::optional<double> SimilarityScale(const algo::AffineTransform& t) {
+  auto is_zero = [](double v) { return v == 0.0; };
+  double k = 0.0;
+  if (is_zero(t.a12()) && is_zero(t.a21()) &&
+      std::abs(t.a11()) == std::abs(t.a22())) {
+    k = std::abs(t.a11());
+  } else if (is_zero(t.a11()) && is_zero(t.a22()) &&
+             std::abs(t.a12()) == std::abs(t.a21())) {
+    k = std::abs(t.a12());
+  } else {
+    return std::nullopt;
+  }
+  if (k == 0.0) return std::nullopt;
+  return k;
+}
+
+DatabaseSpec TransformDatabase(const DatabaseSpec& sdb,
+                               const algo::AffineTransform& transform,
+                               bool canonicalize) {
+  DatabaseSpec out;
+  out.with_index = sdb.with_index;
+  for (const auto& table : sdb.tables) {
+    TableSpec t2{table.name, {}};
+    for (const auto& wkt : table.rows) {
+      auto parsed = geom::ReadWkt(wkt);
+      if (!parsed.ok()) {
+        t2.rows.push_back(wkt);
+        continue;
+      }
+      geom::GeomPtr g = parsed.Take();
+      if (canonicalize) {
+        SPATTER_COV("aei", "canonicalize_pass");
+        g = algo::Canonicalize(*g);
+      }
+      transform.ApplyInPlace(g.get());
+      t2.rows.push_back(g->ToWkt());
+    }
+    out.tables.push_back(std::move(t2));
+  }
+  return out;
+}
+
+}  // namespace spatter::fuzz

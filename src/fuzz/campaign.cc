@@ -1,0 +1,128 @@
+#include "fuzz/campaign.h"
+
+#include <chrono>
+
+#include "common/coverage.h"
+#include "fuzz/aei.h"
+
+namespace spatter::fuzz {
+
+std::string Discrepancy::Signature() const {
+  std::string sig = OracleKindName(oracle);
+  sig += "/";
+  sig += query.predicate;
+  sig += is_crash ? "/crash" : "/logic";
+  sig += "/";
+  sig += detail;
+  return sig;
+}
+
+Campaign::Campaign(const CampaignConfig& config)
+    : config_(config), rng_(config.seed) {
+  engine_ = std::make_unique<engine::Engine>(config.dialect,
+                                             config.enable_faults);
+  generator_ = std::make_unique<GeometryAwareGenerator>(config.generator,
+                                                        &rng_, engine_.get());
+}
+
+double Campaign::NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void Campaign::RunIteration(size_t iteration, CampaignResult* result,
+                            double started_at) {
+  // Step 1: geometry-aware generation (crashes during derivation count).
+  engine_->Reset();
+  std::vector<GenerationCrash> crashes;
+  DatabaseSpec sdb1 = generator_->Generate(&crashes);
+  sdb1.with_index = rng_.Percent(config_.index_pct);
+  for (const auto& crash : crashes) {
+    Discrepancy d;
+    d.iteration = iteration;
+    d.is_crash = true;
+    d.oracle = OracleKind::kAei;
+    d.sdb1 = sdb1;
+    d.detail = crash.function + ": " + crash.message;
+    d.fault_hits = crash.fault_hits;
+    d.elapsed_seconds = NowSeconds() - started_at;
+    for (auto id : d.fault_hits) {
+      if (result->unique_bugs.find(id) == result->unique_bugs.end()) {
+        result->unique_bugs.emplace(id, d);
+      }
+    }
+    result->discrepancies.push_back(std::move(d));
+  }
+
+  // Step 2+3: affine equivalent input construction and result validation.
+  for (size_t q = 0; q < config_.queries_per_iteration; ++q) {
+    const QuerySpec query = generator_->RandomQuery(sdb1);
+    const bool canonical_only = rng_.Percent(config_.canonical_only_pct);
+    const bool metric_sensitive =
+        query.extra == engine::PredicateExtra::kDistance ||
+        query.predicate == "~=";
+    const algo::AffineTransform transform =
+        canonical_only ? algo::AffineTransform::Identity()
+        : metric_sensitive ? RandomIntegerSimilarity(&rng_)
+                           : RandomIntegerAffine(&rng_);
+    const OracleOutcome outcome =
+        RunAeiCheck(engine_.get(), sdb1, query, transform,
+                    /*canonicalize=*/true);
+    result->queries_run++;
+    result->checks_run++;
+    if (!outcome.applicable) continue;
+    if (!outcome.mismatch && !outcome.crash) continue;
+
+    Discrepancy d;
+    d.iteration = iteration;
+    d.query_index = q;
+    d.is_crash = outcome.crash;
+    d.oracle =
+        canonical_only ? OracleKind::kCanonicalOnly : OracleKind::kAei;
+    d.query = query;
+    d.sdb1 = sdb1;
+    d.transform = transform;
+    d.detail = outcome.detail;
+    d.fault_hits = outcome.fault_hits;
+    d.elapsed_seconds = NowSeconds() - started_at;
+    for (auto id : d.fault_hits) {
+      if (result->unique_bugs.find(id) == result->unique_bugs.end()) {
+        result->unique_bugs.emplace(id, d);
+      }
+    }
+    SPATTER_COV("campaign", d.is_crash ? "crash_found" : "logic_found");
+    result->discrepancies.push_back(std::move(d));
+  }
+  result->iterations_run++;
+}
+
+CampaignResult Campaign::Run() {
+  CampaignResult result;
+  const double t0 = NowSeconds();
+  const double engine_t0 = engine_->stats().exec_seconds;
+  for (size_t i = 0; i < config_.iterations; ++i) {
+    RunIteration(i, &result, t0);
+  }
+  result.total_seconds = NowSeconds() - t0;
+  result.engine_seconds = engine_->stats().exec_seconds - engine_t0;
+  return result;
+}
+
+CampaignResult Campaign::RunForDuration(
+    double deadline_seconds,
+    const std::function<void(double, const CampaignResult&)>& sampler) {
+  CampaignResult result;
+  const double t0 = NowSeconds();
+  const double engine_t0 = engine_->stats().exec_seconds;
+  size_t iteration = 0;
+  while (NowSeconds() - t0 < deadline_seconds) {
+    RunIteration(iteration++, &result, t0);
+    if (sampler) sampler(NowSeconds() - t0, result);
+  }
+  result.total_seconds = NowSeconds() - t0;
+  result.engine_seconds = engine_->stats().exec_seconds - engine_t0;
+  return result;
+}
+
+}  // namespace spatter::fuzz

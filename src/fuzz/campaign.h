@@ -1,0 +1,96 @@
+// Campaign driver: the end-to-end Spatter loop of Figure 5 — generate,
+// construct affine equivalent inputs, validate results — with timing split
+// (Figure 7), coverage sampling (Table 5, Figure 8), crash capture, and
+// unique-bug accounting (Figure 8a).
+#ifndef SPATTER_FUZZ_CAMPAIGN_H_
+#define SPATTER_FUZZ_CAMPAIGN_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "algo/affine.h"
+#include "engine/engine.h"
+#include "fuzz/generator.h"
+#include "fuzz/oracles.h"
+#include "fuzz/testcase.h"
+
+namespace spatter::fuzz {
+
+struct CampaignConfig {
+  engine::Dialect dialect = engine::Dialect::kPostgis;
+  uint64_t seed = 42;
+  size_t iterations = 20;           ///< database generations ("runs")
+  size_t queries_per_iteration = 100;  ///< paper §5.4: 100 random queries
+  GeneratorConfig generator;
+  /// Percent of iterations that build GiST indexes (exposes index bugs).
+  int index_pct = 30;
+  /// Percent of AEI checks that use the identity matrix, i.e. pure
+  /// canonicalization checks (paper §4.3 treats canonicalization as a
+  /// special case of AEI).
+  int canonical_only_pct = 25;
+  /// Inject the dialect's default fault set (false = fixed engine).
+  bool enable_faults = true;
+};
+
+/// One recorded discrepancy (logic or crash).
+struct Discrepancy {
+  size_t iteration = 0;
+  size_t query_index = 0;
+  bool is_crash = false;
+  OracleKind oracle = OracleKind::kAei;
+  QuerySpec query;
+  DatabaseSpec sdb1;
+  algo::AffineTransform transform;
+  std::string detail;
+  std::set<faults::FaultId> fault_hits;
+  double elapsed_seconds = 0.0;  ///< campaign time at detection
+
+  /// Black-box deduplication signature (predicate + result shape), the
+  /// fallback when ground-truth fault hits are unavailable.
+  std::string Signature() const;
+};
+
+struct CampaignResult {
+  std::vector<Discrepancy> discrepancies;
+  /// Ground-truth unique bugs: first detection per fired fault.
+  std::map<faults::FaultId, Discrepancy> unique_bugs;
+  size_t iterations_run = 0;
+  size_t queries_run = 0;
+  size_t checks_run = 0;
+  double total_seconds = 0.0;   ///< wall time of the campaign ("Spatter")
+  double engine_seconds = 0.0;  ///< time spent inside the engine ("SDBMS")
+};
+
+class Campaign {
+ public:
+  explicit Campaign(const CampaignConfig& config);
+
+  /// Runs the configured number of iterations.
+  CampaignResult Run();
+
+  /// Runs until `deadline_seconds` of wall time elapse (Figure 8 mode);
+  /// `sampler` (optional) is invoked after every iteration with the
+  /// elapsed time, e.g. to record coverage curves.
+  CampaignResult RunForDuration(
+      double deadline_seconds,
+      const std::function<void(double elapsed, const CampaignResult&)>&
+          sampler = nullptr);
+
+  engine::Engine& engine() { return *engine_; }
+
+ private:
+  void RunIteration(size_t iteration, CampaignResult* result,
+                    double started_at);
+  static double NowSeconds();
+
+  CampaignConfig config_;
+  Rng rng_;
+  std::unique_ptr<engine::Engine> engine_;
+  std::unique_ptr<GeometryAwareGenerator> generator_;
+};
+
+}  // namespace spatter::fuzz
+
+#endif  // SPATTER_FUZZ_CAMPAIGN_H_

@@ -1,0 +1,37 @@
+// KNN oracle — the paper's §7 extension sketch, implemented: "testing for
+// KNN algorithms using AEI could be implemented as long as no shearing is
+// applied ... since rotating, translating, and scaling preserve relative
+// distance."
+//
+// The check: load SDB1, rank a table's rows by distance to a query point,
+// apply one integer similarity transform to both the database and the
+// query point, rank again, and require identical neighbour orderings.
+#ifndef SPATTER_FUZZ_KNN_H_
+#define SPATTER_FUZZ_KNN_H_
+
+#include <vector>
+
+#include "algo/affine.h"
+#include "engine/engine.h"
+#include "fuzz/oracles.h"
+#include "fuzz/testcase.h"
+
+namespace spatter::fuzz {
+
+/// Row indices of `table` ordered by ascending ST_Distance to `query`
+/// (ties broken by row index; rows with NULL distance excluded), truncated
+/// to k. Exposed for tests; the oracle calls it on both databases.
+Result<std::vector<size_t>> KnnRows(engine::Engine* engine,
+                                    const std::string& table,
+                                    const geom::Coord& query, size_t k);
+
+/// The AEI-for-KNN check. `transform` must come from the similarity
+/// family (RandomIntegerSimilarity); general affine maps are rejected as
+/// inapplicable because shearing does not preserve relative distances.
+OracleOutcome RunKnnCheck(engine::Engine* engine, const DatabaseSpec& sdb,
+                          const std::string& table, const geom::Coord& query,
+                          size_t k, const algo::AffineTransform& transform);
+
+}  // namespace spatter::fuzz
+
+#endif  // SPATTER_FUZZ_KNN_H_

@@ -1,0 +1,356 @@
+#include "fuzz/oracles.h"
+
+#include "common/coverage.h"
+#include "fuzz/aei.h"
+#include "sql/parser.h"
+
+namespace spatter::fuzz {
+
+const char* OracleKindName(OracleKind k) {
+  switch (k) {
+    case OracleKind::kAei:
+      return "AEI";
+    case OracleKind::kCanonicalOnly:
+      return "Canonicalization";
+    case OracleKind::kDifferential:
+      return "Differential";
+    case OracleKind::kIndex:
+      return "Index";
+    case OracleKind::kTlp:
+      return "TLP";
+  }
+  return "Unknown";
+}
+
+Status LoadDatabase(engine::Engine* engine, const DatabaseSpec& sdb,
+                    std::vector<std::vector<bool>>* accepted) {
+  engine->Reset();
+  if (accepted) accepted->clear();
+  for (const auto& table : sdb.tables) {
+    SPATTER_RETURN_NOT_OK(
+        engine->Execute("CREATE TABLE " + table.name + " (g geometry);")
+            .status());
+    if (sdb.with_index) {
+      SPATTER_RETURN_NOT_OK(
+          engine
+              ->Execute("CREATE INDEX idx_" + table.name + " ON " +
+                        table.name + " USING GIST (g);")
+              .status());
+    }
+    std::vector<bool> mask;
+    for (const auto& wkt : table.rows) {
+      std::string quoted;
+      for (char c : wkt) {
+        quoted += c;
+        if (c == '\'') quoted += '\'';
+      }
+      auto r = engine->Execute("INSERT INTO " + table.name + " (g) VALUES ('" +
+                               quoted + "');");
+      if (!r.ok() && r.status().code() == StatusCode::kCrash) {
+        return r.status();
+      }
+      // Validity rejections are expected for random-shape inputs; the
+      // fuzzer ignores them (paper §4.1).
+      mask.push_back(r.ok());
+    }
+    if (accepted) accepted->push_back(std::move(mask));
+  }
+  return Status::OK();
+}
+
+namespace {
+
+DatabaseSpec FilterRows(const DatabaseSpec& sdb,
+                        const std::vector<std::vector<bool>>& mask) {
+  DatabaseSpec out;
+  out.with_index = sdb.with_index;
+  for (size_t t = 0; t < sdb.tables.size(); ++t) {
+    TableSpec table{sdb.tables[t].name, {}};
+    for (size_t r = 0; r < sdb.tables[t].rows.size(); ++r) {
+      if (t < mask.size() && r < mask[t].size() && mask[t][r]) {
+        table.rows.push_back(sdb.tables[t].rows[r]);
+      }
+    }
+    out.tables.push_back(std::move(table));
+  }
+  return out;
+}
+
+std::vector<std::vector<bool>> IntersectMasks(
+    const std::vector<std::vector<bool>>& a,
+    const std::vector<std::vector<bool>>& b) {
+  std::vector<std::vector<bool>> out = a;
+  for (size_t t = 0; t < out.size() && t < b.size(); ++t) {
+    for (size_t r = 0; r < out[t].size() && r < b[t].size(); ++r) {
+      out[t][r] = out[t][r] && b[t][r];
+    }
+  }
+  return out;
+}
+
+// Runs a query against a loaded engine; normalizes the outcome.
+struct QueryRun {
+  bool ok = false;
+  bool crash = false;
+  int64_t count = 0;
+  std::string error;
+};
+
+QueryRun RunCountQuery(engine::Engine* engine, const std::string& sql) {
+  QueryRun run;
+  auto r = engine->Execute(sql);
+  if (!r.ok()) {
+    run.crash = r.status().code() == StatusCode::kCrash;
+    run.error = r.status().ToString();
+    return run;
+  }
+  run.ok = true;
+  run.count = r.value().count;
+  return run;
+}
+
+}  // namespace
+
+OracleOutcome RunAeiCheck(engine::Engine* engine, const DatabaseSpec& sdb1,
+                          const QuerySpec& query,
+                          const algo::AffineTransform& transform,
+                          bool canonicalize) {
+  SPATTER_COV("oracle", canonicalize ? "aei_check" : "aei_check_plain");
+  OracleOutcome out;
+  engine->fault_state().ClearHits();
+
+  const DatabaseSpec sdb2 = TransformDatabase(sdb1, transform, canonicalize);
+
+  // Acceptance masks from both sides, then the intersected reload.
+  std::vector<std::vector<bool>> mask1;
+  std::vector<std::vector<bool>> mask2;
+  Status st = LoadDatabase(engine, sdb1, &mask1);
+  if (!st.ok()) {
+    out.crash = st.code() == StatusCode::kCrash;
+    out.detail = st.ToString();
+    out.fault_hits = engine->fault_state().TakeHits();
+    return out;
+  }
+  st = LoadDatabase(engine, sdb2, &mask2);
+  if (!st.ok()) {
+    out.crash = st.code() == StatusCode::kCrash;
+    out.detail = st.ToString();
+    out.fault_hits = engine->fault_state().TakeHits();
+    return out;
+  }
+  const auto mask = IntersectMasks(mask1, mask2);
+  const DatabaseSpec f1 = FilterRows(sdb1, mask);
+  const DatabaseSpec f2 = FilterRows(sdb2, mask);
+
+  // Distance-based predicates and the bounding-box operator ~= are only
+  // invariant under similarity transforms; the SDB2 query carries the
+  // scaled distance parameter (see RandomIntegerSimilarity).
+  QuerySpec query2 = query;
+  const bool metric_sensitive =
+      query.extra == engine::PredicateExtra::kDistance ||
+      query.predicate == "~=";
+  if (metric_sensitive && !transform.IsIdentity()) {
+    const auto scale = SimilarityScale(transform);
+    if (!scale) {
+      out.applicable = false;  // shearing would change the expected result.
+      return out;
+    }
+    query2.distance = query.distance * *scale;
+  }
+
+  if (!LoadDatabase(engine, f1, nullptr).ok()) return out;
+  const QueryRun r1 = RunCountQuery(engine, query.ToSql());
+  if (!LoadDatabase(engine, f2, nullptr).ok()) return out;
+  const QueryRun r2 = RunCountQuery(engine, query2.ToSql());
+
+  out.fault_hits = engine->fault_state().TakeHits();
+  if (r1.crash || r2.crash) {
+    out.crash = true;
+    out.detail = r1.crash ? r1.error : r2.error;
+    return out;
+  }
+  if (!r1.ok || !r2.ok) {
+    // Unsupported predicate etc.: not judgeable.
+    out.applicable = false;
+    return out;
+  }
+  if (r1.count != r2.count) {
+    out.mismatch = true;
+    out.detail = "{" + std::to_string(r1.count) + "} vs {" +
+                 std::to_string(r2.count) + "}";
+    SPATTER_COV("oracle", "aei_mismatch");
+  }
+  return out;
+}
+
+OracleOutcome RunDifferentialCheck(engine::Engine* primary,
+                                   engine::Engine* secondary,
+                                   const DatabaseSpec& sdb,
+                                   const QuerySpec& query) {
+  SPATTER_COV("oracle", "differential_check");
+  OracleOutcome out;
+  // Function availability: the predicate must exist in both dialects,
+  // otherwise the expected result cannot be constructed (paper §1).
+  if (query.predicate != "~=") {
+    for (engine::Engine* e : {primary, secondary}) {
+      auto fn = engine::ResolveFunction(query.predicate, e->dialect());
+      if (!fn.ok()) {
+        out.applicable = false;
+        return out;
+      }
+    }
+  } else if (!primary->traits().has_same_as_operator ||
+             !secondary->traits().has_same_as_operator) {
+    out.applicable = false;
+    return out;
+  }
+
+  primary->fault_state().ClearHits();
+  secondary->fault_state().ClearHits();
+  const std::string sql = query.ToSql();
+  QueryRun r1;
+  QueryRun r2;
+  if (LoadDatabase(primary, sdb, nullptr).ok()) {
+    r1 = RunCountQuery(primary, sql);
+  }
+  if (LoadDatabase(secondary, sdb, nullptr).ok()) {
+    r2 = RunCountQuery(secondary, sql);
+  }
+  for (engine::Engine* e : {primary, secondary}) {
+    for (auto id : e->fault_state().TakeHits()) out.fault_hits.insert(id);
+  }
+  if (r1.crash || r2.crash) {
+    out.crash = true;
+    out.detail = r1.crash ? r1.error : r2.error;
+    return out;
+  }
+  if (!r1.ok || !r2.ok) {
+    out.applicable = false;
+    return out;
+  }
+  if (r1.count != r2.count) {
+    out.mismatch = true;
+    out.detail = std::string(engine::DialectName(primary->dialect())) + " {" +
+                 std::to_string(r1.count) + "} vs " +
+                 engine::DialectName(secondary->dialect()) + " {" +
+                 std::to_string(r2.count) + "}";
+  }
+  return out;
+}
+
+OracleOutcome RunIndexCheck(engine::Engine* engine, const DatabaseSpec& sdb,
+                            const QuerySpec& query) {
+  SPATTER_COV("oracle", "index_check");
+  OracleOutcome out;
+  engine->fault_state().ClearHits();
+  const std::string sql = query.ToSql();
+
+  DatabaseSpec without = sdb;
+  without.with_index = false;
+  DatabaseSpec with = sdb;
+  with.with_index = true;
+
+  QueryRun r1;
+  QueryRun r2;
+  if (LoadDatabase(engine, without, nullptr).ok()) {
+    r1 = RunCountQuery(engine, sql);
+  }
+  if (LoadDatabase(engine, with, nullptr).ok()) {
+    r2 = RunCountQuery(engine, sql);
+  }
+  out.fault_hits = engine->fault_state().TakeHits();
+  if (r1.crash || r2.crash) {
+    out.crash = true;
+    out.detail = r1.crash ? r1.error : r2.error;
+    return out;
+  }
+  if (!r1.ok || !r2.ok) {
+    out.applicable = false;
+    return out;
+  }
+  if (r1.count != r2.count) {
+    out.mismatch = true;
+    out.detail = "seqscan {" + std::to_string(r1.count) + "} vs index {" +
+                 std::to_string(r2.count) + "}";
+  }
+  return out;
+}
+
+OracleOutcome RunTlpCheck(engine::Engine* engine, const DatabaseSpec& sdb,
+                          const QuerySpec& query) {
+  SPATTER_COV("oracle", "tlp_check");
+  OracleOutcome out;
+  engine->fault_state().ClearHits();
+
+  std::vector<std::vector<bool>> mask;
+  if (!LoadDatabase(engine, sdb, &mask).ok()) {
+    out.applicable = false;
+    return out;
+  }
+  // Cross-join cardinality over accepted rows.
+  int64_t rows1 = 0;
+  int64_t rows2 = 0;
+  for (const auto& table : sdb.tables) {
+    size_t accepted = 0;
+    const size_t t_idx = &table - sdb.tables.data();
+    for (bool ok : mask[t_idx]) {
+      if (ok) accepted++;
+    }
+    if (table.name == query.table1) rows1 = static_cast<int64_t>(accepted);
+    if (table.name == query.table2) rows2 = static_cast<int64_t>(accepted);
+  }
+  const int64_t total = rows1 * rows2;
+
+  // Partitioning queries: P, NOT P, P IS UNKNOWN.
+  const std::string base = query.ToSql();
+  auto parsed = sql::ParseStatement(base);
+  if (!parsed.ok()) {
+    out.applicable = false;
+    return out;
+  }
+  const sql::Statement& stmt = *parsed.value();
+
+  auto run_with = [&](sql::ExprPtr cond) -> QueryRun {
+    sql::Statement q;
+    q.kind = sql::Statement::Kind::kSelectCountJoin;
+    q.table = stmt.table;
+    q.table2 = stmt.table2;
+    q.condition = std::move(cond);
+    QueryRun run;
+    auto r = engine->Execute(q);
+    if (!r.ok()) {
+      run.crash = r.status().code() == StatusCode::kCrash;
+      run.error = r.status().ToString();
+      return run;
+    }
+    run.ok = true;
+    run.count = r.value().count;
+    return run;
+  };
+
+  const QueryRun rp = run_with(stmt.condition->Clone());
+  const QueryRun rn = run_with(sql::Expr::MakeNot(stmt.condition->Clone()));
+  const QueryRun ru =
+      run_with(sql::Expr::MakeIsUnknown(stmt.condition->Clone()));
+
+  out.fault_hits = engine->fault_state().TakeHits();
+  if (rp.crash || rn.crash || ru.crash) {
+    out.crash = true;
+    out.detail = rp.crash ? rp.error : (rn.crash ? rn.error : ru.error);
+    return out;
+  }
+  if (!rp.ok || !rn.ok || !ru.ok) {
+    out.applicable = false;
+    return out;
+  }
+  const int64_t sum = rp.count + rn.count + ru.count;
+  if (sum != total) {
+    out.mismatch = true;
+    out.detail = "partitions {" + std::to_string(rp.count) + "+" +
+                 std::to_string(rn.count) + "+" + std::to_string(ru.count) +
+                 "} != cross join {" + std::to_string(total) + "}";
+  }
+  return out;
+}
+
+}  // namespace spatter::fuzz

@@ -1,0 +1,75 @@
+// Test oracles: AEI (the paper's contribution), plus the three baselines
+// of Table 4 — differential testing across SDBMSs, index on/off
+// differential testing, and Ternary Logic Partitioning (TLP).
+#ifndef SPATTER_FUZZ_ORACLES_H_
+#define SPATTER_FUZZ_ORACLES_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "algo/affine.h"
+#include "engine/engine.h"
+#include "fuzz/testcase.h"
+
+namespace spatter::fuzz {
+
+enum class OracleKind {
+  kAei,            ///< canonicalize + affine transform, compare counts
+  kCanonicalOnly,  ///< identity matrix: canonicalization as the only change
+  kDifferential,   ///< same inputs on two SDBMS dialects
+  kIndex,          ///< same engine with and without a GiST index
+  kTlp,            ///< P + NOT P + P IS UNKNOWN must cover the cross join
+};
+
+const char* OracleKindName(OracleKind k);
+
+struct OracleOutcome {
+  bool applicable = true;  ///< false: oracle cannot judge this input
+  bool mismatch = false;   ///< logic-bug signal
+  bool crash = false;      ///< crash-bug signal
+  std::string detail;      ///< human-readable "{lhs} vs {rhs}"
+  /// Ground truth: injected faults that fired while producing the results.
+  std::set<faults::FaultId> fault_hits;
+};
+
+/// Loads `sdb` into `engine` (after Reset). Rows rejected by the dialect's
+/// validity policy are skipped; `accepted` (if non-null) receives a
+/// per-table bitmap of surviving rows.
+Status LoadDatabase(engine::Engine* engine, const DatabaseSpec& sdb,
+                    std::vector<std::vector<bool>>* accepted);
+
+/// The AEI check (paper Figure 5): builds SDB2 = affine(canonicalize(SDB1)),
+/// runs `query` against both, and flags differing counts.
+///
+/// Rows must survive validity checking in both databases to participate;
+/// the acceptance masks are intersected so the oracle isolates predicate
+/// behaviour (validity itself is affine invariant, but canonicalization can
+/// legitimately repair representation-level defects such as repeated
+/// points, which would otherwise produce row-count false alarms).
+OracleOutcome RunAeiCheck(engine::Engine* engine, const DatabaseSpec& sdb1,
+                          const QuerySpec& query,
+                          const algo::AffineTransform& transform,
+                          bool canonicalize = true);
+
+/// Differential testing between two dialects. Inapplicable when the
+/// predicate is missing in either dialect. No acceptance mirroring: the
+/// dialects' different validity policies are part of what this baseline
+/// (mis)measures, reproducing its false alarms.
+OracleOutcome RunDifferentialCheck(engine::Engine* primary,
+                                   engine::Engine* secondary,
+                                   const DatabaseSpec& sdb,
+                                   const QuerySpec& query);
+
+/// Index on/off differential on one engine.
+OracleOutcome RunIndexCheck(engine::Engine* engine, const DatabaseSpec& sdb,
+                            const QuerySpec& query);
+
+/// TLP: COUNT(ON P) + COUNT(ON NOT P) + COUNT(ON P IS UNKNOWN) must equal
+/// the cross-join cardinality.
+OracleOutcome RunTlpCheck(engine::Engine* engine, const DatabaseSpec& sdb,
+                          const QuerySpec& query);
+
+}  // namespace spatter::fuzz
+
+#endif  // SPATTER_FUZZ_ORACLES_H_

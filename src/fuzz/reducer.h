@@ -1,0 +1,41 @@
+// Test-case reduction. Before reporting, Spatter reduces each discrepancy
+// automatically (the paper cites delta debugging [45]) and manually; this
+// module implements the automatic part: greedy row removal (a ddmin-style
+// pass over the inserted geometries), element removal inside collections,
+// vertex removal, and coordinate simplification — all while re-checking
+// that the discrepancy persists.
+#ifndef SPATTER_FUZZ_REDUCER_H_
+#define SPATTER_FUZZ_REDUCER_H_
+
+#include <functional>
+
+#include "fuzz/campaign.h"
+
+namespace spatter::fuzz {
+
+/// Re-evaluates a candidate database and reports whether the failure still
+/// reproduces.
+using StillFailsFn = std::function<bool(const DatabaseSpec&)>;
+
+struct ReductionStats {
+  size_t checks = 0;
+  size_t rows_removed = 0;
+  size_t elements_removed = 0;
+  size_t points_removed = 0;
+};
+
+/// Minimizes `sdb` under `still_fails` (which must already return true for
+/// `sdb` itself). Returns the reduced spec.
+DatabaseSpec ReduceDatabase(const DatabaseSpec& sdb,
+                            const StillFailsFn& still_fails,
+                            ReductionStats* stats = nullptr);
+
+/// Convenience wrapper that reduces a recorded AEI discrepancy: rebuilds
+/// the oracle check for each candidate. Returns the reduced discrepancy
+/// (query and transform unchanged).
+Discrepancy ReduceDiscrepancy(engine::Engine* engine, const Discrepancy& d,
+                              ReductionStats* stats = nullptr);
+
+}  // namespace spatter::fuzz
+
+#endif  // SPATTER_FUZZ_REDUCER_H_

@@ -1,0 +1,51 @@
+#include "fuzz/testcase.h"
+
+#include "common/strings.h"
+
+namespace spatter::fuzz {
+
+std::vector<std::string> DatabaseSpec::ToSql() const {
+  std::vector<std::string> out;
+  for (const auto& table : tables) {
+    out.push_back("CREATE TABLE " + table.name + " (g geometry);");
+    if (with_index) {
+      out.push_back("CREATE INDEX idx_" + table.name + " ON " + table.name +
+                    " USING GIST (g);");
+    }
+    for (const auto& wkt : table.rows) {
+      std::string quoted;
+      for (char c : wkt) {
+        if (c == '\'') quoted += "''";
+        else quoted += c;
+      }
+      out.push_back("INSERT INTO " + table.name + " (g) VALUES ('" + quoted +
+                    "');");
+    }
+  }
+  return out;
+}
+
+size_t DatabaseSpec::TotalRows() const {
+  size_t n = 0;
+  for (const auto& t : tables) n += t.rows.size();
+  return n;
+}
+
+std::string QuerySpec::ToSql() const {
+  std::string cond;
+  if (predicate == "~=") {
+    cond = table1 + ".g ~= " + table2 + ".g";
+  } else {
+    cond = predicate + "(" + table1 + ".g, " + table2 + ".g";
+    if (extra == engine::PredicateExtra::kDistance) {
+      cond += ", " + FormatCoord(distance);
+    } else if (extra == engine::PredicateExtra::kPattern) {
+      cond += ", '" + pattern + "'";
+    }
+    cond += ")";
+  }
+  return "SELECT COUNT(*) FROM " + table1 + " JOIN " + table2 + " ON " +
+         cond + ";";
+}
+
+}  // namespace spatter::fuzz

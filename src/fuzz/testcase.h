@@ -1,0 +1,45 @@
+// Test-case data model: database specifications and query templates
+// (paper Figure 5). Specs are plain WKT/SQL data so they can be printed as
+// the two statement sequences Spatter records for each discrepancy.
+#ifndef SPATTER_FUZZ_TESTCASE_H_
+#define SPATTER_FUZZ_TESTCASE_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/functions.h"
+
+namespace spatter::fuzz {
+
+/// One generated table: a name and the WKT of each row's geometry.
+struct TableSpec {
+  std::string name;
+  std::vector<std::string> rows;  // WKT per row
+};
+
+/// One generated spatial database (SDB1 or SDB2).
+struct DatabaseSpec {
+  std::vector<TableSpec> tables;
+  bool with_index = false;
+
+  /// Renders CREATE TABLE / CREATE INDEX / INSERT statements.
+  std::vector<std::string> ToSql() const;
+  size_t TotalRows() const;
+};
+
+/// Instantiated query template:
+///   SELECT COUNT(*) FROM <table1> JOIN <table2> ON <TopoRlt>.
+struct QuerySpec {
+  std::string table1;
+  std::string table2;
+  std::string predicate;                 // canonical function name or "~="
+  engine::PredicateExtra extra = engine::PredicateExtra::kNone;
+  double distance = 0.0;                 // kDistance predicates
+  std::string pattern;                   // kPattern predicates
+
+  std::string ToSql() const;
+};
+
+}  // namespace spatter::fuzz
+
+#endif  // SPATTER_FUZZ_TESTCASE_H_

@@ -1,0 +1,64 @@
+// 2D coordinate type used throughout the library.
+//
+// The generator and the affine constructor only ever produce integer-valued
+// coordinates (paper §4.2, "avoiding precision issues"), so doubles represent
+// all campaign coordinates exactly; derived points (segment intersections)
+// are rationals evaluated in double precision.
+#ifndef SPATTER_GEOM_COORDINATE_H_
+#define SPATTER_GEOM_COORDINATE_H_
+
+#include <cmath>
+#include <functional>
+
+namespace spatter::geom {
+
+struct Coord {
+  double x = 0.0;
+  double y = 0.0;
+
+  Coord() = default;
+  Coord(double x_in, double y_in) : x(x_in), y(y_in) {}
+
+  bool operator==(const Coord& o) const { return x == o.x && y == o.y; }
+  bool operator!=(const Coord& o) const { return !(*this == o); }
+  /// Lexicographic (x, then y); used by canonicalization and sorting.
+  bool operator<(const Coord& o) const {
+    if (x != o.x) return x < o.x;
+    return y < o.y;
+  }
+
+  Coord operator+(const Coord& o) const { return {x + o.x, y + o.y}; }
+  Coord operator-(const Coord& o) const { return {x - o.x, y - o.y}; }
+  Coord operator*(double s) const { return {x * s, y * s}; }
+};
+
+/// Euclidean distance between two coordinates.
+inline double DistanceBetween(const Coord& a, const Coord& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// Squared distance (avoids the sqrt when comparing).
+inline double DistanceSquared(const Coord& a, const Coord& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Midpoint of the segment ab.
+inline Coord Midpoint(const Coord& a, const Coord& b) {
+  return {(a.x + b.x) / 2.0, (a.y + b.y) / 2.0};
+}
+
+struct CoordHash {
+  size_t operator()(const Coord& c) const {
+    const size_t hx = std::hash<double>()(c.x);
+    const size_t hy = std::hash<double>()(c.y);
+    return hx ^ (hy * 0x9e3779b97f4a7c15ULL + (hx << 6) + (hx >> 2));
+  }
+};
+
+}  // namespace spatter::geom
+
+#endif  // SPATTER_GEOM_COORDINATE_H_

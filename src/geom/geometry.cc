@@ -1,0 +1,174 @@
+#include "geom/geometry.h"
+
+#include "geom/wkt_writer.h"
+
+namespace spatter::geom {
+
+const char* GeomTypeName(GeomType type) {
+  switch (type) {
+    case GeomType::kPoint:
+      return "POINT";
+    case GeomType::kLineString:
+      return "LINESTRING";
+    case GeomType::kPolygon:
+      return "POLYGON";
+    case GeomType::kMultiPoint:
+      return "MULTIPOINT";
+    case GeomType::kMultiLineString:
+      return "MULTILINESTRING";
+    case GeomType::kMultiPolygon:
+      return "MULTIPOLYGON";
+    case GeomType::kGeometryCollection:
+      return "GEOMETRYCOLLECTION";
+  }
+  return "UNKNOWN";
+}
+
+bool IsCollectionType(GeomType type) {
+  switch (type) {
+    case GeomType::kMultiPoint:
+    case GeomType::kMultiLineString:
+    case GeomType::kMultiPolygon:
+    case GeomType::kGeometryCollection:
+      return true;
+    default:
+      return false;
+  }
+}
+
+int TypeDimension(GeomType type) {
+  switch (type) {
+    case GeomType::kPoint:
+    case GeomType::kMultiPoint:
+      return 0;
+    case GeomType::kLineString:
+    case GeomType::kMultiLineString:
+      return 1;
+    case GeomType::kPolygon:
+    case GeomType::kMultiPolygon:
+      return 2;
+    case GeomType::kGeometryCollection:
+      return -1;
+  }
+  return -1;
+}
+
+std::string Geometry::ToWkt() const { return WriteWkt(*this); }
+
+bool Point::EqualsExact(const Geometry& other) const {
+  if (other.type() != GeomType::kPoint) return false;
+  const auto& o = AsPoint(other);
+  return coord_ == o.coord_;
+}
+
+bool LineString::EqualsExact(const Geometry& other) const {
+  if (other.type() != type()) return false;
+  const auto& o = static_cast<const LineString&>(other);
+  return pts_ == o.pts_;
+}
+
+bool Polygon::EqualsExact(const Geometry& other) const {
+  if (other.type() != GeomType::kPolygon) return false;
+  const auto& o = AsPolygon(other);
+  return rings_ == o.rings_;
+}
+
+GeomPtr GeometryCollection::Clone() const {
+  return CloneInto(std::make_unique<GeometryCollection>());
+}
+
+GeomPtr GeometryCollection::CloneInto(
+    std::unique_ptr<GeometryCollection> target) const {
+  for (const auto& e : elems_) target->AddElement(e->Clone());
+  return target;
+}
+
+bool GeometryCollection::EqualsExact(const Geometry& other) const {
+  if (other.type() != type()) return false;
+  const auto& o = static_cast<const GeometryCollection&>(other);
+  if (elems_.size() != o.elems_.size()) return false;
+  for (size_t i = 0; i < elems_.size(); ++i) {
+    if (!elems_[i]->EqualsExact(*o.elems_[i])) return false;
+  }
+  return true;
+}
+
+GeomPtr MakeEmpty(GeomType type) {
+  switch (type) {
+    case GeomType::kPoint:
+      return std::make_unique<Point>();
+    case GeomType::kLineString:
+      return std::make_unique<LineString>();
+    case GeomType::kPolygon:
+      return std::make_unique<Polygon>();
+    case GeomType::kMultiPoint:
+      return std::make_unique<MultiPoint>();
+    case GeomType::kMultiLineString:
+      return std::make_unique<MultiLineString>();
+    case GeomType::kMultiPolygon:
+      return std::make_unique<MultiPolygon>();
+    case GeomType::kGeometryCollection:
+      return std::make_unique<GeometryCollection>();
+  }
+  return nullptr;
+}
+
+GeomPtr MakePoint(double x, double y) {
+  return std::make_unique<Point>(x, y);
+}
+
+GeomPtr MakeLineString(std::vector<Coord> pts) {
+  return std::make_unique<LineString>(std::move(pts));
+}
+
+GeomPtr MakePolygon(std::vector<Polygon::Ring> rings) {
+  return std::make_unique<Polygon>(std::move(rings));
+}
+
+GeomPtr MakeCollection(GeomType type, std::vector<GeomPtr> elems) {
+  switch (type) {
+    case GeomType::kMultiPoint:
+      return std::make_unique<MultiPoint>(std::move(elems));
+    case GeomType::kMultiLineString:
+      return std::make_unique<MultiLineString>(std::move(elems));
+    case GeomType::kMultiPolygon:
+      return std::make_unique<MultiPolygon>(std::move(elems));
+    case GeomType::kGeometryCollection:
+      return std::make_unique<GeometryCollection>(std::move(elems));
+    default:
+      return nullptr;
+  }
+}
+
+void ForEachBasic(const Geometry& g,
+                  const std::function<void(const Geometry&)>& fn) {
+  if (g.IsCollection()) {
+    const auto& coll = AsCollection(g);
+    for (size_t i = 0; i < coll.NumElements(); ++i) {
+      ForEachBasic(coll.ElementAt(i), fn);
+    }
+  } else {
+    fn(g);
+  }
+}
+
+std::vector<const Geometry*> FlattenBasic(const Geometry& g) {
+  std::vector<const Geometry*> out;
+  ForEachBasic(g, [&out](const Geometry& basic) { out.push_back(&basic); });
+  return out;
+}
+
+std::optional<GeomType> MultiElementType(GeomType type) {
+  switch (type) {
+    case GeomType::kMultiPoint:
+      return GeomType::kPoint;
+    case GeomType::kMultiLineString:
+      return GeomType::kLineString;
+    case GeomType::kMultiPolygon:
+      return GeomType::kPolygon;
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace spatter::geom

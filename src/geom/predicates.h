@@ -1,0 +1,52 @@
+// Low-level geometric predicates on coordinates: orientation, on-segment
+// tests, and segment-segment intersection (including collinear overlap).
+//
+// Robustness note: campaign coordinates are integers (|v| well below 2^26),
+// so the double-precision cross products below are exact for original
+// vertices. Derived points (intersections, midpoints) are rationals carrying
+// rounding error around 1e-12; predicates therefore accept a small epsilon
+// for those call sites.
+#ifndef SPATTER_GEOM_PREDICATES_H_
+#define SPATTER_GEOM_PREDICATES_H_
+
+#include "geom/coordinate.h"
+
+namespace spatter::geom {
+
+/// Sign of the z-component of (b-a) x (c-a):
+/// +1 counter-clockwise, -1 clockwise, 0 collinear (within eps).
+int Orientation(const Coord& a, const Coord& b, const Coord& c,
+                double eps = 0.0);
+
+/// Twice the signed area of triangle abc (the raw cross product).
+double CrossProduct(const Coord& a, const Coord& b, const Coord& c);
+
+/// True if p lies on the closed segment [a, b].
+bool OnSegment(const Coord& p, const Coord& a, const Coord& b,
+               double eps = 0.0);
+
+/// Result of intersecting two closed segments.
+struct SegSegIntersection {
+  enum class Kind {
+    kNone,     ///< disjoint
+    kPoint,    ///< single intersection point (stored in p0)
+    kOverlap,  ///< collinear overlap along [p0, p1]
+  };
+  Kind kind = Kind::kNone;
+  Coord p0;
+  Coord p1;
+};
+
+/// Intersects segments [a,b] and [c,d]. Collinear overlaps report the
+/// shared sub-segment endpoints; touching at one point reports kPoint.
+SegSegIntersection IntersectSegments(const Coord& a, const Coord& b,
+                                     const Coord& c, const Coord& d,
+                                     double eps = 0.0);
+
+/// Default epsilon for predicates evaluated on derived (non-integer)
+/// points such as noded intersection vertices and edge midpoints.
+inline constexpr double kDerivedEps = 1e-9;
+
+}  // namespace spatter::geom
+
+#endif  // SPATTER_GEOM_PREDICATES_H_

@@ -1,0 +1,33 @@
+// WKB (Well-Known Binary) serialization — the wire format real SDBMSs
+// store and exchange; round-trip fidelity is part of the I/O surface the
+// paper's §7 distinguishes from query processing.
+#ifndef SPATTER_GEOM_WKB_H_
+#define SPATTER_GEOM_WKB_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "geom/geometry.h"
+
+namespace spatter::geom {
+
+/// Serializes to standard ISO WKB (little-endian, 2D). EMPTY basic
+/// geometries use the PostGIS convention: POINT EMPTY encodes as
+/// (NaN, NaN); empty sequences encode with count 0.
+std::vector<uint8_t> WriteWkb(const Geometry& g);
+
+/// Hex form ("0101000000...."), as printed by ST_AsBinary consumers.
+std::string WriteWkbHex(const Geometry& g);
+
+/// Parses WKB (accepts both byte orders, rejects truncated or malformed
+/// buffers with kInvalidArgument).
+Result<GeomPtr> ReadWkb(const std::vector<uint8_t>& data);
+
+/// Parses the hex form (case-insensitive).
+Result<GeomPtr> ReadWkbHex(const std::string& hex);
+
+}  // namespace spatter::geom
+
+#endif  // SPATTER_GEOM_WKB_H_

@@ -1,0 +1,25 @@
+// WKT (Well-Known Text) parsing.
+#ifndef SPATTER_GEOM_WKT_READER_H_
+#define SPATTER_GEOM_WKT_READER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "geom/geometry.h"
+
+namespace spatter::geom {
+
+/// Parses OGC WKT. Accepts:
+///  - case-insensitive type keywords, arbitrary whitespace,
+///  - "EMPTY" at top level and for nested elements (tagged or bare),
+///  - scientific notation and signed numbers,
+///  - nested GEOMETRYCOLLECTIONs.
+/// Rejects trailing garbage and structurally malformed text with
+/// StatusCode::kInvalidArgument. Semantic validity (ring closure etc.) is
+/// checked separately by validity.h, matching how real SDBMSs split
+/// parse errors from ST_IsValid.
+Result<GeomPtr> ReadWkt(const std::string& wkt);
+
+}  // namespace spatter::geom
+
+#endif  // SPATTER_GEOM_WKT_READER_H_

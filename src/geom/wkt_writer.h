@@ -1,0 +1,18 @@
+// WKT (Well-Known Text) serialization.
+#ifndef SPATTER_GEOM_WKT_WRITER_H_
+#define SPATTER_GEOM_WKT_WRITER_H_
+
+#include <string>
+
+#include "geom/geometry.h"
+
+namespace spatter::geom {
+
+/// Serializes `g` to OGC WKT. Empty geometries render as "<TYPE> EMPTY";
+/// empty elements inside collections render as "EMPTY" (multipoints) or the
+/// typed form (mixed collections), matching PostGIS output conventions.
+std::string WriteWkt(const Geometry& g);
+
+}  // namespace spatter::geom
+
+#endif  // SPATTER_GEOM_WKT_WRITER_H_

@@ -1,0 +1,263 @@
+#include "index/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace spatter::index {
+
+using geom::Envelope;
+
+struct RTree::Node {
+  bool leaf = true;
+  Envelope box;
+  std::vector<RTreeEntry> entries;            // leaf payloads
+  std::vector<std::unique_ptr<Node>> children;  // internal children
+
+  void RecomputeBox() {
+    box = Envelope();
+    if (leaf) {
+      for (const auto& e : entries) box.ExpandToInclude(e.box);
+    } else {
+      for (const auto& c : children) box.ExpandToInclude(c->box);
+    }
+  }
+};
+
+RTree::RTree(size_t max_entries)
+    : root_(std::make_unique<Node>()),
+      max_entries_(std::max<size_t>(max_entries, 4)),
+      min_entries_(std::max<size_t>(max_entries / 2, 2)) {}
+
+RTree::~RTree() = default;
+RTree::RTree(RTree&&) noexcept = default;
+RTree& RTree::operator=(RTree&&) noexcept = default;
+
+void RTree::Insert(const Envelope& box, uint64_t id) {
+  RTreeEntry entry{box, id};
+  std::unique_ptr<Node> split;
+  InsertRecursive(root_.get(), entry, 0, &split);
+  if (split) {
+    // Root overflowed: grow the tree by one level.
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(split));
+    new_root->RecomputeBox();
+    root_ = std::move(new_root);
+  }
+  size_++;
+}
+
+void RTree::InsertRecursive(Node* node, const RTreeEntry& entry,
+                            size_t /*level*/, std::unique_ptr<Node>* split_out) {
+  if (node->leaf) {
+    node->entries.push_back(entry);
+    node->box.ExpandToInclude(entry.box);
+    if (node->entries.size() > max_entries_) {
+      QuadraticSplit(node, split_out, min_entries_);
+    }
+    return;
+  }
+
+  // Choose the child with least enlargement.
+  size_t best = 0;
+  double best_enlarge = std::numeric_limits<double>::infinity();
+  double best_area = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < node->children.size(); ++i) {
+    const Envelope& cb = node->children[i]->box;
+    const double area = cb.Area();
+    const double enlarge = cb.EnlargedArea(entry.box) - area;
+    if (enlarge < best_enlarge ||
+        (enlarge == best_enlarge && area < best_area)) {
+      best = i;
+      best_enlarge = enlarge;
+      best_area = area;
+    }
+  }
+
+  std::unique_ptr<Node> child_split;
+  InsertRecursive(node->children[best].get(), entry, 0, &child_split);
+  node->box.ExpandToInclude(entry.box);
+  if (child_split) {
+    node->children.push_back(std::move(child_split));
+    if (node->children.size() > max_entries_) {
+      QuadraticSplit(node, split_out, min_entries_);
+    }
+  }
+}
+
+void RTree::QuadraticSplit(Node* node, std::unique_ptr<Node>* new_node,
+                           size_t min_entries) {
+  auto other = std::make_unique<Node>();
+  other->leaf = node->leaf;
+
+  // Collect the boxes being distributed.
+  const size_t n =
+      node->leaf ? node->entries.size() : node->children.size();
+  auto box_of = [&](size_t i) -> const Envelope& {
+    return node->leaf ? node->entries[i].box : node->children[i]->box;
+  };
+
+  // Pick the pair of seeds wasting the most area together.
+  size_t seed_a = 0;
+  size_t seed_b = 1;
+  double worst = -1.0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double waste =
+          box_of(i).EnlargedArea(box_of(j)) - box_of(i).Area() -
+          box_of(j).Area();
+      if (waste > worst) {
+        worst = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+
+  std::vector<size_t> group_a{seed_a};
+  std::vector<size_t> group_b{seed_b};
+  Envelope box_a = box_of(seed_a);
+  Envelope box_b = box_of(seed_b);
+  for (size_t i = 0; i < n; ++i) {
+    if (i == seed_a || i == seed_b) continue;
+    // Force balance when one group must absorb the rest.
+    const size_t remaining = n - group_a.size() - group_b.size();
+    if (group_a.size() + remaining <= min_entries) {
+      group_a.push_back(i);
+      box_a.ExpandToInclude(box_of(i));
+      continue;
+    }
+    if (group_b.size() + remaining <= min_entries) {
+      group_b.push_back(i);
+      box_b.ExpandToInclude(box_of(i));
+      continue;
+    }
+    const double da = box_a.EnlargedArea(box_of(i)) - box_a.Area();
+    const double db = box_b.EnlargedArea(box_of(i)) - box_b.Area();
+    if (da < db || (da == db && group_a.size() < group_b.size())) {
+      group_a.push_back(i);
+      box_a.ExpandToInclude(box_of(i));
+    } else {
+      group_b.push_back(i);
+      box_b.ExpandToInclude(box_of(i));
+    }
+  }
+
+  if (node->leaf) {
+    std::vector<RTreeEntry> keep;
+    for (size_t i : group_a) keep.push_back(node->entries[i]);
+    for (size_t i : group_b) other->entries.push_back(node->entries[i]);
+    node->entries = std::move(keep);
+  } else {
+    std::vector<std::unique_ptr<Node>> keep;
+    for (size_t i : group_a) keep.push_back(std::move(node->children[i]));
+    for (size_t i : group_b) {
+      other->children.push_back(std::move(node->children[i]));
+    }
+    node->children = std::move(keep);
+  }
+  node->RecomputeBox();
+  other->RecomputeBox();
+  *new_node = std::move(other);
+}
+
+void RTree::BulkLoad(std::vector<RTreeEntry> entries) {
+  root_ = std::make_unique<Node>();
+  size_ = entries.size();
+  if (entries.empty()) return;
+
+  // Sort-Tile-Recursive: sort by center x, slice, sort slices by center y.
+  auto center_x = [](const RTreeEntry& e) {
+    return (e.box.min_x() + e.box.max_x()) / 2.0;
+  };
+  auto center_y = [](const RTreeEntry& e) {
+    return (e.box.min_y() + e.box.max_y()) / 2.0;
+  };
+  std::sort(entries.begin(), entries.end(),
+            [&](const RTreeEntry& a, const RTreeEntry& b) {
+              return center_x(a) < center_x(b);
+            });
+  const size_t leaf_count =
+      (entries.size() + max_entries_ - 1) / max_entries_;
+  const size_t slice_count = static_cast<size_t>(
+      std::ceil(std::sqrt(static_cast<double>(leaf_count))));
+  const size_t slice_size =
+      (entries.size() + slice_count - 1) / slice_count;
+
+  std::vector<std::unique_ptr<Node>> leaves;
+  for (size_t s = 0; s * slice_size < entries.size(); ++s) {
+    const size_t begin = s * slice_size;
+    const size_t end = std::min(begin + slice_size, entries.size());
+    std::sort(entries.begin() + begin, entries.begin() + end,
+              [&](const RTreeEntry& a, const RTreeEntry& b) {
+                return center_y(a) < center_y(b);
+              });
+    for (size_t i = begin; i < end; i += max_entries_) {
+      auto leaf = std::make_unique<Node>();
+      for (size_t j = i; j < std::min(i + max_entries_, end); ++j) {
+        leaf->entries.push_back(entries[j]);
+      }
+      leaf->RecomputeBox();
+      leaves.push_back(std::move(leaf));
+    }
+  }
+
+  // Pack upward until a single root remains.
+  std::vector<std::unique_ptr<Node>> level = std::move(leaves);
+  while (level.size() > 1) {
+    std::vector<std::unique_ptr<Node>> parents;
+    for (size_t i = 0; i < level.size(); i += max_entries_) {
+      auto parent = std::make_unique<Node>();
+      parent->leaf = false;
+      for (size_t j = i; j < std::min(i + max_entries_, level.size()); ++j) {
+        parent->children.push_back(std::move(level[j]));
+      }
+      parent->RecomputeBox();
+      parents.push_back(std::move(parent));
+    }
+    level = std::move(parents);
+  }
+  root_ = std::move(level.front());
+}
+
+void RTree::Query(const Envelope& query,
+                  const std::function<void(const RTreeEntry&)>& visit) const {
+  if (root_->box.IsNull() && root_->entries.empty() &&
+      root_->children.empty()) {
+    return;
+  }
+  std::vector<const Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    if (!node->box.Intersects(query)) continue;
+    if (node->leaf) {
+      for (const auto& e : node->entries) {
+        if (e.box.Intersects(query)) visit(e);
+      }
+    } else {
+      for (const auto& c : node->children) stack.push_back(c.get());
+    }
+  }
+}
+
+std::vector<uint64_t> RTree::QueryIds(const Envelope& query) const {
+  std::vector<uint64_t> ids;
+  Query(query, [&ids](const RTreeEntry& e) { ids.push_back(e.id); });
+  return ids;
+}
+
+size_t RTree::Height() const {
+  if (size_ == 0) return 0;
+  size_t h = 1;
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    node = node->children.front().get();
+    h++;
+  }
+  return h;
+}
+
+}  // namespace spatter::index

@@ -1,0 +1,68 @@
+// R-tree spatial index (Guttman insert with quadratic split, plus STR bulk
+// loading). This is the library's GiST analogue: the engine's CREATE INDEX
+// builds one over a table's geometry envelopes, and PreparedGeometry uses
+// one over segment envelopes.
+#ifndef SPATTER_INDEX_RTREE_H_
+#define SPATTER_INDEX_RTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "geom/envelope.h"
+
+namespace spatter::index {
+
+/// Entry stored in the tree: a bounding box and an opaque payload id.
+struct RTreeEntry {
+  geom::Envelope box;
+  uint64_t id = 0;
+};
+
+class RTree {
+ public:
+  /// `max_entries` children per node (min is max/2, clamped >= 2).
+  explicit RTree(size_t max_entries = 8);
+  ~RTree();
+
+  RTree(RTree&&) noexcept;
+  RTree& operator=(RTree&&) noexcept;
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
+
+  /// Inserts one entry (Guttman: least-enlargement descent, quadratic
+  /// split on overflow).
+  void Insert(const geom::Envelope& box, uint64_t id);
+
+  /// Rebuilds the tree from scratch with Sort-Tile-Recursive packing.
+  void BulkLoad(std::vector<RTreeEntry> entries);
+
+  /// Invokes `visit` for every entry whose box intersects `query`.
+  void Query(const geom::Envelope& query,
+             const std::function<void(const RTreeEntry&)>& visit) const;
+
+  /// Convenience: collects matching ids.
+  std::vector<uint64_t> QueryIds(const geom::Envelope& query) const;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  /// Height of the tree (0 when empty); exposed for tests and benches.
+  size_t Height() const;
+
+ private:
+  struct Node;
+  std::unique_ptr<Node> root_;
+  size_t max_entries_;
+  size_t min_entries_;
+  size_t size_ = 0;
+
+  void InsertRecursive(Node* node, const RTreeEntry& entry, size_t level,
+                       std::unique_ptr<Node>* split_out);
+  static void QuadraticSplit(Node* node, std::unique_ptr<Node>* new_node,
+                             size_t min_entries);
+};
+
+}  // namespace spatter::index
+
+#endif  // SPATTER_INDEX_RTREE_H_

@@ -1,0 +1,54 @@
+// Named topological relationship predicates (paper §2.2), derived from the
+// DE-9IM matrix. Several injected GEOS bug hooks live here because the real
+// bugs lived in the shared library's predicate fast paths.
+#ifndef SPATTER_RELATE_NAMED_PREDICATES_H_
+#define SPATTER_RELATE_NAMED_PREDICATES_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "faults/fault.h"
+#include "geom/geometry.h"
+#include "relate/im_matrix.h"
+
+namespace spatter::relate {
+
+struct PredicateContext {
+  const faults::FaultState* faults = nullptr;
+};
+
+/// DE-9IM matrix of (a, b) honouring injected faults.
+Result<IntersectionMatrix> RelateMatrix(const geom::Geometry& a,
+                                        const geom::Geometry& b,
+                                        const PredicateContext& ctx = {});
+
+/// ST_Relate(a, b, pattern).
+Result<bool> RelatePattern(const geom::Geometry& a, const geom::Geometry& b,
+                           const std::string& pattern,
+                           const PredicateContext& ctx = {});
+
+Result<bool> Intersects(const geom::Geometry& a, const geom::Geometry& b,
+                        const PredicateContext& ctx = {});
+Result<bool> Disjoint(const geom::Geometry& a, const geom::Geometry& b,
+                      const PredicateContext& ctx = {});
+Result<bool> Within(const geom::Geometry& a, const geom::Geometry& b,
+                    const PredicateContext& ctx = {});
+Result<bool> Contains(const geom::Geometry& a, const geom::Geometry& b,
+                      const PredicateContext& ctx = {});
+Result<bool> Covers(const geom::Geometry& a, const geom::Geometry& b,
+                    const PredicateContext& ctx = {});
+Result<bool> CoveredBy(const geom::Geometry& a, const geom::Geometry& b,
+                       const PredicateContext& ctx = {});
+Result<bool> Crosses(const geom::Geometry& a, const geom::Geometry& b,
+                     const PredicateContext& ctx = {});
+Result<bool> Overlaps(const geom::Geometry& a, const geom::Geometry& b,
+                      const PredicateContext& ctx = {});
+Result<bool> Touches(const geom::Geometry& a, const geom::Geometry& b,
+                     const PredicateContext& ctx = {});
+/// Topological equality (ST_Equals), not structural equality.
+Result<bool> TopoEquals(const geom::Geometry& a, const geom::Geometry& b,
+                        const PredicateContext& ctx = {});
+
+}  // namespace spatter::relate
+
+#endif  // SPATTER_RELATE_NAMED_PREDICATES_H_

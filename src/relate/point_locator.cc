@@ -1,0 +1,155 @@
+#include "relate/point_locator.h"
+
+#include <cmath>
+
+#include "algo/ring_ops.h"
+#include "common/coverage.h"
+#include "geom/predicates.h"
+
+namespace spatter::relate {
+
+using geom::Coord;
+using geom::Geometry;
+using geom::GeomType;
+
+namespace {
+
+bool CoordsEqual(const Coord& a, const Coord& b, double eps) {
+  return std::fabs(a.x - b.x) <= eps && std::fabs(a.y - b.y) <= eps;
+}
+
+struct Scan {
+  bool areal_interior = false;
+  bool areal_boundary = false;
+  bool point_interior = false;
+  int endpoint_count = 0;
+  bool on_line = false;
+  bool has_empty_line_element = false;
+};
+
+void ScanBasic(const Coord& p, const Geometry& basic, double eps, Scan* scan) {
+  switch (basic.type()) {
+    case GeomType::kPoint: {
+      if (!basic.IsEmpty() &&
+          CoordsEqual(*geom::AsPoint(basic).coord(), p, eps)) {
+        scan->point_interior = true;
+      }
+      break;
+    }
+    case GeomType::kLineString: {
+      const auto& line = geom::AsLineString(basic);
+      if (line.IsEmpty()) {
+        scan->has_empty_line_element = true;
+        break;
+      }
+      if (!line.IsClosed() && line.NumPoints() >= 2) {
+        if (CoordsEqual(line.points().front(), p, eps)) {
+          scan->endpoint_count++;
+        }
+        if (CoordsEqual(line.points().back(), p, eps)) {
+          scan->endpoint_count++;
+        }
+      }
+      for (size_t i = 0; i + 1 < line.NumPoints(); ++i) {
+        if (geom::OnSegment(p, line.PointAt(i), line.PointAt(i + 1), eps)) {
+          scan->on_line = true;
+          break;
+        }
+      }
+      break;
+    }
+    case GeomType::kPolygon: {
+      const auto loc =
+          algo::LocateInPolygon(p, geom::AsPolygon(basic), eps);
+      if (loc == algo::RingLocation::kInterior) scan->areal_interior = true;
+      if (loc == algo::RingLocation::kBoundary) scan->areal_boundary = true;
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+Location Resolve(const Scan& scan, const faults::FaultState* faults) {
+  if (scan.areal_interior) {
+    SPATTER_COV("locate", "areal_interior");
+    return Location::kInterior;
+  }
+  if (scan.areal_boundary) {
+    SPATTER_COV("locate", "areal_boundary");
+    return Location::kBoundary;
+  }
+  if (scan.point_interior) {
+    SPATTER_COV("locate", "point_element_interior");
+    return Location::kInterior;
+  }
+  bool parity_applies = true;
+  if (scan.has_empty_line_element && faults &&
+      faults->Fire(faults::FaultId::kGeosBoundaryEmptyElementDrop)) {
+    // Injected bug: an EMPTY line element resets the mod-2 accumulator, so
+    // every endpoint is treated as interior.
+    parity_applies = false;
+  }
+  if (parity_applies && scan.endpoint_count % 2 == 1) {
+    SPATTER_COV("locate", "mod2_boundary");
+    return Location::kBoundary;
+  }
+  if (scan.on_line || scan.endpoint_count > 0) {
+    SPATTER_COV("locate", "line_interior");
+    return Location::kInterior;
+  }
+  SPATTER_COV("locate", "exterior");
+  return Location::kExterior;
+}
+
+}  // namespace
+
+Location LocatePoint(const Coord& p, const Geometry& g, double eps,
+                     const faults::FaultState* faults) {
+  if (g.type() == GeomType::kGeometryCollection && faults &&
+      faults->IsEnabled(faults::FaultId::kGeosGcBoundaryLastOneWins)) {
+    // Injected bug (paper Listing 6): resolve each element independently
+    // and let the last non-exterior element win, instead of combining with
+    // interior priority.
+    const auto& coll = geom::AsCollection(g);
+    Location result = Location::kExterior;
+    for (size_t i = 0; i < coll.NumElements(); ++i) {
+      const Location loc = LocatePoint(p, coll.ElementAt(i), eps, nullptr);
+      if (loc != Location::kExterior) {
+        faults->Fire(faults::FaultId::kGeosGcBoundaryLastOneWins);
+        result = loc;
+      }
+    }
+    return result;
+  }
+
+  Scan scan;
+  geom::ForEachBasic(g, [&](const Geometry& basic) {
+    ScanBasic(p, basic, eps, &scan);
+  });
+  return Resolve(scan, faults);
+}
+
+Location LocateAreal(const Coord& p, const Geometry& g, double eps) {
+  bool boundary = false;
+  bool interior = false;
+  geom::ForEachBasic(g, [&](const Geometry& basic) {
+    if (basic.type() != GeomType::kPolygon || basic.IsEmpty()) return;
+    const auto loc = algo::LocateInPolygon(p, geom::AsPolygon(basic), eps);
+    if (loc == algo::RingLocation::kInterior) interior = true;
+    if (loc == algo::RingLocation::kBoundary) boundary = true;
+  });
+  if (interior) return Location::kInterior;
+  if (boundary) return Location::kBoundary;
+  return Location::kExterior;
+}
+
+bool HasArealComponent(const Geometry& g) {
+  bool has = false;
+  geom::ForEachBasic(g, [&has](const Geometry& basic) {
+    if (basic.type() == GeomType::kPolygon && !basic.IsEmpty()) has = true;
+  });
+  return has;
+}
+
+}  // namespace spatter::relate

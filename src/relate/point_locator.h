@@ -1,0 +1,43 @@
+// Point location against arbitrary geometries, implementing the union
+// semantics with interior-priority for 0-dimensional elements and the OGC
+// mod-2 rule for line endpoints (DESIGN.md §4). This is the semantic core
+// the DE-9IM computer classifies pieces with — and the code site of the
+// "last-one-wins" GEOS bug (paper Listing 6), injectable via FaultState.
+#ifndef SPATTER_RELATE_POINT_LOCATOR_H_
+#define SPATTER_RELATE_POINT_LOCATOR_H_
+
+#include "faults/fault.h"
+#include "geom/geometry.h"
+#include "relate/im_matrix.h"
+
+namespace spatter::relate {
+
+/// Locates `p` relative to `g` (Interior / Boundary / Exterior).
+///
+/// Priority rules for mixed collections:
+///   1. interior of any areal element        -> Interior
+///   2. on a ring of any areal element       -> Boundary
+///   3. equal to a point element             -> Interior
+///   4. odd endpoint count over line elements-> Boundary   (mod-2 rule)
+///   5. on a line element                    -> Interior
+///   6. otherwise                            -> Exterior
+///
+/// With kGeosGcBoundaryLastOneWins enabled, GEOMETRYCOLLECTIONs are instead
+/// resolved by taking the location within the *last* element that does not
+/// report Exterior — the buggy strategy GEOS developers described.
+Location LocatePoint(const geom::Coord& p, const geom::Geometry& g,
+                     double eps = 0.0,
+                     const faults::FaultState* faults = nullptr);
+
+/// Location relative to only the areal (polygon) components of `g`, with
+/// union / interior-priority combination. Used by the relate computer's
+/// dimension-2 rules.
+Location LocateAreal(const geom::Coord& p, const geom::Geometry& g,
+                     double eps = 0.0);
+
+/// True if `g` has at least one non-empty polygon component.
+bool HasArealComponent(const geom::Geometry& g);
+
+}  // namespace spatter::relate
+
+#endif  // SPATTER_RELATE_POINT_LOCATOR_H_

@@ -1,0 +1,90 @@
+#include "relate/prepared.h"
+
+#include "common/coverage.h"
+
+namespace spatter::relate {
+
+using geom::Geometry;
+using geom::GeomType;
+
+PreparedGeometry::PreparedGeometry(const Geometry& target)
+    : target_(target), target_env_(target.GetEnvelope()) {
+  // Index the target's segments; point-only targets leave the index empty.
+  std::vector<index::RTreeEntry> entries;
+  uint64_t next_id = 0;
+  geom::ForEachBasic(target, [&](const Geometry& basic) {
+    auto add_seq = [&](const std::vector<geom::Coord>& pts) {
+      for (size_t i = 0; i + 1 < pts.size(); ++i) {
+        geom::Envelope box(pts[i]);
+        box.ExpandToInclude(pts[i + 1]);
+        entries.push_back({box, next_id++});
+      }
+    };
+    if (basic.type() == GeomType::kLineString) {
+      add_seq(geom::AsLineString(basic).points());
+    } else if (basic.type() == GeomType::kPolygon) {
+      for (const auto& ring : geom::AsPolygon(basic).rings()) add_seq(ring);
+    }
+  });
+  segment_index_.BulkLoad(std::move(entries));
+}
+
+bool PreparedGeometry::EnvelopeCandidate(const Geometry& candidate) const {
+  const geom::Envelope env = candidate.GetEnvelope();
+  if (env.IsNull() || target_env_.IsNull()) return false;
+  return target_env_.Intersects(env);
+}
+
+bool PreparedGeometry::StaleCacheHit(const Geometry& candidate,
+                                     const PredicateContext& ctx) const {
+  if (!ctx.faults ||
+      !ctx.faults->IsEnabled(faults::FaultId::kGeosPreparedStaleCache)) {
+    return false;
+  }
+  // Injected bug (paper Listing 7): the result cache is invalidated by the
+  // previous evaluation, so a candidate structurally identical to the one
+  // just evaluated reads a stale negative entry.
+  const bool hit = last_result_valid_ && last_candidate_ != nullptr &&
+                   last_candidate_->EqualsExact(candidate);
+  last_candidate_ = candidate.Clone();
+  last_result_valid_ = true;
+  if (hit) ctx.faults->Fire(faults::FaultId::kGeosPreparedStaleCache);
+  return hit;
+}
+
+Result<bool> PreparedGeometry::Intersects(const Geometry& candidate,
+                                          const PredicateContext& ctx) const {
+  SPATTER_COV("prepared", "intersects");
+  if (!candidate.IsEmpty() && !target_.IsEmpty() &&
+      !EnvelopeCandidate(candidate)) {
+    return false;  // disjoint envelopes cannot intersect.
+  }
+  exact_evals_++;
+  return relate::Intersects(target_, candidate, ctx);
+}
+
+Result<bool> PreparedGeometry::Contains(const Geometry& candidate,
+                                        const PredicateContext& ctx) const {
+  SPATTER_COV("prepared", "contains");
+  if (StaleCacheHit(candidate, ctx)) return false;
+  if (!candidate.IsEmpty() && !target_.IsEmpty() &&
+      !target_env_.Contains(candidate.GetEnvelope())) {
+    return false;  // containment requires envelope containment.
+  }
+  exact_evals_++;
+  return relate::Contains(target_, candidate, ctx);
+}
+
+Result<bool> PreparedGeometry::Covers(const Geometry& candidate,
+                                      const PredicateContext& ctx) const {
+  SPATTER_COV("prepared", "covers");
+  if (StaleCacheHit(candidate, ctx)) return false;
+  if (!candidate.IsEmpty() && !target_.IsEmpty() &&
+      !target_env_.Contains(candidate.GetEnvelope())) {
+    return false;
+  }
+  exact_evals_++;
+  return relate::Covers(target_, candidate, ctx);
+}
+
+}  // namespace spatter::relate

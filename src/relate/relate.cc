@@ -1,0 +1,278 @@
+#include "relate/relate.h"
+
+#include <vector>
+
+#include "algo/boundary.h"
+#include "algo/noding.h"
+#include "algo/ring_ops.h"
+#include "common/coverage.h"
+#include "geom/predicates.h"
+#include "relate/point_locator.h"
+
+namespace spatter::relate {
+
+using geom::Coord;
+using geom::Geometry;
+using geom::GeomType;
+
+namespace {
+
+void CollectSegments(const Geometry& g, int src,
+                     std::vector<algo::TaggedSegment>* segs) {
+  geom::ForEachBasic(g, [&](const Geometry& basic) {
+    if (basic.type() == GeomType::kLineString) {
+      const auto& pts = geom::AsLineString(basic).points();
+      bool emitted = false;
+      for (size_t i = 0; i + 1 < pts.size(); ++i) {
+        if (pts[i] != pts[i + 1]) {
+          segs->push_back({pts[i], pts[i + 1], src});
+          emitted = true;
+        }
+      }
+      if (!emitted && !pts.empty()) {
+        // Fully degenerate line: its point set is a single point, which
+        // must still produce a classification node.
+        segs->push_back({pts[0], pts[0], src});
+      }
+    } else if (basic.type() == GeomType::kPolygon) {
+      for (const auto& ring : geom::AsPolygon(basic).rings()) {
+        bool emitted = false;
+        for (size_t i = 0; i + 1 < ring.size(); ++i) {
+          if (ring[i] != ring[i + 1]) {
+            segs->push_back({ring[i], ring[i + 1], src});
+            emitted = true;
+          }
+        }
+        if (ring.size() >= 2 && ring.front() != ring.back()) {
+          segs->push_back({ring.back(), ring.front(), src});
+          emitted = true;
+        }
+        if (!emitted && !ring.empty()) {
+          segs->push_back({ring[0], ring[0], src});
+        }
+      }
+    }
+  });
+}
+
+void CollectPointCoords(const Geometry& g, std::vector<Coord>* pts) {
+  geom::ForEachBasic(g, [&](const Geometry& basic) {
+    if (basic.type() == GeomType::kPoint && !basic.IsEmpty()) {
+      pts->push_back(*geom::AsPoint(basic).coord());
+    }
+  });
+}
+
+std::vector<const geom::Polygon*> CollectPolygons(const Geometry& g) {
+  std::vector<const geom::Polygon*> polys;
+  geom::ForEachBasic(g, [&](const Geometry& basic) {
+    if (basic.type() == GeomType::kPolygon && !basic.IsEmpty()) {
+      polys.push_back(&geom::AsPolygon(basic));
+    }
+  });
+  return polys;
+}
+
+// Dimension of the boundary of g (for the empty-vs-nonempty entries).
+int BoundaryDim(const Geometry& g) {
+  return algo::Boundary(g)->Dimension();
+}
+
+// Dimension of the actual point set: a fully degenerate (zero-length) line
+// is a 0-dimensional set even though its declared type is 1-dimensional.
+// Used for the empty-versus-nonempty matrix entries so they agree with
+// the canonical representation of the same point set.
+int PointSetDimension(const Geometry& g) {
+  int dim = -1;
+  geom::ForEachBasic(g, [&dim](const Geometry& basic) {
+    switch (basic.type()) {
+      case GeomType::kPoint:
+        if (!basic.IsEmpty()) dim = std::max(dim, 0);
+        break;
+      case GeomType::kLineString: {
+        const auto& pts = geom::AsLineString(basic).points();
+        if (pts.empty()) break;
+        bool has_length = false;
+        for (size_t i = 0; i + 1 < pts.size(); ++i) {
+          if (pts[i] != pts[i + 1]) has_length = true;
+        }
+        dim = std::max(dim, has_length ? 1 : 0);
+        break;
+      }
+      case GeomType::kPolygon:
+        if (!basic.IsEmpty()) dim = std::max(dim, 2);
+        break;
+      default:
+        break;
+    }
+  });
+  return dim;
+}
+
+}  // namespace
+
+int NestingDepth(const Geometry& g) {
+  if (!g.IsCollection()) return 0;
+  const auto& coll = geom::AsCollection(g);
+  int depth = 0;
+  for (size_t i = 0; i < coll.NumElements(); ++i) {
+    depth = std::max(depth, NestingDepth(coll.ElementAt(i)));
+  }
+  return depth + 1;
+}
+
+int EffectiveDimension(const Geometry& g, const faults::FaultState* faults) {
+  if (faults && g.type() == GeomType::kGeometryCollection) {
+    const auto& coll = geom::AsCollection(g);
+    if (coll.NumElements() > 0 &&
+        faults->Fire(faults::FaultId::kGeosMixedDimensionFirstElement)) {
+      return coll.ElementAt(0).Dimension();
+    }
+  }
+  return g.Dimension();
+}
+
+Result<IntersectionMatrix> Relate(const Geometry& a, const Geometry& b,
+                                  const RelateOptions& opts) {
+  const auto* faults = opts.faults;
+  if (faults && (NestingDepth(a) >= 3 || NestingDepth(b) >= 3) &&
+      faults->Fire(faults::FaultId::kGeosCrashRelateNestedGc)) {
+    return Status::Crash(
+        "simulated GEOS crash: relate on deeply nested collections");
+  }
+
+  IntersectionMatrix im;
+  const bool a_empty = a.IsEmpty();
+  const bool b_empty = b.IsEmpty();
+  im.Set(Location::kExterior, Location::kExterior, 2);
+
+  if (a_empty && b_empty) {
+    SPATTER_COV("relate", "both_empty");
+    return im;
+  }
+  if (a_empty) {
+    SPATTER_COV("relate", "a_empty");
+    im.Set(Location::kExterior, Location::kInterior, PointSetDimension(b));
+    im.Set(Location::kExterior, Location::kBoundary, BoundaryDim(b));
+    return im;
+  }
+  if (b_empty) {
+    SPATTER_COV("relate", "b_empty");
+    im.Set(Location::kInterior, Location::kExterior, PointSetDimension(a));
+    im.Set(Location::kBoundary, Location::kExterior, BoundaryDim(a));
+    return im;
+  }
+
+  // 1. Node the combined linework. Isolated point elements join as
+  // degenerate segments so edges split at them too — otherwise an edge
+  // midpoint could coincide with a point element and misattribute the
+  // whole edge to that 0-dimensional intersection.
+  std::vector<algo::TaggedSegment> segs;
+  CollectSegments(a, 0, &segs);
+  CollectSegments(b, 1, &segs);
+  {
+    std::vector<Coord> pt_elems;
+    CollectPointCoords(a, &pt_elems);
+    CollectPointCoords(b, &pt_elems);
+    for (const Coord& p : pt_elems) segs.push_back({p, p, 2});
+  }
+  const algo::NodingResult noded = algo::NodeSegments(segs, opts.eps);
+
+  // 2. Classification points: all nodes plus isolated point elements.
+  std::vector<Coord> nodes = noded.nodes;
+  CollectPointCoords(a, &nodes);
+  CollectPointCoords(b, &nodes);
+
+  for (const Coord& node : nodes) {
+    const Location la = LocatePoint(node, a, opts.eps, faults);
+    const Location lb = LocatePoint(node, b, opts.eps, faults);
+    im.SetAtLeast(la, lb, 0);
+  }
+
+  // 3. Split-edge midpoints contribute dimension 1. Because edges are
+  // noded against both geometries, an open edge lies in a single location
+  // class of each geometry, and its midpoint witnesses that class.
+  const bool a_areal = HasArealComponent(a);
+  const bool b_areal = HasArealComponent(b);
+  bool areal_ii2 = false;
+  bool areal_ie2 = false;
+  bool areal_ei2 = false;
+  for (const auto& edge : noded.edges) {
+    const Coord mid = geom::Midpoint(edge.a, edge.b);
+    const Location la = LocatePoint(mid, a, opts.eps, faults);
+    const Location lb = LocatePoint(mid, b, opts.eps, faults);
+    im.SetAtLeast(la, lb, 1);
+    if (a_areal && b_areal) {
+      // Dimension-2 witnesses from areal piece classification: an edge on
+      // one geometry's areal boundary with its midpoint in the other's
+      // areal interior has 2-dimensional interior overlap on one side.
+      const Location aa = LocateAreal(mid, a, opts.eps);
+      const Location ab = LocateAreal(mid, b, opts.eps);
+      // An edge on one geometry's areal boundary separates that geometry's
+      // interior from its exterior locally; the other geometry's interior
+      // covers both sides when the midpoint is areal-interior to it.
+      if (aa == Location::kBoundary && ab == Location::kInterior) {
+        areal_ii2 = true;  // inner side of dA inside I(B)
+        areal_ei2 = true;  // outer side of dA inside I(B)
+      }
+      if (aa == Location::kInterior && ab == Location::kBoundary) {
+        areal_ii2 = true;
+        areal_ie2 = true;
+      }
+      if (aa == Location::kInterior && ab == Location::kInterior) {
+        areal_ii2 = true;
+      }
+      if ((aa == Location::kBoundary || aa == Location::kInterior) &&
+          ab == Location::kExterior) {
+        areal_ie2 = true;
+      }
+      if (aa == Location::kExterior &&
+          (ab == Location::kBoundary || ab == Location::kInterior)) {
+        areal_ei2 = true;
+      }
+    }
+  }
+
+  // 4. Areal dimension-2 entries.
+  if (a_areal && !b_areal) {
+    SPATTER_COV("relate", "areal_vs_nonareal");
+    // A's interior minus a measure-zero set still has dimension 2 in B's
+    // exterior.
+    im.SetAtLeast(Location::kInterior, Location::kExterior, 2);
+  }
+  if (b_areal && !a_areal) {
+    im.SetAtLeast(Location::kExterior, Location::kInterior, 2);
+  }
+  if (a_areal && b_areal) {
+    SPATTER_COV("relate", "areal_vs_areal");
+    // Interior-point witnesses handle containment/equality, where no edge
+    // piece lies strictly inside the other geometry.
+    for (const auto* poly : CollectPolygons(a)) {
+      if (auto ip = algo::InteriorPointOfPolygon(*poly)) {
+        const Location lb = LocateAreal(*ip, b, opts.eps);
+        if (lb == Location::kInterior) areal_ii2 = true;
+        if (lb == Location::kExterior) areal_ie2 = true;
+      }
+    }
+    for (const auto* poly : CollectPolygons(b)) {
+      if (auto ip = algo::InteriorPointOfPolygon(*poly)) {
+        const Location la = LocateAreal(*ip, a, opts.eps);
+        if (la == Location::kInterior) areal_ii2 = true;
+        if (la == Location::kExterior) areal_ei2 = true;
+      }
+    }
+    if (areal_ii2) {
+      im.SetAtLeast(Location::kInterior, Location::kInterior, 2);
+    }
+    if (areal_ie2) {
+      im.SetAtLeast(Location::kInterior, Location::kExterior, 2);
+    }
+    if (areal_ei2) {
+      im.SetAtLeast(Location::kExterior, Location::kInterior, 2);
+    }
+  }
+
+  return im;
+}
+
+}  // namespace spatter::relate

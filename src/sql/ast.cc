@@ -1,0 +1,91 @@
+#include "sql/ast.h"
+
+namespace spatter::sql {
+
+ExprPtr Expr::Clone() const {
+  auto out = std::make_unique<Expr>();
+  out->kind = kind;
+  out->text = text;
+  out->number = number;
+  out->bool_value = bool_value;
+  out->table = table;
+  out->name = name;
+  out->args.reserve(args.size());
+  for (const auto& a : args) out->args.push_back(a->Clone());
+  return out;
+}
+
+ExprPtr Expr::String(std::string s) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kStringLiteral;
+  e->text = std::move(s);
+  return e;
+}
+
+ExprPtr Expr::Number(double v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kNumberLiteral;
+  e->number = v;
+  return e;
+}
+
+ExprPtr Expr::Bool(bool v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kBoolLiteral;
+  e->bool_value = v;
+  return e;
+}
+
+ExprPtr Expr::Var(std::string name) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kVarRef;
+  e->name = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::Column(std::string table, std::string name) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kColumnRef;
+  e->table = std::move(table);
+  e->name = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::Func(std::string name, std::vector<ExprPtr> args) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kFuncCall;
+  e->name = std::move(name);
+  e->args = std::move(args);
+  return e;
+}
+
+ExprPtr Expr::Cast(ExprPtr inner) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kCastGeometry;
+  e->args.push_back(std::move(inner));
+  return e;
+}
+
+ExprPtr Expr::MakeSameAs(ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kSameAs;
+  e->args.push_back(std::move(lhs));
+  e->args.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr Expr::MakeNot(ExprPtr inner) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kNot;
+  e->args.push_back(std::move(inner));
+  return e;
+}
+
+ExprPtr Expr::MakeIsUnknown(ExprPtr inner) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kIsUnknown;
+  e->args.push_back(std::move(inner));
+  return e;
+}
+
+}  // namespace spatter::sql

@@ -1,0 +1,573 @@
+#include "sql/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace spatter::sql {
+
+namespace {
+
+enum class TokKind {
+  kIdent,    // CREATE, t1, ST_Covers
+  kVar,      // @g1
+  kNumber,   // 12, 0.5, -3 handled via unary minus in parser
+  kString,   // 'POINT(1 2)'
+  kSymbol,   // ( ) , . ; * = ~= ::
+  kEnd,
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;   // identifier/symbol/string payload
+  double number = 0.0;
+  size_t offset = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    while (true) {
+      SkipSpaceAndComments();
+      if (pos_ >= text_.size()) break;
+      const size_t start = pos_;
+      const char c = text_[pos_];
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        std::string ident;
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '_')) {
+          ident += text_[pos_++];
+        }
+        out.push_back({TokKind::kIdent, std::move(ident), 0.0, start});
+      } else if (c == '@') {
+        pos_++;
+        std::string name;
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '_')) {
+          name += text_[pos_++];
+        }
+        if (name.empty()) {
+          return Status::InvalidArgument("dangling '@' at offset " +
+                                         std::to_string(start));
+        }
+        out.push_back({TokKind::kVar, std::move(name), 0.0, start});
+      } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                 (c == '.' && pos_ + 1 < text_.size() &&
+                  std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])))) {
+        std::string num;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' ||
+                ((text_[pos_] == '+' || text_[pos_] == '-') && !num.empty() &&
+                 (num.back() == 'e' || num.back() == 'E')))) {
+          num += text_[pos_++];
+        }
+        Token tok{TokKind::kNumber, num, std::strtod(num.c_str(), nullptr),
+                  start};
+        out.push_back(std::move(tok));
+      } else if (c == '\'') {
+        pos_++;
+        std::string payload;
+        bool closed = false;
+        while (pos_ < text_.size()) {
+          if (text_[pos_] == '\'') {
+            if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '\'') {
+              payload += '\'';  // escaped quote
+              pos_ += 2;
+              continue;
+            }
+            pos_++;
+            closed = true;
+            break;
+          }
+          payload += text_[pos_++];
+        }
+        if (!closed) {
+          return Status::InvalidArgument("unterminated string literal");
+        }
+        out.push_back({TokKind::kString, std::move(payload), 0.0, start});
+      } else if (c == '~' && pos_ + 1 < text_.size() &&
+                 text_[pos_ + 1] == '=') {
+        pos_ += 2;
+        out.push_back({TokKind::kSymbol, "~=", 0.0, start});
+      } else if (c == ':' && pos_ + 1 < text_.size() &&
+                 text_[pos_ + 1] == ':') {
+        pos_ += 2;
+        out.push_back({TokKind::kSymbol, "::", 0.0, start});
+      } else if (std::string("(),.;*=-").find(c) != std::string::npos) {
+        pos_++;
+        out.push_back({TokKind::kSymbol, std::string(1, c), 0.0, start});
+      } else {
+        return Status::InvalidArgument(
+            std::string("unexpected character '") + c + "' at offset " +
+            std::to_string(start));
+      }
+    }
+    out.push_back({TokKind::kEnd, "", 0.0, pos_});
+    return out;
+  }
+
+ private:
+  void SkipSpaceAndComments() {
+    while (pos_ < text_.size()) {
+      if (std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+        pos_++;
+      } else if (text_[pos_] == '-' && pos_ + 1 < text_.size() &&
+                 text_[pos_ + 1] == '-') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') pos_++;
+      } else {
+        break;
+      }
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+  Result<StatementPtr> ParseOne() {
+    SPATTER_ASSIGN_OR_RETURN(StatementPtr stmt, ParseStatementInternal());
+    ConsumeSymbol(";");
+    if (!AtEnd()) {
+      return Status::InvalidArgument("trailing tokens after statement");
+    }
+    return stmt;
+  }
+
+  Result<std::vector<StatementPtr>> ParseAll() {
+    std::vector<StatementPtr> out;
+    while (!AtEnd()) {
+      if (ConsumeSymbol(";")) continue;
+      SPATTER_ASSIGN_OR_RETURN(StatementPtr stmt, ParseStatementInternal());
+      out.push_back(std::move(stmt));
+      if (!AtEnd() && !ConsumeSymbol(";")) {
+        return Status::InvalidArgument("expected ';' between statements");
+      }
+    }
+    return out;
+  }
+
+ private:
+  Result<StatementPtr> ParseStatementInternal() {
+    if (ConsumeKeyword("CREATE")) {
+      if (ConsumeKeyword("TABLE")) return ParseCreateTable();
+      if (ConsumeKeyword("INDEX")) return ParseCreateIndex();
+      return Status::InvalidArgument("expected TABLE or INDEX after CREATE");
+    }
+    if (ConsumeKeyword("DROP")) {
+      if (!ConsumeKeyword("TABLE")) {
+        return Status::InvalidArgument("expected TABLE after DROP");
+      }
+      auto stmt = std::make_unique<Statement>();
+      stmt->kind = Statement::Kind::kDropTable;
+      SPATTER_ASSIGN_OR_RETURN(stmt->table, ExpectIdent());
+      return stmt;
+    }
+    if (ConsumeKeyword("INSERT")) return ParseInsert();
+    if (ConsumeKeyword("SET")) return ParseSet();
+    if (ConsumeKeyword("SELECT")) return ParseSelect();
+    return Status::InvalidArgument("unsupported statement at '" +
+                                   Peek().text + "'");
+  }
+
+  Result<StatementPtr> ParseCreateTable() {
+    auto stmt = std::make_unique<Statement>();
+    stmt->kind = Statement::Kind::kCreateTable;
+    SPATTER_ASSIGN_OR_RETURN(stmt->table, ExpectIdent());
+    // "CREATE TABLE t AS SELECT ..." from Listing 8 is normalized by the
+    // test harness into CREATE + INSERT, so only column-list form parses.
+    SPATTER_RETURN_NOT_OK(ExpectSymbol("("));
+    do {
+      Statement::ColumnDef col;
+      SPATTER_ASSIGN_OR_RETURN(col.name, ExpectIdent());
+      SPATTER_ASSIGN_OR_RETURN(col.type, ExpectIdent());
+      stmt->columns.push_back(std::move(col));
+    } while (ConsumeSymbol(","));
+    SPATTER_RETURN_NOT_OK(ExpectSymbol(")"));
+    return stmt;
+  }
+
+  Result<StatementPtr> ParseCreateIndex() {
+    auto stmt = std::make_unique<Statement>();
+    stmt->kind = Statement::Kind::kCreateIndex;
+    SPATTER_ASSIGN_OR_RETURN(stmt->index_name, ExpectIdent());
+    if (!ConsumeKeyword("ON")) {
+      return Status::InvalidArgument("expected ON in CREATE INDEX");
+    }
+    SPATTER_ASSIGN_OR_RETURN(stmt->table, ExpectIdent());
+    if (ConsumeKeyword("USING")) {
+      SPATTER_ASSIGN_OR_RETURN(std::string method, ExpectIdent());
+      (void)method;  // GIST is the only supported method.
+    }
+    SPATTER_RETURN_NOT_OK(ExpectSymbol("("));
+    Statement::ColumnDef col;
+    SPATTER_ASSIGN_OR_RETURN(col.name, ExpectIdent());
+    stmt->columns.push_back(std::move(col));
+    SPATTER_RETURN_NOT_OK(ExpectSymbol(")"));
+    return stmt;
+  }
+
+  Result<StatementPtr> ParseInsert() {
+    auto stmt = std::make_unique<Statement>();
+    stmt->kind = Statement::Kind::kInsert;
+    if (!ConsumeKeyword("INTO")) {
+      return Status::InvalidArgument("expected INTO after INSERT");
+    }
+    SPATTER_ASSIGN_OR_RETURN(stmt->table, ExpectIdent());
+    if (ConsumeSymbol("(")) {
+      do {
+        SPATTER_ASSIGN_OR_RETURN(std::string col, ExpectIdent());
+        stmt->insert_cols.push_back(std::move(col));
+      } while (ConsumeSymbol(","));
+      SPATTER_RETURN_NOT_OK(ExpectSymbol(")"));
+    }
+    if (!ConsumeKeyword("VALUES")) {
+      return Status::InvalidArgument("expected VALUES in INSERT");
+    }
+    do {
+      SPATTER_RETURN_NOT_OK(ExpectSymbol("("));
+      std::vector<ExprPtr> row;
+      do {
+        SPATTER_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        row.push_back(std::move(e));
+      } while (ConsumeSymbol(","));
+      SPATTER_RETURN_NOT_OK(ExpectSymbol(")"));
+      stmt->rows.push_back(std::move(row));
+    } while (ConsumeSymbol(","));
+    return stmt;
+  }
+
+  Result<StatementPtr> ParseSet() {
+    auto stmt = std::make_unique<Statement>();
+    stmt->kind = Statement::Kind::kSet;
+    if (Peek().kind == TokKind::kVar) {
+      stmt->set_name = "@" + Peek().text;
+      Advance();
+    } else {
+      SPATTER_ASSIGN_OR_RETURN(stmt->set_name, ExpectIdent());
+    }
+    SPATTER_RETURN_NOT_OK(ExpectSymbol("="));
+    SPATTER_ASSIGN_OR_RETURN(stmt->set_value, ParseExpr());
+    return stmt;
+  }
+
+  Result<StatementPtr> ParseSelect() {
+    auto stmt = std::make_unique<Statement>();
+    // COUNT(*) form?
+    if (PeekKeyword("COUNT")) {
+      Advance();
+      SPATTER_RETURN_NOT_OK(ExpectSymbol("("));
+      SPATTER_RETURN_NOT_OK(ExpectSymbol("*"));
+      SPATTER_RETURN_NOT_OK(ExpectSymbol(")"));
+      if (!ConsumeKeyword("FROM")) {
+        return Status::InvalidArgument("expected FROM after COUNT(*)");
+      }
+      SPATTER_ASSIGN_OR_RETURN(stmt->table, ExpectIdent());
+      if (ConsumeKeyword("JOIN")) {
+        stmt->kind = Statement::Kind::kSelectCountJoin;
+        SPATTER_ASSIGN_OR_RETURN(stmt->table2, ExpectIdent());
+        if (!ConsumeKeyword("ON")) {
+          return Status::InvalidArgument("expected ON after JOIN");
+        }
+        SPATTER_ASSIGN_OR_RETURN(stmt->condition, ParseExpr());
+        return stmt;
+      }
+      stmt->kind = Statement::Kind::kSelectCountWhere;
+      if (ConsumeKeyword("WHERE")) {
+        SPATTER_ASSIGN_OR_RETURN(stmt->condition, ParseExpr());
+      }
+      return stmt;
+    }
+    // Scalar select list (no FROM support needed beyond the subset).
+    stmt->kind = Statement::Kind::kSelectScalar;
+    do {
+      SPATTER_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      stmt->select_list.push_back(std::move(e));
+    } while (ConsumeSymbol(","));
+    if (PeekKeyword("FROM")) {
+      return Status::InvalidArgument(
+          "scalar SELECT with FROM is outside the supported subset");
+    }
+    return stmt;
+  }
+
+  // expr := unary ( '~=' unary | IS [NOT] NULL/UNKNOWN )*
+  Result<ExprPtr> ParseExpr() {
+    SPATTER_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    while (true) {
+      if (PeekSymbol("~=")) {
+        Advance();
+        SPATTER_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+        lhs = Expr::MakeSameAs(std::move(lhs), std::move(rhs));
+      } else if (PeekKeyword("IS")) {
+        Advance();
+        const bool negated = ConsumeKeyword("NOT");
+        if (!(ConsumeKeyword("NULL") || ConsumeKeyword("UNKNOWN"))) {
+          return Status::InvalidArgument("expected NULL or UNKNOWN after IS");
+        }
+        lhs = Expr::MakeIsUnknown(std::move(lhs));
+        if (negated) lhs = Expr::MakeNot(std::move(lhs));
+      } else {
+        break;
+      }
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (ConsumeKeyword("NOT")) {
+      SPATTER_ASSIGN_OR_RETURN(ExprPtr inner, ParseUnary());
+      return Expr::MakeNot(std::move(inner));
+    }
+    if (ConsumeSymbol("-")) {
+      SPATTER_ASSIGN_OR_RETURN(ExprPtr inner, ParsePrimary());
+      if (inner->kind != Expr::Kind::kNumberLiteral) {
+        return Status::InvalidArgument("unary '-' expects a number");
+      }
+      inner->number = -inner->number;
+      return inner;
+    }
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    ExprPtr base;
+    const Token& tok = Peek();
+    switch (tok.kind) {
+      case TokKind::kString: {
+        base = Expr::String(tok.text);
+        Advance();
+        break;
+      }
+      case TokKind::kNumber: {
+        base = Expr::Number(tok.number);
+        Advance();
+        break;
+      }
+      case TokKind::kVar: {
+        base = Expr::Var(tok.text);
+        Advance();
+        break;
+      }
+      case TokKind::kIdent: {
+        if (EqualsIgnoreCase(tok.text, "TRUE") ||
+            EqualsIgnoreCase(tok.text, "FALSE")) {
+          base = Expr::Bool(EqualsIgnoreCase(tok.text, "TRUE"));
+          Advance();
+          break;
+        }
+        std::string name = tok.text;
+        Advance();
+        if (PeekSymbol("(")) {
+          Advance();
+          std::vector<ExprPtr> args;
+          if (!PeekSymbol(")")) {
+            do {
+              SPATTER_ASSIGN_OR_RETURN(ExprPtr a, ParseExpr());
+              args.push_back(std::move(a));
+            } while (ConsumeSymbol(","));
+          }
+          SPATTER_RETURN_NOT_OK(ExpectSymbol(")"));
+          base = Expr::Func(std::move(name), std::move(args));
+        } else if (PeekSymbol(".")) {
+          Advance();
+          SPATTER_ASSIGN_OR_RETURN(std::string col, ExpectIdent());
+          base = Expr::Column(std::move(name), std::move(col));
+        } else {
+          base = Expr::Column("", std::move(name));
+        }
+        break;
+      }
+      case TokKind::kSymbol: {
+        if (tok.text == "(") {
+          Advance();
+          SPATTER_ASSIGN_OR_RETURN(base, ParseExpr());
+          SPATTER_RETURN_NOT_OK(ExpectSymbol(")"));
+          break;
+        }
+        return Status::InvalidArgument("unexpected symbol '" + tok.text +
+                                       "' in expression");
+      }
+      case TokKind::kEnd:
+        return Status::InvalidArgument("unexpected end of input");
+    }
+    // Postfix ::geometry casts (possibly chained, though once is typical).
+    while (PeekSymbol("::")) {
+      Advance();
+      SPATTER_ASSIGN_OR_RETURN(std::string type, ExpectIdent());
+      if (!EqualsIgnoreCase(type, "geometry")) {
+        return Status::InvalidArgument("unsupported cast target '" + type +
+                                       "'");
+      }
+      base = Expr::Cast(std::move(base));
+    }
+    return base;
+  }
+
+  // --- token helpers -------------------------------------------------------
+  const Token& Peek() const { return toks_[pos_]; }
+  void Advance() { pos_++; }
+  bool AtEnd() const { return Peek().kind == TokKind::kEnd; }
+
+  bool PeekKeyword(const char* kw) const {
+    return Peek().kind == TokKind::kIdent && EqualsIgnoreCase(Peek().text, kw);
+  }
+  bool ConsumeKeyword(const char* kw) {
+    if (PeekKeyword(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool PeekSymbol(const char* sym) const {
+    return Peek().kind == TokKind::kSymbol && Peek().text == sym;
+  }
+  bool ConsumeSymbol(const char* sym) {
+    if (PeekSymbol(sym)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status ExpectSymbol(const char* sym) {
+    if (!ConsumeSymbol(sym)) {
+      return Status::InvalidArgument(std::string("expected '") + sym +
+                                     "' near '" + Peek().text + "'");
+    }
+    return Status::OK();
+  }
+  Result<std::string> ExpectIdent() {
+    if (Peek().kind != TokKind::kIdent) {
+      return Status::InvalidArgument("expected identifier near '" +
+                                     Peek().text + "'");
+    }
+    std::string out = Peek().text;
+    Advance();
+    return out;
+  }
+
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<StatementPtr> ParseStatement(const std::string& text) {
+  SPATTER_ASSIGN_OR_RETURN(std::vector<Token> toks, Lexer(text).Tokenize());
+  return Parser(std::move(toks)).ParseOne();
+}
+
+Result<std::vector<StatementPtr>> ParseScript(const std::string& text) {
+  SPATTER_ASSIGN_OR_RETURN(std::vector<Token> toks, Lexer(text).Tokenize());
+  return Parser(std::move(toks)).ParseAll();
+}
+
+namespace {
+
+std::string QuoteString(const std::string& s) {
+  std::string out = "'";
+  for (char c : s) {
+    if (c == '\'') out += "''";
+    else out += c;
+  }
+  out += "'";
+  return out;
+}
+
+}  // namespace
+
+std::string PrintExpr(const Expr& e) {
+  switch (e.kind) {
+    case Expr::Kind::kStringLiteral:
+      return QuoteString(e.text);
+    case Expr::Kind::kNumberLiteral:
+      return FormatCoord(e.number);
+    case Expr::Kind::kBoolLiteral:
+      return e.bool_value ? "true" : "false";
+    case Expr::Kind::kVarRef:
+      return "@" + e.name;
+    case Expr::Kind::kColumnRef:
+      return e.table.empty() ? e.name : e.table + "." + e.name;
+    case Expr::Kind::kFuncCall: {
+      std::string out = e.name + "(";
+      for (size_t i = 0; i < e.args.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += PrintExpr(*e.args[i]);
+      }
+      return out + ")";
+    }
+    case Expr::Kind::kCastGeometry:
+      return PrintExpr(*e.args[0]) + "::geometry";
+    case Expr::Kind::kSameAs:
+      return PrintExpr(*e.args[0]) + " ~= " + PrintExpr(*e.args[1]);
+    case Expr::Kind::kNot:
+      return "NOT (" + PrintExpr(*e.args[0]) + ")";
+    case Expr::Kind::kIsUnknown:
+      return "(" + PrintExpr(*e.args[0]) + ") IS UNKNOWN";
+  }
+  return "<expr>";
+}
+
+std::string PrintStatement(const Statement& s) {
+  switch (s.kind) {
+    case Statement::Kind::kCreateTable: {
+      std::string out = "CREATE TABLE " + s.table + " (";
+      for (size_t i = 0; i < s.columns.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += s.columns[i].name + " " + s.columns[i].type;
+      }
+      return out + ");";
+    }
+    case Statement::Kind::kCreateIndex:
+      return "CREATE INDEX " + s.index_name + " ON " + s.table +
+             " USING GIST (" + s.columns[0].name + ");";
+    case Statement::Kind::kDropTable:
+      return "DROP TABLE " + s.table + ";";
+    case Statement::Kind::kInsert: {
+      std::string out = "INSERT INTO " + s.table;
+      if (!s.insert_cols.empty()) {
+        out += " (" + Join(s.insert_cols, ", ") + ")";
+      }
+      out += " VALUES ";
+      for (size_t r = 0; r < s.rows.size(); ++r) {
+        if (r > 0) out += ", ";
+        out += "(";
+        for (size_t c = 0; c < s.rows[r].size(); ++c) {
+          if (c > 0) out += ", ";
+          out += PrintExpr(*s.rows[r][c]);
+        }
+        out += ")";
+      }
+      return out + ";";
+    }
+    case Statement::Kind::kSet:
+      return "SET " + s.set_name + " = " + PrintExpr(*s.set_value) + ";";
+    case Statement::Kind::kSelectCountJoin:
+      return "SELECT COUNT(*) FROM " + s.table + " JOIN " + s.table2 +
+             " ON " + PrintExpr(*s.condition) + ";";
+    case Statement::Kind::kSelectCountWhere: {
+      std::string out = "SELECT COUNT(*) FROM " + s.table;
+      if (s.condition) out += " WHERE " + PrintExpr(*s.condition);
+      return out + ";";
+    }
+    case Statement::Kind::kSelectScalar: {
+      std::vector<std::string> parts;
+      for (const auto& e : s.select_list) parts.push_back(PrintExpr(*e));
+      return "SELECT " + Join(parts, ", ") + ";";
+    }
+  }
+  return "<stmt>";
+}
+
+}  // namespace spatter::sql

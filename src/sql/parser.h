@@ -1,0 +1,29 @@
+// SQL tokenizer and recursive-descent parser for the Spatter subset.
+#ifndef SPATTER_SQL_PARSER_H_
+#define SPATTER_SQL_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace spatter::sql {
+
+/// Parses a single statement (trailing ';' optional).
+Result<StatementPtr> ParseStatement(const std::string& text);
+
+/// Parses a ';'-separated script into statements; empty fragments are
+/// skipped, "--" comments run to end of line.
+Result<std::vector<StatementPtr>> ParseScript(const std::string& text);
+
+/// Renders a statement back to SQL (the reducer and bug reports use this;
+/// the output parses back to an equivalent statement).
+std::string PrintStatement(const Statement& stmt);
+
+/// Renders an expression back to SQL.
+std::string PrintExpr(const Expr& expr);
+
+}  // namespace spatter::sql
+
+#endif  // SPATTER_SQL_PARSER_H_

@@ -1,0 +1,158 @@
+// spatter — the command-line fuzzer, as a user of the open-source release
+// would run it:
+//
+//   spatter --dialect=postgis --seed=42 --iterations=100 --queries=100 \
+//           --geometries=10 [--no-derivative] [--fixed] [--reduce]
+//
+// Runs an AEI campaign against the chosen (faulty by default) dialect and
+// prints each deduplicated unique bug with a minimal SQL reproducer.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "fuzz/campaign.h"
+#include "fuzz/reducer.h"
+
+using namespace spatter;  // NOLINT
+
+namespace {
+
+struct Options {
+  engine::Dialect dialect = engine::Dialect::kPostgis;
+  uint64_t seed = 42;
+  size_t iterations = 100;
+  size_t queries = 100;
+  size_t geometries = 10;
+  bool derivative = true;
+  bool enable_faults = true;
+  bool reduce = true;
+};
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: spatter [options]\n"
+      "  --dialect=postgis|duckdb|mysql|sqlserver   system under test\n"
+      "  --seed=N          campaign seed (default 42)\n"
+      "  --iterations=N    database generations (default 100)\n"
+      "  --queries=N       random queries per generation (default 100)\n"
+      "  --geometries=N    geometries per database (default 10)\n"
+      "  --no-derivative   random-shape strategy only (RSG ablation)\n"
+      "  --fixed           run against the fixed engine (expect 0 bugs)\n"
+      "  --no-reduce       skip test-case reduction\n");
+}
+
+bool ParseFlag(const char* arg, const char* name, std::string* value) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *value = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+bool ParseArgs(int argc, char** argv, Options* opts) {
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (ParseFlag(argv[i], "--dialect", &value)) {
+      if (value == "postgis") {
+        opts->dialect = engine::Dialect::kPostgis;
+      } else if (value == "duckdb") {
+        opts->dialect = engine::Dialect::kDuckdbSpatial;
+      } else if (value == "mysql") {
+        opts->dialect = engine::Dialect::kMysql;
+      } else if (value == "sqlserver") {
+        opts->dialect = engine::Dialect::kSqlserver;
+      } else {
+        std::fprintf(stderr, "unknown dialect '%s'\n", value.c_str());
+        return false;
+      }
+    } else if (ParseFlag(argv[i], "--seed", &value)) {
+      opts->seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--iterations", &value)) {
+      opts->iterations = std::strtoul(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--queries", &value)) {
+      opts->queries = std::strtoul(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--geometries", &value)) {
+      opts->geometries = std::strtoul(value.c_str(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--no-derivative") == 0) {
+      opts->derivative = false;
+    } else if (std::strcmp(argv[i], "--fixed") == 0) {
+      opts->enable_faults = false;
+    } else if (std::strcmp(argv[i], "--no-reduce") == 0) {
+      opts->reduce = false;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      Usage();
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  if (!ParseArgs(argc, argv, &opts)) {
+    Usage();
+    return 2;
+  }
+
+  fuzz::CampaignConfig config;
+  config.dialect = opts.dialect;
+  config.seed = opts.seed;
+  config.iterations = opts.iterations;
+  config.queries_per_iteration = opts.queries;
+  config.generator.num_geometries = opts.geometries;
+  config.generator.derivative_enabled = opts.derivative;
+  config.enable_faults = opts.enable_faults;
+
+  std::printf("spatter: %s engine (%s), seed %llu, %zu x %zu checks, "
+              "N=%zu, generator=%s\n",
+              engine::DialectName(opts.dialect),
+              opts.enable_faults ? "faulty" : "fixed",
+              static_cast<unsigned long long>(opts.seed), opts.iterations,
+              opts.queries, opts.geometries,
+              opts.derivative ? "geometry-aware" : "random-shape");
+
+  fuzz::Campaign campaign(config);
+  const fuzz::CampaignResult result = campaign.Run();
+
+  std::printf("\n%zu discrepancies -> %zu unique bugs in %.2fs "
+              "(%.2fs inside the engine, %.0f%%)\n",
+              result.discrepancies.size(), result.unique_bugs.size(),
+              result.total_seconds, result.engine_seconds,
+              result.total_seconds > 0
+                  ? 100.0 * result.engine_seconds / result.total_seconds
+                  : 0.0);
+
+  int bug_no = 0;
+  for (const auto& [id, first] : result.unique_bugs) {
+    const auto& info = faults::GetFaultInfo(id);
+    std::printf("\n=== bug %d: %s [%s, %s, %s] ===\n", ++bug_no, info.name,
+                faults::ComponentName(info.component),
+                faults::BugKindName(info.kind),
+                faults::BugStatusName(info.status));
+    std::printf("%s\n", info.description);
+    fuzz::Discrepancy repro = first;
+    if (opts.reduce && !first.is_crash) {
+      fuzz::ReductionStats stats;
+      repro = fuzz::ReduceDiscrepancy(&campaign.engine(), first, &stats);
+    }
+    for (const auto& stmt : repro.sdb1.ToSql()) {
+      std::printf("  %s\n", stmt.c_str());
+    }
+    if (!repro.is_crash) {
+      std::printf("  %s\n", repro.query.ToSql().c_str());
+      std::printf("  -- transform %s, observed %s\n",
+                  repro.transform.ToString().c_str(), repro.detail.c_str());
+    } else {
+      std::printf("  -- crash: %s\n", repro.detail.c_str());
+    }
+  }
+  return result.unique_bugs.empty() && opts.enable_faults ? 1 : 0;
+}

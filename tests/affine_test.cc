@@ -1,0 +1,125 @@
+// Affine transform tests: algebra, inverses, geometry application, and the
+// random integer mapping matrices of Algorithm 2.
+#include "algo/affine.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "fuzz/aei.h"
+#include "geom/wkt_reader.h"
+
+namespace spatter::algo {
+namespace {
+
+using geom::Coord;
+
+TEST(AffineTransform, IdentityIsNeutral) {
+  const auto t = AffineTransform::Identity();
+  EXPECT_TRUE(t.IsIdentity());
+  EXPECT_EQ(t.Apply(Coord{3, -4}), Coord(3, -4));
+  EXPECT_DOUBLE_EQ(t.Determinant(), 1.0);
+}
+
+TEST(AffineTransform, TranslationScalingShear) {
+  EXPECT_EQ(AffineTransform::Translation(2, 3).Apply({1, 1}), Coord(3, 4));
+  EXPECT_EQ(AffineTransform::Scaling(2, 0.5).Apply({4, 4}), Coord(8, 2));
+  EXPECT_EQ(AffineTransform::ShearX(1).Apply({0, 2}), Coord(2, 2));
+  EXPECT_EQ(AffineTransform::ShearY(1).Apply({2, 0}), Coord(2, 2));
+  EXPECT_EQ(AffineTransform::SwapXY().Apply({3, 7}), Coord(7, 3));
+}
+
+TEST(AffineTransform, RotationQuarterTurn) {
+  const auto t = AffineTransform::Rotation(M_PI / 2);
+  const Coord p = t.Apply({1, 0});
+  EXPECT_NEAR(p.x, 0.0, 1e-12);
+  EXPECT_NEAR(p.y, 1.0, 1e-12);
+}
+
+TEST(AffineTransform, InverseRoundTrips) {
+  const AffineTransform t(2, 1, -1, 3, 5, -7);
+  ASSERT_TRUE(t.IsInvertible());
+  const auto inv = t.Inverse();
+  ASSERT_TRUE(inv.ok());
+  for (const Coord p : {Coord{0, 0}, Coord{1, 2}, Coord{-3, 10}}) {
+    const Coord round = inv.value().Apply(t.Apply(p));
+    EXPECT_NEAR(round.x, p.x, 1e-9);
+    EXPECT_NEAR(round.y, p.y, 1e-9);
+  }
+}
+
+TEST(AffineTransform, SingularHasNoInverse) {
+  const AffineTransform t(1, 2, 2, 4, 0, 0);
+  EXPECT_FALSE(t.IsInvertible());
+  EXPECT_FALSE(t.Inverse().ok());
+}
+
+TEST(AffineTransform, ComposeOrder) {
+  const auto scale = AffineTransform::Scaling(2, 2);
+  const auto shift = AffineTransform::Translation(1, 0);
+  // (shift ∘ scale)(p) = shift(scale(p)).
+  EXPECT_EQ(shift.Compose(scale).Apply({1, 1}), Coord(3, 2));
+  EXPECT_EQ(scale.Compose(shift).Apply({1, 1}), Coord(4, 2));
+}
+
+TEST(AffineTransform, MappingMatrixLayout) {
+  const AffineTransform t(1, 2, 3, 4, 5, 6);
+  const auto m = t.MappingMatrix();
+  // Row-major [A b; 0 1] of Equation (4).
+  EXPECT_EQ(m[0], 1);
+  EXPECT_EQ(m[1], 2);
+  EXPECT_EQ(m[2], 5);
+  EXPECT_EQ(m[3], 3);
+  EXPECT_EQ(m[4], 4);
+  EXPECT_EQ(m[5], 6);
+  EXPECT_EQ(m[6], 0);
+  EXPECT_EQ(m[7], 0);
+  EXPECT_EQ(m[8], 1);
+}
+
+TEST(AffineTransform, ApplyToGeometryDeepCopies) {
+  auto g = geom::ReadWkt("POLYGON((0 0,1 0,1 1,0 1,0 0))").Take();
+  const auto t = AffineTransform::Scaling(10, 10);
+  const auto scaled = t.Apply(*g);
+  EXPECT_EQ(scaled->ToWkt(), "POLYGON((0 0,10 0,10 10,0 10,0 0))");
+  EXPECT_EQ(g->ToWkt(), "POLYGON((0 0,1 0,1 1,0 1,0 0))");
+}
+
+TEST(AffineTransform3D, InverseAndCompose) {
+  const AffineTransform3D t({2, 0, 0, 0, 3, 0, 0, 0, 4}, {1, 2, 3});
+  EXPECT_DOUBLE_EQ(t.Determinant(), 24.0);
+  const auto inv = t.Inverse();
+  ASSERT_TRUE(inv.ok());
+  const auto p = inv.value().Apply(t.Apply({1, 1, 1}));
+  EXPECT_NEAR(p[0], 1.0, 1e-12);
+  EXPECT_NEAR(p[1], 1.0, 1e-12);
+  EXPECT_NEAR(p[2], 1.0, 1e-12);
+  const auto ident = t.Compose(inv.value());
+  const auto q = ident.Apply({5, -6, 7});
+  EXPECT_NEAR(q[0], 5.0, 1e-9);
+  EXPECT_NEAR(q[1], -6.0, 1e-9);
+  EXPECT_NEAR(q[2], 7.0, 1e-9);
+}
+
+TEST(AffineTransform3D, MappingMatrixIs4x4) {
+  const AffineTransform3D t;
+  const auto m = t.MappingMatrix();
+  EXPECT_EQ(m.size(), 16u);
+  EXPECT_EQ(m[0], 1);
+  EXPECT_EQ(m[15], 1);
+}
+
+TEST(RandomIntegerAffine, AlwaysInvertibleAndIntegerValued) {
+  spatter::Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const auto t = fuzz::RandomIntegerAffine(&rng);
+    EXPECT_TRUE(t.IsInvertible());
+    for (double v : {t.a11(), t.a12(), t.a21(), t.a22(), t.b1(), t.b2()}) {
+      EXPECT_EQ(v, std::floor(v)) << "matrix entries must be integers";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace spatter::algo

@@ -1,0 +1,128 @@
+// Canonicalization tests (paper §4.3): element level, value level, shape
+// keys, and the figure-6 running example.
+#include "algo/canonicalize.h"
+
+#include <gtest/gtest.h>
+
+#include "algo/ring_ops.h"
+#include "geom/wkt_reader.h"
+
+namespace spatter::algo {
+namespace {
+
+geom::GeomPtr Read(const std::string& wkt) {
+  auto r = geom::ReadWkt(wkt);
+  EXPECT_TRUE(r.ok()) << wkt;
+  return r.Take();
+}
+
+std::string Canon(const std::string& wkt) {
+  return Canonicalize(*Read(wkt))->ToWkt();
+}
+
+TEST(Canonicalize, PaperFigure6Example) {
+  // MULTILINESTRING((0 2,1 0,3 1,3 1,5 0),EMPTY):
+  // EMPTY removal -> homogenization -> consecutive-duplicate removal.
+  EXPECT_EQ(Canon("MULTILINESTRING((0 2,1 0,3 1,3 1,5 0),EMPTY)"),
+            "LINESTRING(0 2,1 0,3 1,5 0)");
+}
+
+TEST(Canonicalize, ValueLevelLineReversal) {
+  // Endpoint comparison on x then y: reversed when last < first.
+  EXPECT_EQ(Canon("LINESTRING(5 0,0 0)"), "LINESTRING(0 0,5 0)");
+  EXPECT_EQ(Canon("LINESTRING(0 0,5 0)"), "LINESTRING(0 0,5 0)");
+  EXPECT_EQ(Canon("LINESTRING(0 5,0 0)"), "LINESTRING(0 0,0 5)");
+}
+
+TEST(Canonicalize, ValueLevelConsecutiveDuplicates) {
+  EXPECT_EQ(Canon("LINESTRING(0 0,0 0,1 1,1 1,2 2)"),
+            "LINESTRING(0 0,1 1,2 2)");
+  EXPECT_EQ(Canon("POINT(3 4)"), "POINT(3 4)");
+}
+
+TEST(Canonicalize, PolygonRingsForcedClockwise) {
+  const auto canon = Canonicalize(*Read("POLYGON((0 0,10 0,10 10,0 10,0 0))"));
+  const auto& poly = geom::AsPolygon(*canon);
+  EXPECT_LT(SignedRingArea(poly.Shell()), 0.0) << "shell must be clockwise";
+  // Already-clockwise input is untouched.
+  const auto canon2 =
+      Canonicalize(*Read("POLYGON((0 0,0 10,10 10,10 0,0 0))"));
+  EXPECT_LT(SignedRingArea(geom::AsPolygon(*canon2).Shell()), 0.0);
+}
+
+TEST(Canonicalize, ElementLevelEmptyRemoval) {
+  EXPECT_EQ(Canon("MULTIPOINT(EMPTY,(1 1),EMPTY)"), "POINT(1 1)");
+  EXPECT_EQ(Canon("GEOMETRYCOLLECTION(POINT EMPTY,LINESTRING EMPTY)"),
+            "GEOMETRYCOLLECTION EMPTY");
+}
+
+TEST(Canonicalize, ElementLevelDuplicateRemovalByShape) {
+  // The two lines have different representations but the same shape.
+  EXPECT_EQ(Canon("MULTILINESTRING((0 0,2 2),(2 2,0 0))"),
+            "LINESTRING(0 0,2 2)");
+  // Distinct shapes survive.
+  const std::string two = Canon("MULTILINESTRING((0 0,2 2),(0 0,3 3))");
+  EXPECT_EQ(two, "MULTILINESTRING((0 0,2 2),(0 0,3 3))");
+}
+
+TEST(Canonicalize, ElementLevelReorderByDimension) {
+  const std::string canon = Canon(
+      "GEOMETRYCOLLECTION(POLYGON((0 0,1 0,1 1,0 0)),POINT(5 5),"
+      "LINESTRING(0 0,1 1))");
+  // Points first, then lines, then polygons (ring forced clockwise).
+  EXPECT_EQ(canon,
+            "GEOMETRYCOLLECTION(POINT(5 5),LINESTRING(0 0,1 1),"
+            "POLYGON((0 0,1 1,1 0,0 0)))");
+}
+
+TEST(Canonicalize, FlattensNestedCollections) {
+  EXPECT_EQ(Canon("GEOMETRYCOLLECTION(GEOMETRYCOLLECTION(POINT(1 1)))"),
+            "POINT(1 1)");
+  EXPECT_EQ(Canon("GEOMETRYCOLLECTION(MULTIPOINT((1 1),(2 2)))"),
+            "MULTIPOINT((1 1),(2 2))")
+      << "same-type elements homogenize into the MULTI type";
+}
+
+TEST(Canonicalize, HomogenizationPreservesMultiTypeWhenPossible) {
+  EXPECT_EQ(Canon("MULTIPOINT((2 2),(1 1),(1 1))"),
+            "MULTIPOINT((1 1),(2 2))");
+}
+
+TEST(Canonicalize, BasicGeometriesPassThrough) {
+  EXPECT_EQ(Canon("POINT EMPTY"), "POINT EMPTY");
+  EXPECT_EQ(Canon("POLYGON EMPTY"), "POLYGON EMPTY");
+}
+
+TEST(CanonicalizeValueLevel, DoesNotTouchElementStructure) {
+  const auto g = CanonicalizeValueLevel(
+      *Read("MULTILINESTRING((5 0,0 0),EMPTY)"));
+  EXPECT_EQ(g->ToWkt(), "MULTILINESTRING((0 0,5 0),EMPTY)");
+}
+
+TEST(ShapeKey, RepresentationIndependent) {
+  EXPECT_EQ(ShapeKey(*Read("LINESTRING(0 0,2 2)")),
+            ShapeKey(*Read("LINESTRING(2 2,0 0)")));
+  // Ring rotation and orientation do not change the key.
+  EXPECT_EQ(ShapeKey(*Read("POLYGON((0 0,4 0,4 4,0 4,0 0))")),
+            ShapeKey(*Read("POLYGON((4 4,0 4,0 0,4 0,4 4))")));
+  EXPECT_EQ(ShapeKey(*Read("POLYGON((0 0,4 0,4 4,0 4,0 0))")),
+            ShapeKey(*Read("POLYGON((0 0,0 4,4 4,4 0,0 0))")));
+  EXPECT_NE(ShapeKey(*Read("POLYGON((0 0,4 0,4 4,0 4,0 0))")),
+            ShapeKey(*Read("POLYGON((0 0,4 0,4 4,0 0))")));
+}
+
+TEST(Canonicalize, IdempotentOnVariedInputs) {
+  for (const char* wkt : {
+           "MULTILINESTRING((0 2,1 0,3 1,3 1,5 0),EMPTY)",
+           "GEOMETRYCOLLECTION(POLYGON((0 0,1 0,1 1,0 0)),POINT(5 5))",
+           "MULTIPOINT((2 2),(1 1),(1 1))",
+           "LINESTRING(5 0,0 0)",
+           "GEOMETRYCOLLECTION(GEOMETRYCOLLECTION(POINT(1 1)),POINT EMPTY)",
+       }) {
+    const std::string once = Canon(wkt);
+    EXPECT_EQ(Canon(once), once) << wkt;
+  }
+}
+
+}  // namespace
+}  // namespace spatter::algo

@@ -1,0 +1,321 @@
+// Engine tests: DDL/DML, joins (nested loop, index, prepared paths),
+// scalar functions, dialect surfaces, validity policies, three-valued
+// logic. All with faults disabled; injected behaviour is in faults_test.
+#include "engine/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/functions.h"
+
+namespace spatter::engine {
+namespace {
+
+std::unique_ptr<Engine> Clean(Dialect d = Dialect::kPostgis) {
+  return std::make_unique<Engine>(d, /*enable_faults=*/false);
+}
+
+int64_t Count(Engine* e, const std::string& sql) {
+  auto r = e->Execute(sql);
+  EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+  return r.ok() ? r.value().count : -999;
+}
+
+std::string Scalar(Engine* e, const std::string& sql) {
+  auto r = e->Execute(sql);
+  EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+  return r.ok() ? r.value().ToString() : "ERROR";
+}
+
+TEST(Engine, CreateInsertCount) {
+  auto e = Clean();
+  ASSERT_TRUE(e->Execute("CREATE TABLE t1 (g geometry);").ok());
+  ASSERT_TRUE(
+      e->Execute("INSERT INTO t1 (g) VALUES ('POINT(1 1)');").ok());
+  ASSERT_TRUE(e->Execute("INSERT INTO t1 (g) VALUES ('POINT(2 2)'),"
+                         "('LINESTRING(0 0,1 1)');")
+                  .ok());
+  EXPECT_EQ(Count(e.get(), "SELECT COUNT(*) FROM t1;"), 3);
+}
+
+TEST(Engine, ErrorsOnUnknownObjects) {
+  auto e = Clean();
+  EXPECT_EQ(e->Execute("SELECT COUNT(*) FROM missing;").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(e->Execute("SELECT ST_NoSuchFn('POINT(0 0)');").status().code(),
+            StatusCode::kNotFound);
+  ASSERT_TRUE(e->Execute("CREATE TABLE t (g geometry);").ok());
+  EXPECT_FALSE(e->Execute("CREATE TABLE t (g geometry);").ok());
+  EXPECT_FALSE(e->Execute("INSERT INTO t (nope) VALUES (1);").ok());
+}
+
+TEST(Engine, PaperListing1JoinShape) {
+  // Listings 1 and 2: a correct engine returns 1 for both variants.
+  for (const char* pair :
+       {"'LINESTRING(0 1,2 0)' / 'POINT(0.2 0.9)'",
+        "'LINESTRING(1 1,0 0)' / 'POINT(0.9 0.9)'"}) {
+    (void)pair;
+  }
+  auto e = Clean();
+  ASSERT_TRUE(e->ExecuteScript(
+                   "CREATE TABLE t1 (g geometry);"
+                   "CREATE TABLE t2 (g geometry);"
+                   "INSERT INTO t1 (g) VALUES ('LINESTRING(0 1,2 0)');"
+                   "INSERT INTO t2 (g) VALUES ('POINT(0.2 0.9)');")
+                  .ok());
+  EXPECT_EQ(Count(e.get(),
+                  "SELECT COUNT(*) FROM t1 JOIN t2 ON ST_Covers(t1.g,t2.g);"),
+            1);
+}
+
+TEST(Engine, JoinCountsPairsBothDirections) {
+  auto e = Clean();
+  ASSERT_TRUE(e->ExecuteScript(
+                   "CREATE TABLE a (g geometry);"
+                   "CREATE TABLE b (g geometry);"
+                   "INSERT INTO a (g) VALUES ('POINT(1 1)'),('POINT(5 5)');"
+                   "INSERT INTO b (g) VALUES "
+                   "('POLYGON((0 0,2 0,2 2,0 2,0 0))'),"
+                   "('POLYGON((4 4,6 4,6 6,4 6,4 4))');")
+                  .ok());
+  EXPECT_EQ(Count(e.get(),
+                  "SELECT COUNT(*) FROM a JOIN b ON ST_Within(a.g, b.g);"),
+            2);
+  EXPECT_EQ(Count(e.get(),
+                  "SELECT COUNT(*) FROM b JOIN a ON ST_Contains(b.g, a.g);"),
+            2);
+  EXPECT_EQ(Count(e.get(),
+                  "SELECT COUNT(*) FROM a JOIN b ON ST_Disjoint(a.g, b.g);"),
+            2);
+}
+
+TEST(Engine, IndexAndSeqScanAgree) {
+  for (bool with_index : {false, true}) {
+    auto e = Clean();
+    ASSERT_TRUE(e->ExecuteScript(
+                     "CREATE TABLE a (g geometry);"
+                     "CREATE TABLE b (g geometry);")
+                    .ok());
+    if (with_index) {
+      ASSERT_TRUE(
+          e->Execute("CREATE INDEX ib ON b USING GIST (g);").ok());
+    }
+    ASSERT_TRUE(e->ExecuteScript(
+                     "INSERT INTO a (g) VALUES ('POINT(1 1)'),"
+                     "('POINT(9 9)'),('POINT EMPTY');"
+                     "INSERT INTO b (g) VALUES "
+                     "('POLYGON((0 0,2 0,2 2,0 2,0 0))'),"
+                     "('POLYGON((8 8,10 8,10 10,8 10,8 8))'),"
+                     "('POINT EMPTY');")
+                    .ok());
+    EXPECT_EQ(
+        Count(e.get(),
+              "SELECT COUNT(*) FROM a JOIN b ON ST_Intersects(a.g, b.g);"),
+        2)
+        << "with_index=" << with_index;
+    if (with_index) {
+      EXPECT_GT(e->stats().index_scans, 0u);
+    }
+  }
+}
+
+TEST(Engine, PreparedPathMatchesGeneric) {
+  auto e = Clean(Dialect::kPostgis);  // PostGIS uses prepared geometry.
+  ASSERT_TRUE(e->ExecuteScript(
+                   "CREATE TABLE a (g geometry);"
+                   "CREATE TABLE b (g geometry);"
+                   "INSERT INTO a (g) VALUES "
+                   "('POLYGON((0 0,10 0,10 10,0 10,0 0))');"
+                   "INSERT INTO b (g) VALUES ('POINT(5 5)'),"
+                   "('POINT(20 20)'),('POINT(0 5)');")
+                  .ok());
+  EXPECT_EQ(Count(e.get(),
+                  "SELECT COUNT(*) FROM a JOIN b ON ST_Contains(a.g, b.g);"),
+            1);
+  EXPECT_GT(e->stats().prepared_evaluations, 0u);
+  // DuckDB Spatial has no prepared path; results must agree anyway.
+  auto duck = Clean(Dialect::kDuckdbSpatial);
+  ASSERT_TRUE(duck->ExecuteScript(
+                   "CREATE TABLE a (g geometry);"
+                   "CREATE TABLE b (g geometry);"
+                   "INSERT INTO a (g) VALUES "
+                   "('POLYGON((0 0,10 0,10 10,0 10,0 0))');"
+                   "INSERT INTO b (g) VALUES ('POINT(5 5)'),"
+                   "('POINT(20 20)'),('POINT(0 5)');")
+                  .ok());
+  EXPECT_EQ(Count(duck.get(),
+                  "SELECT COUNT(*) FROM a JOIN b ON ST_Contains(a.g, b.g);"),
+            1);
+  EXPECT_EQ(duck->stats().prepared_evaluations, 0u);
+}
+
+TEST(Engine, ScalarFunctions) {
+  auto e = Clean();
+  EXPECT_EQ(Scalar(e.get(), "SELECT ST_Distance('MULTIPOINT((1 0),(0 0))'"
+                            "::geometry, 'POINT(-2 0)'::geometry);"),
+            "{2}");
+  EXPECT_EQ(Scalar(e.get(),
+                   "SELECT ST_Area('POLYGON((0 0,4 0,4 4,0 4,0 0))');"),
+            "{16}");
+  EXPECT_EQ(Scalar(e.get(), "SELECT ST_Length('LINESTRING(0 0,3 4)');"),
+            "{5}");
+  EXPECT_EQ(Scalar(e.get(), "SELECT ST_IsEmpty('POINT EMPTY');"), "{t}");
+  EXPECT_EQ(Scalar(e.get(), "SELECT ST_Dimension('GEOMETRYCOLLECTION("
+                            "POINT(0 0),POLYGON((0 0,1 0,1 1,0 0)))');"),
+            "{2}");
+  EXPECT_EQ(Scalar(e.get(), "SELECT ST_NumGeometries("
+                            "'MULTIPOINT((1 1),(2 2))');"),
+            "{2}");
+  EXPECT_EQ(Scalar(e.get(), "SELECT ST_AsText(ST_Reverse("
+                            "'LINESTRING(0 0,1 1)'));"),
+            "{LINESTRING(1 1,0 0)}");
+}
+
+TEST(Engine, SessionVariables) {
+  auto e = Clean(Dialect::kMysql);
+  ASSERT_TRUE(
+      e->Execute("SET @g1 = 'MULTILINESTRING((990 280,100 20))';").ok());
+  ASSERT_TRUE(e->Execute("SET @g2 = 'POLYGON((360 60,850 620,850 420,360 "
+                         "60))';")
+                  .ok());
+  EXPECT_EQ(Scalar(e.get(), "SELECT ST_Crosses(ST_GeomFromText(@g1), "
+                            "ST_GeomFromText(@g2));"),
+            "{t}");
+  EXPECT_EQ(e->Execute("SELECT ST_IsEmpty(@missing);").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(Engine, DialectFunctionSurface) {
+  // ST_Covers exists in PostGIS and DuckDB Spatial only (paper §1).
+  EXPECT_TRUE(ResolveFunction("ST_Covers", Dialect::kPostgis).ok());
+  EXPECT_TRUE(ResolveFunction("ST_Covers", Dialect::kDuckdbSpatial).ok());
+  EXPECT_FALSE(ResolveFunction("ST_Covers", Dialect::kMysql).ok());
+  EXPECT_FALSE(ResolveFunction("ST_Covers", Dialect::kSqlserver).ok());
+  // ST_DFullyWithin is PostGIS-specific.
+  EXPECT_TRUE(ResolveFunction("ST_DFullyWithin", Dialect::kPostgis).ok());
+  EXPECT_FALSE(
+      ResolveFunction("ST_DFullyWithin", Dialect::kDuckdbSpatial).ok());
+  // SQL Server method naming resolves to the canonical function.
+  const FunctionDef* fn = FindFunction("STIntersects");
+  ASSERT_NE(fn, nullptr);
+  EXPECT_STREQ(fn->name, "ST_Intersects");
+  // Every dialect has a non-empty predicate list for the query template.
+  for (Dialect d : {Dialect::kPostgis, Dialect::kDuckdbSpatial,
+                    Dialect::kMysql, Dialect::kSqlserver}) {
+    EXPECT_GE(PredicatesFor(d).size(), 8u);
+  }
+}
+
+TEST(Engine, StrictDialectRejectsInvalidGeometry) {
+  // Paper Listing 4: PostGIS/DuckDB consider the collection invalid
+  // because two elements intersect; MySQL accepts it.
+  const std::string gc =
+      "GEOMETRYCOLLECTION(POLYGON((614 445,30 26,80 30,614 445)),"
+      "POLYGON((190 1010,40 90,90 40,190 1010)))";
+  auto pg = Clean(Dialect::kPostgis);
+  auto r = pg->Execute("SELECT ST_IsEmpty('" + gc + "');");
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidGeometry);
+
+  auto my = Clean(Dialect::kMysql);
+  EXPECT_TRUE(my->Execute("SELECT ST_IsEmpty('" + gc + "');").ok());
+
+  // Self-intersecting polygons from the random-shape strategy likewise.
+  auto bad = pg->Execute(
+      "SELECT ST_Area('POLYGON((0 0,1 1,0 1,1 0,0 0))');");
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidGeometry);
+}
+
+TEST(Engine, InsertOfInvalidGeometryFailsInStrictDialect) {
+  auto pg = Clean(Dialect::kPostgis);
+  ASSERT_TRUE(pg->Execute("CREATE TABLE t (g geometry);").ok());
+  EXPECT_FALSE(
+      pg->Execute(
+            "INSERT INTO t (g) VALUES ('POLYGON((0 0,1 1,0 1,1 0,0 0))');")
+          .ok());
+  EXPECT_EQ(Count(pg.get(), "SELECT COUNT(*) FROM t;"), 0);
+  auto my = Clean(Dialect::kMysql);
+  ASSERT_TRUE(my->Execute("CREATE TABLE t (g geometry);").ok());
+  EXPECT_TRUE(
+      my->Execute(
+            "INSERT INTO t (g) VALUES ('POLYGON((0 0,1 1,0 1,1 0,0 0))');")
+          .ok());
+}
+
+TEST(Engine, SameAsOperatorSemantics) {
+  auto e = Clean();
+  ASSERT_TRUE(e->ExecuteScript(
+                   "CREATE TABLE t (g geometry);"
+                   "INSERT INTO t (g) VALUES ('POINT EMPTY');")
+                  .ok());
+  // PostGIS `~=` compares bounding boxes; two empties agree (Listing 8's
+  // expected result of 1).
+  EXPECT_EQ(Count(e.get(), "SELECT COUNT(*) FROM t WHERE g ~= "
+                           "'POINT EMPTY'::geometry;"),
+            1);
+  // MySQL has no ~= operator.
+  auto my = Clean(Dialect::kMysql);
+  ASSERT_TRUE(my->ExecuteScript(
+                   "CREATE TABLE t (g geometry);"
+                   "INSERT INTO t (g) VALUES ('POINT(1 1)');")
+                  .ok());
+  EXPECT_EQ(my->Execute(
+                  "SELECT COUNT(*) FROM t WHERE g ~= 'POINT(1 1)'::geometry;")
+                .status()
+                .code(),
+            StatusCode::kUnsupported);
+}
+
+TEST(Engine, ThreeValuedLogicInJoins) {
+  auto e = Clean();
+  ASSERT_TRUE(e->ExecuteScript(
+                   "CREATE TABLE a (g geometry);"
+                   "CREATE TABLE b (g geometry);"
+                   "INSERT INTO a (g) VALUES ('POINT(0 0)'),('POINT EMPTY');"
+                   "INSERT INTO b (g) VALUES ('POINT(0 0)');")
+                  .ok());
+  // ST_DWithin on an EMPTY operand yields NULL -> not counted by P or
+  // NOT P, but counted by IS UNKNOWN: the TLP partitioning property.
+  const int64_t p = Count(
+      e.get(), "SELECT COUNT(*) FROM a JOIN b ON ST_DWithin(a.g, b.g, 1);");
+  const int64_t n = Count(e.get(),
+                          "SELECT COUNT(*) FROM a JOIN b ON NOT "
+                          "ST_DWithin(a.g, b.g, 1);");
+  const int64_t u = Count(e.get(),
+                          "SELECT COUNT(*) FROM a JOIN b ON "
+                          "ST_DWithin(a.g, b.g, 1) IS UNKNOWN;");
+  EXPECT_EQ(p, 1);
+  EXPECT_EQ(n, 0);
+  EXPECT_EQ(u, 1);
+  EXPECT_EQ(p + n + u, 2);
+}
+
+TEST(Engine, ResetClearsDataButKeepsStats) {
+  auto e = Clean();
+  ASSERT_TRUE(e->Execute("CREATE TABLE t (g geometry);").ok());
+  const auto stmts = e->stats().statements_executed;
+  e->Reset();
+  EXPECT_EQ(e->tables().size(), 0u);
+  EXPECT_EQ(e->stats().statements_executed, stmts);
+  ASSERT_TRUE(e->Execute("CREATE TABLE t (g geometry);").ok());
+}
+
+TEST(Engine, ExecResultFormatting) {
+  ExecResult count;
+  count.kind = ExecResult::Kind::kCount;
+  count.count = 7;
+  EXPECT_EQ(count.ToString(), "{7}");
+  ExecResult none;
+  EXPECT_EQ(none.ToString(), "OK");
+}
+
+TEST(Engine, SwapXYAndAffineFunctions) {
+  auto e = Clean();
+  EXPECT_EQ(Scalar(e.get(),
+                   "SELECT ST_AsText(ST_SwapXY('LINESTRING(1 2,3 4)'));"),
+            "{LINESTRING(2 1,4 3)}");
+  EXPECT_EQ(Scalar(e.get(), "SELECT ST_AsText(ST_Affine('POINT(1 1)', "
+                            "2, 0, 0, 2, 5, -5));"),
+            "{POINT(7 -3)}");
+}
+
+}  // namespace
+}  // namespace spatter::engine

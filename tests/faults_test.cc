@@ -1,0 +1,339 @@
+// Fault-injection tests: the catalog must reproduce the paper's Table 2 /
+// Table 3 counts, and every paper listing must reproduce its reported
+// buggy behaviour on a faulty engine while a fixed engine stays correct.
+#include "faults/fault.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+
+namespace spatter::faults {
+namespace {
+
+using engine::Dialect;
+using engine::Engine;
+
+std::unique_ptr<Engine> Faulty(Dialect d) {
+  return std::make_unique<Engine>(d, /*enable_faults=*/true);
+}
+std::unique_ptr<Engine> Fixed(Dialect d) {
+  return std::make_unique<Engine>(d, /*enable_faults=*/false);
+}
+
+std::string RunSql(Engine* e, const std::string& script) {
+  auto r = e->ExecuteScript(script);
+  EXPECT_TRUE(r.ok()) << script << " -> " << r.status().ToString();
+  return r.ok() ? r.value().ToString() : "ERROR";
+}
+
+// --- Catalog accounting (Table 2 / Table 3) --------------------------------
+
+TEST(FaultCatalog, Table2ReportCounts) {
+  std::map<Component, std::map<BugStatus, int>> by;
+  for (const auto& info : FaultCatalog()) {
+    by[info.component][info.status]++;
+  }
+  auto total = [&](Component c) {
+    int n = 0;
+    for (auto& [_, v] : by[c]) n += v;
+    return n;
+  };
+  EXPECT_EQ(total(Component::kGeos), 12);
+  EXPECT_EQ(total(Component::kPostgis), 11);
+  EXPECT_EQ(total(Component::kDuckdb), 6);
+  EXPECT_EQ(total(Component::kMysql), 4);
+  EXPECT_EQ(total(Component::kSqlserver), 2);
+  EXPECT_EQ(FaultCatalog().size(), 35u);  // 34 unique + 1 duplicate report
+
+  // Status rows of Table 2.
+  int fixed = 0;
+  int confirmed = 0;
+  int unconfirmed = 0;
+  int duplicate = 0;
+  for (const auto& info : FaultCatalog()) {
+    switch (info.status) {
+      case BugStatus::kFixed:
+        fixed++;
+        break;
+      case BugStatus::kConfirmed:
+        confirmed++;
+        break;
+      case BugStatus::kUnconfirmed:
+        unconfirmed++;
+        break;
+      case BugStatus::kDuplicate:
+        duplicate++;
+        break;
+    }
+  }
+  EXPECT_EQ(fixed, 18);
+  EXPECT_EQ(confirmed, 12);
+  EXPECT_EQ(unconfirmed, 4);
+  EXPECT_EQ(duplicate, 1);
+}
+
+TEST(FaultCatalog, Table3LogicCrashSplit) {
+  // Confirmed + fixed bugs only, as in Table 3.
+  int logic = 0;
+  int crash = 0;
+  for (const auto& info : FaultCatalog()) {
+    if (info.status != BugStatus::kFixed &&
+        info.status != BugStatus::kConfirmed) {
+      continue;
+    }
+    (info.kind == BugKind::kLogic ? logic : crash)++;
+  }
+  EXPECT_EQ(logic, 20);
+  EXPECT_EQ(crash, 10);
+}
+
+TEST(FaultCatalog, GeosFaultsShipToBothGeosBackedDialects) {
+  const auto pg = FaultsForComponent(Component::kPostgis, true);
+  const auto duck = FaultsForComponent(Component::kDuckdb, true);
+  const auto my = FaultsForComponent(Component::kMysql, false);
+  EXPECT_EQ(pg.size(), 12u + 11u);
+  EXPECT_EQ(duck.size(), 12u + 6u);
+  EXPECT_EQ(my.size(), 4u);
+  auto has = [](const std::vector<FaultId>& v, FaultId id) {
+    return std::find(v.begin(), v.end(), id) != v.end();
+  };
+  EXPECT_TRUE(has(pg, FaultId::kGeosPreparedStaleCache));
+  EXPECT_TRUE(has(duck, FaultId::kGeosGcBoundaryLastOneWins));
+  EXPECT_FALSE(has(my, FaultId::kGeosGcBoundaryLastOneWins));
+}
+
+TEST(FaultState, FireRecordsHits) {
+  FaultState state;
+  EXPECT_FALSE(state.Fire(FaultId::kGeosPreparedStaleCache));
+  state.Enable(FaultId::kGeosPreparedStaleCache);
+  EXPECT_TRUE(state.Fire(FaultId::kGeosPreparedStaleCache));
+  EXPECT_EQ(state.Hits().size(), 1u);
+  const auto taken = state.TakeHits();
+  EXPECT_EQ(taken.size(), 1u);
+  EXPECT_TRUE(state.Hits().empty());
+}
+
+// --- Paper listing regressions ----------------------------------------------
+
+constexpr const char* kListing1 =
+    "CREATE TABLE t1 (g geometry);"
+    "CREATE TABLE t2 (g geometry);"
+    "INSERT INTO t1 (g) VALUES ('LINESTRING(0 1,2 0)');"
+    "INSERT INTO t2 (g) VALUES ('POINT(0.2 0.9)');"
+    "SELECT COUNT(*) FROM t1 JOIN t2 ON ST_Covers(t1.g,t2.g);";
+
+constexpr const char* kListing2 =
+    "CREATE TABLE t1 (g geometry);"
+    "CREATE TABLE t2 (g geometry);"
+    "INSERT INTO t1 (g) VALUES ('LINESTRING(1 1,0 0)');"
+    "INSERT INTO t2 (g) VALUES ('POINT(0.9 0.9)');"
+    "SELECT COUNT(*) FROM t1 JOIN t2 ON ST_Covers(t1.g,t2.g);";
+
+TEST(PaperListings, Listing1CoversDisplacementPrecision) {
+  // Buggy PostGIS: {0}; the affine-equivalent Listing 2 form: {1}.
+  auto buggy = Faulty(Dialect::kPostgis);
+  EXPECT_EQ(RunSql(buggy.get(), kListing1), "{0}");
+  EXPECT_TRUE(buggy->fault_state().Hits().count(
+      FaultId::kPostgisCoversDisplacementPrecision));
+  buggy->Reset();
+  EXPECT_EQ(RunSql(buggy.get(), kListing2), "{1}");
+  // Fixed engine: {1} for both.
+  auto fixed = Fixed(Dialect::kPostgis);
+  EXPECT_EQ(RunSql(fixed.get(), kListing1), "{1}");
+  fixed->Reset();
+  EXPECT_EQ(RunSql(fixed.get(), kListing2), "{1}");
+}
+
+TEST(PaperListings, Listing3MysqlCrossesAfterScaling) {
+  const std::string big =
+      "SET @g1 = 'MULTILINESTRING((990 280,100 20))';"
+      "SET @g2 = 'GEOMETRYCOLLECTION(MULTILINESTRING((990 280,100 20)),"
+      "POLYGON((360 60,850 620,850 420,360 60)))';"
+      "SELECT ST_Crosses(ST_GeomFromText(@g1), ST_GeomFromText(@g2));";
+  const std::string small =
+      "SET @g1 = 'MULTILINESTRING((99 28,10 2))';"
+      "SET @g2 = 'GEOMETRYCOLLECTION(MULTILINESTRING((99 28,10 2)),"
+      "POLYGON((36 6,85 62,85 42,36 6)))';"
+      "SELECT ST_Crosses(ST_GeomFromText(@g1), ST_GeomFromText(@g2));";
+  auto buggy = Faulty(Dialect::kMysql);
+  EXPECT_EQ(RunSql(buggy.get(), big), "{t}") << "buggy result is 1";
+  buggy->Reset();
+  EXPECT_EQ(RunSql(buggy.get(), small), "{f}")
+      << "the same shape below the grid threshold stays correct";
+  auto fixed = Fixed(Dialect::kMysql);
+  EXPECT_EQ(RunSql(fixed.get(), big), "{f}") << "expected result is 0";
+}
+
+TEST(PaperListings, Listing4MysqlOverlapsAfterSwapXY) {
+  const std::string unswapped =
+      "SET @g1 = 'POLYGON((614 445,30 26,80 30,614 445))';"
+      "SET @g2 = 'GEOMETRYCOLLECTION(POLYGON((614 445,30 26,80 30,614 445)),"
+      "POLYGON((190 1010,40 90,90 40,190 1010)))';"
+      "SELECT ST_Overlaps(ST_GeomFromText(@g2), ST_GeomFromText(@g1));";
+  const std::string swapped =
+      "SET @g1 = 'POLYGON((614 445,30 26,80 30,614 445))';"
+      "SET @g2 = 'GEOMETRYCOLLECTION(POLYGON((614 445,30 26,80 30,614 445)),"
+      "POLYGON((190 1010,40 90,90 40,190 1010)))';"
+      "SELECT ST_Overlaps(ST_SwapXY(ST_GeomFromText(@g2)), "
+      "ST_SwapXY(ST_GeomFromText(@g1)));";
+  auto buggy = Faulty(Dialect::kMysql);
+  EXPECT_EQ(RunSql(buggy.get(), unswapped), "{f}") << "correct before swap";
+  buggy->Reset();
+  EXPECT_EQ(RunSql(buggy.get(), swapped), "{t}") << "wrong after axis swap";
+  auto fixed = Fixed(Dialect::kMysql);
+  EXPECT_EQ(RunSql(fixed.get(), swapped), "{f}");
+}
+
+TEST(PaperListings, Listing5DistanceEmptyRecursion) {
+  auto buggy = Faulty(Dialect::kPostgis);
+  EXPECT_EQ(RunSql(buggy.get(),
+                "SELECT ST_Distance('MULTIPOINT((1 0),(0 0))'::geometry,"
+                "'MULTIPOINT((-2 0),EMPTY)'::geometry);"),
+            "{3}")
+      << "buggy recursion aborts after the EMPTY element";
+  EXPECT_EQ(RunSql(buggy.get(),
+                "SELECT ST_Distance('MULTIPOINT((1 0),(0 0))'::geometry,"
+                "'POINT(-2 0)'::geometry);"),
+            "{2}");
+  auto fixed = Fixed(Dialect::kPostgis);
+  EXPECT_EQ(RunSql(fixed.get(),
+                "SELECT ST_Distance('MULTIPOINT((1 0),(0 0))'::geometry,"
+                "'MULTIPOINT((-2 0),EMPTY)'::geometry);"),
+            "{2}");
+}
+
+TEST(PaperListings, Listing6GcBoundaryLastOneWins) {
+  const std::string query =
+      "SELECT ST_Within('POINT(0 0)'::geometry,"
+      "'GEOMETRYCOLLECTION(POINT(0 0),LINESTRING(0 0,1 0))'::geometry);";
+  auto buggy = Faulty(Dialect::kPostgis);
+  EXPECT_EQ(RunSql(buggy.get(), query), "{f}");
+  auto fixed = Fixed(Dialect::kPostgis);
+  EXPECT_EQ(RunSql(fixed.get(), query), "{t}");
+  // Element order swap triggers a different answer under the buggy
+  // last-one-wins strategy: canonicalization-style reordering exposes it.
+  const std::string reordered =
+      "SELECT ST_Within('POINT(0 0)'::geometry,"
+      "'GEOMETRYCOLLECTION(LINESTRING(0 0,1 0),POINT(0 0))'::geometry);";
+  // Isolate the last-one-wins fault (the companion within-bug would mask
+  // the order dependence).
+  auto buggy2 = Faulty(Dialect::kPostgis);
+  buggy2->fault_state().Disable(FaultId::kGeosWithinGcPointInterior);
+  EXPECT_EQ(RunSql(buggy2.get(), reordered), "{t}")
+      << "point element last -> interior wins under last-one-wins";
+}
+
+TEST(PaperListings, Listing7PreparedStaleCache) {
+  // Two structurally identical candidate rows: the prepared path returns a
+  // stale negative for the second one.
+  const std::string script =
+      "CREATE TABLE t1 (g geometry);"
+      "CREATE TABLE t2 (g geometry);"
+      "INSERT INTO t1 (g) VALUES ('MULTIPOLYGON(((0 0,5 0,0 5,0 0)))');"
+      "INSERT INTO t2 (g) VALUES "
+      "('GEOMETRYCOLLECTION(MULTIPOINT((0 0),(3 1)))'),"
+      "('GEOMETRYCOLLECTION(MULTIPOINT((0 0),(3 1)))');"
+      "SELECT COUNT(*) FROM t1 JOIN t2 ON ST_Contains(t1.g, t2.g);";
+  auto buggy = Faulty(Dialect::kPostgis);
+  EXPECT_EQ(RunSql(buggy.get(), script), "{1}") << "one pair goes missing";
+  auto fixed = Fixed(Dialect::kPostgis);
+  EXPECT_EQ(RunSql(fixed.get(), script), "{2}");
+  // DuckDB Spatial has no prepared-geometry path, so even the faulty
+  // engine answers correctly (the paper's differential-testing argument).
+  auto duck = Faulty(Dialect::kDuckdbSpatial);
+  EXPECT_EQ(RunSql(duck.get(), script), "{2}");
+}
+
+TEST(PaperListings, Listing8GistEmptySameAs) {
+  const std::string script =
+      "CREATE TABLE t (g geometry);"
+      "CREATE INDEX idx ON t USING GIST (g);"
+      "INSERT INTO t (g) VALUES ('POINT EMPTY');"
+      "SET enable_seqscan = false;"
+      "SELECT COUNT(*) FROM t WHERE g ~= 'POINT EMPTY'::geometry;";
+  auto buggy = Faulty(Dialect::kPostgis);
+  EXPECT_EQ(RunSql(buggy.get(), script), "{0}");
+  auto fixed = Fixed(Dialect::kPostgis);
+  EXPECT_EQ(RunSql(fixed.get(), script), "{1}");
+}
+
+TEST(PaperListings, Listing9DFullyWithinDefinition) {
+  const std::string query =
+      "SELECT ST_DFullyWithin('LINESTRING(0 0,0 1,1 0,0 0)'::geometry,"
+      "'POLYGON((0 0,0 1,1 0,0 0))'::geometry,100);";
+  auto buggy = Faulty(Dialect::kPostgis);
+  EXPECT_EQ(RunSql(buggy.get(), query), "{f}");
+  auto fixed = Fixed(Dialect::kPostgis);
+  EXPECT_EQ(RunSql(fixed.get(), query), "{t}");
+}
+
+// --- Crash faults -------------------------------------------------------------
+
+TEST(CrashFaults, ConvexHullCollinear) {
+  auto buggy = Faulty(Dialect::kPostgis);
+  auto r = buggy->Execute(
+      "SELECT ST_ConvexHull('LINESTRING(0 0,1 0,2 0,3 0,4 0,5 0,6 0,7 0,"
+      "8 0)');");
+  EXPECT_EQ(r.status().code(), StatusCode::kCrash);
+  auto fixed = Fixed(Dialect::kPostgis);
+  EXPECT_TRUE(fixed
+                  ->Execute("SELECT ST_ConvexHull('LINESTRING(0 0,1 0,2 0,"
+                            "3 0,4 0,5 0,6 0,7 0,8 0)');")
+                  .ok());
+}
+
+TEST(CrashFaults, DuckdbGeometryNZero) {
+  auto buggy = Faulty(Dialect::kDuckdbSpatial);
+  auto r = buggy->Execute(
+      "SELECT ST_GeometryN('MULTIPOINT((1 1),(2 2))', 0);");
+  EXPECT_EQ(r.status().code(), StatusCode::kCrash);
+  auto fixed = Fixed(Dialect::kDuckdbSpatial);
+  EXPECT_EQ(fixed->Execute("SELECT ST_GeometryN('MULTIPOINT((1 1))', 0);")
+                .status()
+                .code(),
+            StatusCode::kOutOfRange)
+      << "the fixed behaviour is an error, not a crash";
+}
+
+TEST(CrashFaults, PostgisDumpRingsEmpty) {
+  auto buggy = Faulty(Dialect::kPostgis);
+  EXPECT_EQ(
+      buggy->Execute("SELECT ST_DumpRings('POLYGON EMPTY');").status().code(),
+      StatusCode::kCrash);
+}
+
+TEST(CrashFaults, RelateNestedCollections) {
+  auto buggy = Faulty(Dialect::kPostgis);
+  auto r = buggy->Execute(
+      "SELECT ST_Intersects('GEOMETRYCOLLECTION(GEOMETRYCOLLECTION("
+      "MULTIPOINT((1 1))))'::geometry, 'POINT(1 1)'::geometry);");
+  EXPECT_EQ(r.status().code(), StatusCode::kCrash);
+}
+
+TEST(CrashFaults, SqlserverNestedCollection) {
+  auto buggy = Faulty(Dialect::kSqlserver);
+  auto r = buggy->Execute(
+      "SELECT STIntersects('GEOMETRYCOLLECTION(MULTIPOINT((1 1)))'::geometry,"
+      "'POINT(1 1)'::geometry);");
+  EXPECT_EQ(r.status().code(), StatusCode::kCrash);
+}
+
+// --- Shared-library blindness of differential testing ------------------------
+
+TEST(SharedLibrary, GeosBugProducesConsistentWrongAnswers) {
+  // Listing 6's scenario through both GEOS-backed dialects: both wrong in
+  // the same way, so PostGIS-vs-DuckDB differential testing cannot see it,
+  // while MySQL (own engine) is correct.
+  const std::string query =
+      "SELECT ST_Within('POINT(0 0)'::geometry,"
+      "'GEOMETRYCOLLECTION(POINT(0 0),LINESTRING(0 0,1 0))'::geometry);";
+  auto pg = Faulty(Dialect::kPostgis);
+  auto duck = Faulty(Dialect::kDuckdbSpatial);
+  auto my = Faulty(Dialect::kMysql);
+  EXPECT_EQ(RunSql(pg.get(), query), "{f}");
+  EXPECT_EQ(RunSql(duck.get(), query), "{f}");
+  EXPECT_EQ(RunSql(my.get(), query), "{t}");
+}
+
+}  // namespace
+}  // namespace spatter::faults

@@ -1,0 +1,93 @@
+// DE-9IM matrix tests: codes, patterns, transpose.
+#include "relate/im_matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace spatter::relate {
+namespace {
+
+TEST(IntersectionMatrix, DefaultsToAllFalse) {
+  IntersectionMatrix im;
+  EXPECT_EQ(im.Code(), "FFFFFFFFF");
+}
+
+TEST(IntersectionMatrix, FromCodeRoundTrip) {
+  const auto im = IntersectionMatrix::FromCode("FF21F1102");
+  ASSERT_TRUE(im.ok());
+  EXPECT_EQ(im.value().Code(), "FF21F1102");
+  EXPECT_EQ(im.value().At(Location::kInterior, Location::kExterior), 2);
+  EXPECT_EQ(im.value().At(Location::kBoundary, Location::kInterior), 1);
+  EXPECT_EQ(im.value().At(Location::kExterior, Location::kExterior), 2);
+}
+
+TEST(IntersectionMatrix, FromCodeRejectsBadInput) {
+  EXPECT_FALSE(IntersectionMatrix::FromCode("").ok());
+  EXPECT_FALSE(IntersectionMatrix::FromCode("FF21F110").ok());
+  EXPECT_FALSE(IntersectionMatrix::FromCode("FF21F11022").ok());
+  EXPECT_FALSE(IntersectionMatrix::FromCode("FF21F110X").ok());
+  EXPECT_FALSE(IntersectionMatrix::FromCode("T*F**FFF*").ok())
+      << "patterns are not codes";
+}
+
+TEST(IntersectionMatrix, SetAtLeastIsMonotone) {
+  IntersectionMatrix im;
+  im.SetAtLeast(Location::kInterior, Location::kInterior, 0);
+  EXPECT_EQ(im.At(Location::kInterior, Location::kInterior), 0);
+  im.SetAtLeast(Location::kInterior, Location::kInterior, 2);
+  EXPECT_EQ(im.At(Location::kInterior, Location::kInterior), 2);
+  im.SetAtLeast(Location::kInterior, Location::kInterior, 1);
+  EXPECT_EQ(im.At(Location::kInterior, Location::kInterior), 2);
+}
+
+TEST(IntersectionMatrix, PatternMatching) {
+  const auto im = IntersectionMatrix::FromCode("212101212").Take();
+  EXPECT_TRUE(im.Matches("*********"));
+  EXPECT_TRUE(im.Matches("212101212"));
+  EXPECT_TRUE(im.Matches("T*T***T**"));
+  EXPECT_FALSE(im.Matches("F********"));
+  EXPECT_FALSE(im.Matches("212101211"));
+}
+
+TEST(IntersectionMatrix, PatternFAndT) {
+  const auto im = IntersectionMatrix::FromCode("FF2FF1212").Take();
+  EXPECT_TRUE(im.Matches("FF*FF****"));  // disjoint
+  EXPECT_FALSE(im.Matches("T********"));
+  EXPECT_TRUE(im.Matches("ff*ff****"));  // case-insensitive
+}
+
+TEST(IntersectionMatrix, InvalidPatternNeverMatches) {
+  const auto im = IntersectionMatrix::FromCode("212101212").Take();
+  EXPECT_FALSE(im.Matches("21210121"));    // too short
+  EXPECT_FALSE(im.Matches("212101212*"));  // too long
+  EXPECT_FALSE(im.Matches("X********"));   // bad character
+}
+
+TEST(IntersectionMatrix, Transpose) {
+  const auto im = IntersectionMatrix::FromCode("012F12F12").Take();
+  const auto t = im.Transposed();
+  for (Location a :
+       {Location::kInterior, Location::kBoundary, Location::kExterior}) {
+    for (Location b :
+         {Location::kInterior, Location::kBoundary, Location::kExterior}) {
+      EXPECT_EQ(im.At(a, b), t.At(b, a));
+    }
+  }
+  EXPECT_EQ(t.Transposed(), im);
+}
+
+TEST(IntersectionMatrix, EqualityOperator) {
+  const auto a = IntersectionMatrix::FromCode("FF21F1102").Take();
+  const auto b = IntersectionMatrix::FromCode("FF21F1102").Take();
+  const auto c = IntersectionMatrix::FromCode("FF21F1112").Take();
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(Location, Names) {
+  EXPECT_STREQ(LocationName(Location::kInterior), "Interior");
+  EXPECT_STREQ(LocationName(Location::kBoundary), "Boundary");
+  EXPECT_STREQ(LocationName(Location::kExterior), "Exterior");
+}
+
+}  // namespace
+}  // namespace spatter::relate

@@ -1,0 +1,106 @@
+// Noder tests: crossings, T-junctions, collinear overlaps, node merging.
+#include "algo/noding.h"
+
+#include <gtest/gtest.h>
+
+#include "geom/predicates.h"
+
+namespace spatter::algo {
+namespace {
+
+using geom::Coord;
+
+NodingResult Node(std::vector<TaggedSegment> segs) {
+  return NodeSegments(segs, geom::kDerivedEps);
+}
+
+bool HasEdge(const NodingResult& r, const Coord& a, const Coord& b) {
+  for (const auto& e : r.edges) {
+    if ((e.a == a && e.b == b) || (e.a == b && e.b == a)) return true;
+  }
+  return false;
+}
+
+TEST(Noding, DisjointSegmentsPassThrough) {
+  const auto r = Node({{{0, 0}, {1, 0}, 0}, {{0, 2}, {1, 2}, 1}});
+  EXPECT_EQ(r.edges.size(), 2u);
+  EXPECT_EQ(r.nodes.size(), 4u);
+}
+
+TEST(Noding, ProperCrossingSplitsBoth) {
+  const auto r = Node({{{0, 0}, {2, 2}, 0}, {{0, 2}, {2, 0}, 1}});
+  EXPECT_EQ(r.edges.size(), 4u);
+  EXPECT_TRUE(HasEdge(r, {0, 0}, {1, 1}));
+  EXPECT_TRUE(HasEdge(r, {1, 1}, {2, 2}));
+  EXPECT_TRUE(HasEdge(r, {0, 2}, {1, 1}));
+  EXPECT_TRUE(HasEdge(r, {1, 1}, {2, 0}));
+  EXPECT_EQ(r.nodes.size(), 5u);
+}
+
+TEST(Noding, TJunctionSplitsOnlyCrossedSegment) {
+  const auto r = Node({{{0, 0}, {4, 0}, 0}, {{2, 0}, {2, 3}, 1}});
+  EXPECT_EQ(r.edges.size(), 3u);
+  EXPECT_TRUE(HasEdge(r, {0, 0}, {2, 0}));
+  EXPECT_TRUE(HasEdge(r, {2, 0}, {4, 0}));
+  EXPECT_TRUE(HasEdge(r, {2, 0}, {2, 3}));
+}
+
+TEST(Noding, CollinearOverlapSplitsAtOverlapEnds) {
+  const auto r = Node({{{0, 0}, {4, 0}, 0}, {{2, 0}, {6, 0}, 1}});
+  // Segment 1: 0-2, 2-4; segment 2: 2-4, 4-6.
+  EXPECT_EQ(r.edges.size(), 4u);
+  EXPECT_TRUE(HasEdge(r, {0, 0}, {2, 0}));
+  EXPECT_TRUE(HasEdge(r, {4, 0}, {6, 0}));
+}
+
+TEST(Noding, SourceTagsPreserved) {
+  const auto r = Node({{{0, 0}, {2, 2}, 0}, {{0, 2}, {2, 0}, 1}});
+  int src0 = 0;
+  int src1 = 0;
+  for (const auto& e : r.edges) {
+    (e.src == 0 ? src0 : src1)++;
+  }
+  EXPECT_EQ(src0, 2);
+  EXPECT_EQ(src1, 2);
+}
+
+TEST(Noding, ConcurrentCrossingsMergeNodes) {
+  // Three segments through (1, 1).
+  const auto r = Node({{{0, 0}, {2, 2}, 0},
+                       {{0, 2}, {2, 0}, 0},
+                       {{1, 0}, {1, 2}, 1}});
+  size_t at_center = 0;
+  for (const auto& n : r.nodes) {
+    if (n == Coord(1, 1)) at_center++;
+  }
+  EXPECT_EQ(at_center, 1u);  // merged onto a single node.
+  EXPECT_EQ(r.edges.size(), 6u);
+}
+
+TEST(Noding, SharedEndpointNoSplit) {
+  const auto r = Node({{{0, 0}, {1, 1}, 0}, {{1, 1}, {2, 0}, 1}});
+  EXPECT_EQ(r.edges.size(), 2u);
+  EXPECT_EQ(r.nodes.size(), 3u);
+}
+
+TEST(Noding, MidpointsOfSplitEdgesAvoidOtherGeometry) {
+  // After noding, no edge midpoint may lie on another source's edge
+  // (except collinear overlaps) — the invariant the relate computer needs.
+  const auto r = Node({{{0, 0}, {4, 4}, 0}, {{0, 4}, {4, 0}, 1}});
+  for (const auto& e : r.edges) {
+    const Coord mid = geom::Midpoint(e.a, e.b);
+    for (const auto& f : r.edges) {
+      if (f.src == e.src) continue;
+      EXPECT_FALSE(geom::OnSegment(mid, f.a, f.b, geom::kDerivedEps))
+          << "midpoint rests on a foreign edge";
+    }
+  }
+}
+
+TEST(Noding, ZeroLengthInputIgnored) {
+  const auto r = Node({{{1, 1}, {1, 1}, 0}, {{0, 0}, {2, 0}, 1}});
+  EXPECT_EQ(r.edges.size(), 1u);
+}
+
+}  // namespace
+}  // namespace spatter::algo

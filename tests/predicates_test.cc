@@ -1,0 +1,137 @@
+// Low-level geometric predicate tests (orientation, on-segment, segment
+// intersection including collinear overlaps).
+#include "geom/predicates.h"
+
+#include <gtest/gtest.h>
+
+namespace spatter::geom {
+namespace {
+
+using Kind = SegSegIntersection::Kind;
+
+TEST(Orientation, BasicCases) {
+  EXPECT_EQ(Orientation({0, 0}, {1, 0}, {0, 1}), 1);   // left turn
+  EXPECT_EQ(Orientation({0, 0}, {1, 0}, {0, -1}), -1);  // right turn
+  EXPECT_EQ(Orientation({0, 0}, {1, 0}, {2, 0}), 0);   // collinear
+  EXPECT_EQ(Orientation({0, 0}, {2, 2}, {1, 1}), 0);
+}
+
+TEST(Orientation, ExactForIntegers) {
+  // Large integer coordinates remain exact in double arithmetic.
+  EXPECT_EQ(Orientation({1000000, 1000000}, {2000000, 2000000},
+                        {3000000, 3000001}),
+            1);
+  EXPECT_EQ(Orientation({1000000, 1000000}, {2000000, 2000000},
+                        {3000000, 3000000}),
+            0);
+}
+
+TEST(Orientation, EpsilonToleratesDerivedNoise) {
+  // A point that is analytically on the line but carries ~1e-17 noise.
+  const Coord a{0, 1};
+  const Coord b{2, 0};
+  const Coord p{0.2, 0.9};  // on the line y = 1 - x/2 in exact arithmetic
+  EXPECT_EQ(Orientation(a, b, p, kDerivedEps), 0);
+}
+
+TEST(OnSegment, EndpointsAndMidpoints) {
+  EXPECT_TRUE(OnSegment({0, 0}, {0, 0}, {2, 2}));
+  EXPECT_TRUE(OnSegment({2, 2}, {0, 0}, {2, 2}));
+  EXPECT_TRUE(OnSegment({1, 1}, {0, 0}, {2, 2}));
+  EXPECT_FALSE(OnSegment({3, 3}, {0, 0}, {2, 2}));  // beyond the end
+  EXPECT_FALSE(OnSegment({1, 0}, {0, 0}, {2, 2}));  // off the line
+}
+
+TEST(IntersectSegments, ProperCrossing) {
+  const auto r = IntersectSegments({0, 0}, {2, 2}, {0, 2}, {2, 0});
+  ASSERT_EQ(r.kind, Kind::kPoint);
+  EXPECT_EQ(r.p0, Coord(1, 1));
+}
+
+TEST(IntersectSegments, Disjoint) {
+  EXPECT_EQ(IntersectSegments({0, 0}, {1, 0}, {0, 1}, {1, 1}).kind,
+            Kind::kNone);
+  EXPECT_EQ(IntersectSegments({0, 0}, {1, 0}, {2, 0}, {3, 0}).kind,
+            Kind::kNone);  // collinear but separated
+}
+
+TEST(IntersectSegments, TouchAtEndpoint) {
+  const auto r = IntersectSegments({0, 0}, {1, 1}, {1, 1}, {2, 0});
+  ASSERT_EQ(r.kind, Kind::kPoint);
+  EXPECT_EQ(r.p0, Coord(1, 1));
+}
+
+TEST(IntersectSegments, TJunction) {
+  // Endpoint of one segment in the middle of the other.
+  const auto r = IntersectSegments({0, 0}, {4, 0}, {2, 0}, {2, 3});
+  ASSERT_EQ(r.kind, Kind::kPoint);
+  EXPECT_EQ(r.p0, Coord(2, 0));
+}
+
+TEST(IntersectSegments, CollinearOverlap) {
+  const auto r = IntersectSegments({0, 0}, {4, 0}, {2, 0}, {6, 0});
+  ASSERT_EQ(r.kind, Kind::kOverlap);
+  EXPECT_EQ(r.p0, Coord(2, 0));
+  EXPECT_EQ(r.p1, Coord(4, 0));
+}
+
+TEST(IntersectSegments, CollinearContainment) {
+  const auto r = IntersectSegments({0, 0}, {10, 0}, {3, 0}, {6, 0});
+  ASSERT_EQ(r.kind, Kind::kOverlap);
+  EXPECT_EQ(r.p0, Coord(3, 0));
+  EXPECT_EQ(r.p1, Coord(6, 0));
+}
+
+TEST(IntersectSegments, CollinearTouchingAtOnePoint) {
+  const auto r = IntersectSegments({0, 0}, {2, 0}, {2, 0}, {5, 0});
+  ASSERT_EQ(r.kind, Kind::kPoint);
+  EXPECT_EQ(r.p0, Coord(2, 0));
+}
+
+TEST(IntersectSegments, IdenticalSegments) {
+  const auto r = IntersectSegments({1, 1}, {3, 3}, {1, 1}, {3, 3});
+  ASSERT_EQ(r.kind, Kind::kOverlap);
+}
+
+TEST(IntersectSegments, ReversedOverlap) {
+  const auto r = IntersectSegments({0, 0}, {4, 0}, {6, 0}, {2, 0});
+  ASSERT_EQ(r.kind, Kind::kOverlap);
+  EXPECT_EQ(r.p0, Coord(2, 0));
+  EXPECT_EQ(r.p1, Coord(4, 0));
+}
+
+TEST(IntersectSegments, DegenerateSegmentOnLine) {
+  // First segment is a point lying on the second.
+  const auto r = IntersectSegments({1, 0}, {1, 0}, {0, 0}, {2, 0});
+  ASSERT_EQ(r.kind, Kind::kPoint);
+  EXPECT_EQ(r.p0, Coord(1, 0));
+}
+
+TEST(IntersectSegments, VerticalAndHorizontal) {
+  const auto r = IntersectSegments({0, -5}, {0, 5}, {-3, 0}, {3, 0});
+  ASSERT_EQ(r.kind, Kind::kPoint);
+  EXPECT_EQ(r.p0, Coord(0, 0));
+}
+
+TEST(IntersectSegments, NearMissStaysDisjoint) {
+  EXPECT_EQ(IntersectSegments({0, 0}, {10, 10}, {0, 1}, {4, 5}).kind,
+            Kind::kNone);
+}
+
+TEST(IntersectSegments, CrossingPreservedUnderIntegerScaling) {
+  // The same configuration scaled by an integer matrix keeps its kind.
+  auto scaled = [](const Coord& c) { return Coord{3 * c.x, 3 * c.y}; };
+  const auto base = IntersectSegments({0, 0}, {2, 2}, {0, 2}, {2, 0});
+  const auto big = IntersectSegments(scaled({0, 0}), scaled({2, 2}),
+                                     scaled({0, 2}), scaled({2, 0}));
+  EXPECT_EQ(base.kind, big.kind);
+  EXPECT_EQ(big.p0, Coord(3, 3));
+}
+
+TEST(CrossProduct, SignedArea) {
+  EXPECT_DOUBLE_EQ(CrossProduct({0, 0}, {4, 0}, {0, 3}), 12.0);
+  EXPECT_DOUBLE_EQ(CrossProduct({0, 0}, {0, 3}, {4, 0}), -12.0);
+}
+
+}  // namespace
+}  // namespace spatter::geom

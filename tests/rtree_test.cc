@@ -1,0 +1,121 @@
+// R-tree tests: insert, bulk load, query correctness vs brute force.
+#include "index/rtree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+
+namespace spatter::index {
+namespace {
+
+using geom::Envelope;
+
+TEST(RTree, EmptyTreeQueries) {
+  RTree tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.QueryIds(Envelope(0, 0, 100, 100)).size(), 0u);
+  EXPECT_EQ(tree.Height(), 0u);
+}
+
+TEST(RTree, SingleEntry) {
+  RTree tree;
+  tree.Insert(Envelope(1, 1, 2, 2), 7);
+  EXPECT_EQ(tree.size(), 1u);
+  auto hits = tree.QueryIds(Envelope(0, 0, 3, 3));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 7u);
+  EXPECT_TRUE(tree.QueryIds(Envelope(5, 5, 6, 6)).empty());
+}
+
+TEST(RTree, SplitGrowsHeight) {
+  RTree tree(4);
+  for (uint64_t i = 0; i < 100; ++i) {
+    const double x = static_cast<double>(i % 10);
+    const double y = static_cast<double>(i / 10);
+    tree.Insert(Envelope(x, y, x + 0.5, y + 0.5), i);
+  }
+  EXPECT_EQ(tree.size(), 100u);
+  EXPECT_GE(tree.Height(), 2u);
+  // Every entry must be reachable.
+  EXPECT_EQ(tree.QueryIds(Envelope(-1, -1, 11, 11)).size(), 100u);
+}
+
+TEST(RTree, TouchingBoxesMatch) {
+  RTree tree;
+  tree.Insert(Envelope(0, 0, 1, 1), 1);
+  EXPECT_EQ(tree.QueryIds(Envelope(1, 1, 2, 2)).size(), 1u);
+}
+
+class RTreeRandomized : public ::testing::TestWithParam<int> {};
+
+TEST_P(RTreeRandomized, MatchesBruteForce) {
+  spatter::Rng rng(static_cast<uint64_t>(GetParam()));
+  std::vector<RTreeEntry> entries;
+  const size_t n = 200;
+  for (uint64_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(rng.IntIn(-50, 50));
+    const double y = static_cast<double>(rng.IntIn(-50, 50));
+    const double w = static_cast<double>(rng.IntIn(0, 10));
+    const double h = static_cast<double>(rng.IntIn(0, 10));
+    entries.push_back({Envelope(x, y, x + w, y + h), i});
+  }
+
+  // Build one tree by insertion and one by bulk load.
+  RTree inserted(8);
+  for (const auto& e : entries) inserted.Insert(e.box, e.id);
+  RTree bulk(8);
+  bulk.BulkLoad(entries);
+  EXPECT_EQ(inserted.size(), n);
+  EXPECT_EQ(bulk.size(), n);
+
+  for (int q = 0; q < 50; ++q) {
+    const double x = static_cast<double>(rng.IntIn(-60, 60));
+    const double y = static_cast<double>(rng.IntIn(-60, 60));
+    const Envelope query(x, y, x + static_cast<double>(rng.IntIn(0, 30)),
+                         y + static_cast<double>(rng.IntIn(0, 30)));
+    std::set<uint64_t> expected;
+    for (const auto& e : entries) {
+      if (e.box.Intersects(query)) expected.insert(e.id);
+    }
+    for (const RTree* tree : {&inserted, &bulk}) {
+      const auto ids = tree->QueryIds(query);
+      const std::set<uint64_t> got(ids.begin(), ids.end());
+      EXPECT_EQ(got, expected);
+      EXPECT_EQ(ids.size(), got.size()) << "duplicate results";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RTreeRandomized,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(RTree, BulkLoadEmptyAndSmall) {
+  RTree tree;
+  tree.BulkLoad({});
+  EXPECT_TRUE(tree.empty());
+  tree.BulkLoad({{Envelope(0, 0, 1, 1), 42}});
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.QueryIds(Envelope(0, 0, 2, 2))[0], 42u);
+}
+
+TEST(RTree, DegenerateBoxes) {
+  RTree tree;
+  tree.Insert(Envelope(5, 5, 5, 5), 1);  // point box
+  tree.Insert(Envelope(0, 0, 10, 0), 2);  // horizontal line box
+  EXPECT_EQ(tree.QueryIds(Envelope(5, 5, 5, 5)).size(), 1u);
+  EXPECT_EQ(tree.QueryIds(Envelope(4, -1, 6, 6)).size(), 2u);
+}
+
+TEST(RTree, MoveSemantics) {
+  RTree tree;
+  tree.Insert(Envelope(0, 0, 1, 1), 1);
+  RTree moved = std::move(tree);
+  EXPECT_EQ(moved.size(), 1u);
+  EXPECT_EQ(moved.QueryIds(Envelope(0, 0, 1, 1)).size(), 1u);
+}
+
+}  // namespace
+}  // namespace spatter::index
