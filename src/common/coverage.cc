@@ -1,5 +1,8 @@
 #include "common/coverage.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace spatter {
 
 CoverageRegistry& CoverageRegistry::Instance() {
@@ -10,20 +13,31 @@ CoverageRegistry& CoverageRegistry::Instance() {
 size_t CoverageRegistry::Register(const std::string& module,
                                   const std::string& point) {
   const std::string key = module + "/" + point;
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it != index_.end()) return it->second;
   const size_t idx = points_.size();
+  if (idx >= kMaxPoints) {
+    std::fprintf(stderr,
+                 "coverage: more than %zu registered points; raise "
+                 "CoverageRegistry::kMaxPoints\n",
+                 kMaxPoints);
+    std::abort();
+  }
   points_.push_back(Point{module, point});
-  hits_.push_back(0);
   index_.emplace(key, idx);
   return idx;
 }
 
 void CoverageRegistry::ResetHits() {
-  for (auto& h : hits_) h = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < points_.size(); ++i) {
+    hits_[i].store(0, std::memory_order_relaxed);
+  }
 }
 
 size_t CoverageRegistry::TotalPoints(const std::string& module) const {
+  std::lock_guard<std::mutex> lock(mu_);
   if (module.empty()) return points_.size();
   size_t n = 0;
   for (const auto& p : points_) {
@@ -33,29 +47,40 @@ size_t CoverageRegistry::TotalPoints(const std::string& module) const {
 }
 
 size_t CoverageRegistry::HitPoints(const std::string& module) const {
+  std::lock_guard<std::mutex> lock(mu_);
   size_t n = 0;
   for (size_t i = 0; i < points_.size(); ++i) {
-    if (hits_[i] == 0) continue;
+    if (hits_[i].load(std::memory_order_relaxed) == 0) continue;
     if (module.empty() || points_[i].module == module) n++;
   }
   return n;
 }
 
 double CoverageRegistry::Percent(const std::string& module) const {
-  const size_t total = TotalPoints(module);
+  // Single lock acquisition: counting hit and total in two separate
+  // locked calls could interleave with a concurrent registration and
+  // report > 100% mid-campaign.
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  size_t hit = 0;
+  for (size_t i = 0; i < points_.size(); ++i) {
+    if (!module.empty() && points_[i].module != module) continue;
+    total++;
+    if (hits_[i].load(std::memory_order_relaxed) > 0) hit++;
+  }
   if (total == 0) return 0.0;
-  return 100.0 * static_cast<double>(HitPoints(module)) /
-         static_cast<double>(total);
+  return 100.0 * static_cast<double>(hit) / static_cast<double>(total);
 }
 
 std::vector<CoverageRegistry::ModuleSummary> CoverageRegistry::Summaries()
     const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::map<std::string, ModuleSummary> by_module;
   for (size_t i = 0; i < points_.size(); ++i) {
     auto& s = by_module[points_[i].module];
     s.module = points_[i].module;
     s.total++;
-    if (hits_[i] > 0) s.hit++;
+    if (hits_[i].load(std::memory_order_relaxed) > 0) s.hit++;
   }
   std::vector<ModuleSummary> out;
   out.reserve(by_module.size());
@@ -63,11 +88,23 @@ std::vector<CoverageRegistry::ModuleSummary> CoverageRegistry::Summaries()
   return out;
 }
 
-void CoverageRegistry::RestoreHits(const std::vector<uint64_t>& hits) {
-  for (size_t i = 0; i < hits_.size() && i < hits.size(); ++i) {
-    hits_[i] = hits[i];
+std::vector<uint64_t> CoverageRegistry::SnapshotHits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint64_t> out(points_.size());
+  for (size_t i = 0; i < points_.size(); ++i) {
+    out[i] = hits_[i].load(std::memory_order_relaxed);
   }
-  for (size_t i = hits.size(); i < hits_.size(); ++i) hits_[i] = 0;
+  return out;
+}
+
+void CoverageRegistry::RestoreHits(const std::vector<uint64_t>& hits) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < points_.size() && i < hits.size(); ++i) {
+    hits_[i].store(hits[i], std::memory_order_relaxed);
+  }
+  for (size_t i = hits.size(); i < points_.size(); ++i) {
+    hits_[i].store(0, std::memory_order_relaxed);
+  }
 }
 
 }  // namespace spatter

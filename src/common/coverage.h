@@ -7,27 +7,41 @@
 // Coverage percentage = hit points / registered points, per module. The
 // signal is monotone in exercised behaviour, which is all the experiments
 // need (they compare generators and test corpora, not absolute gcov values).
+//
+// Thread safety: the sharded campaign runtime hits coverage points from
+// every worker thread at once, so the registry is fully thread-safe. Hit()
+// is a single relaxed atomic increment on a fixed-capacity counter array
+// (stable addresses, no lock); registration and all read/reset/snapshot
+// operations serialize on an internal mutex.
 #ifndef SPATTER_COMMON_COVERAGE_H_
 #define SPATTER_COMMON_COVERAGE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
 namespace spatter {
 
-/// Global registry of coverage points. Not thread-safe by design: the
-/// campaign is single-threaded, matching the paper's per-run setup.
+/// Global registry of coverage points.
 class CoverageRegistry {
  public:
+  /// Upper bound on distinct coverage sites. Sites are static code
+  /// locations, so the count is small and fixed at compile time; the
+  /// bound keeps Hit() lock-free (the counter array never reallocates).
+  static constexpr size_t kMaxPoints = 8192;
+
   static CoverageRegistry& Instance();
 
   /// Registers a point (idempotent) and returns its index.
   size_t Register(const std::string& module, const std::string& point);
 
-  /// Marks a point hit.
-  void Hit(size_t index) { hits_[index]++; }
+  /// Marks a point hit. Lock-free; safe from any thread.
+  void Hit(size_t index) {
+    hits_[index].fetch_add(1, std::memory_order_relaxed);
+  }
 
   /// Clears hit counters (registrations persist).
   void ResetHits();
@@ -49,7 +63,7 @@ class CoverageRegistry {
 
   /// Snapshot of hit counters, restorable; used to combine "unit tests"
   /// and "unit tests + Spatter" configurations in the Table 5 bench.
-  std::vector<uint64_t> SnapshotHits() const { return hits_; }
+  std::vector<uint64_t> SnapshotHits() const;
   void RestoreHits(const std::vector<uint64_t>& hits);
 
  private:
@@ -58,9 +72,12 @@ class CoverageRegistry {
     std::string module;
     std::string name;
   };
+
+  mutable std::mutex mu_;  // guards points_ and index_
   std::vector<Point> points_;
-  std::vector<uint64_t> hits_;
   std::map<std::string, size_t> index_;  // "module/point" -> index
+  /// Fixed-capacity so concurrent Hit() never races a reallocation.
+  std::atomic<uint64_t> hits_[kMaxPoints] = {};
 };
 
 namespace internal {

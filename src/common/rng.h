@@ -36,7 +36,24 @@ class Rng {
   }
 
   /// Uniform integer in [0, bound). bound must be > 0.
-  uint64_t Below(uint64_t bound) { return Next() % bound; }
+  ///
+  /// Lemire's nearly-divisionless bounded rejection (arXiv:1805.10941):
+  /// multiply-shift maps Next() into [0, bound) without modulo bias, and
+  /// the expensive `% bound` runs only on the rare rejection path.
+  uint64_t Below(uint64_t bound) {
+    uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t low = static_cast<uint64_t>(m);
+    if (low < bound) {
+      const uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
 
   /// Uniform integer in [lo, hi] inclusive.
   int64_t IntIn(int64_t lo, int64_t hi) {
@@ -58,6 +75,16 @@ class Rng {
   template <typename T>
   const T& Choice(const std::vector<T>& items) {
     return items[Below(items.size())];
+  }
+
+  /// Deterministically derives the seed of stream `index` from a master
+  /// seed by finalizing one splitmix64 step at the indexed position.
+  /// Adjacent indices land in unrelated regions of seed space, so shards
+  /// (or per-iteration reseeds) draw independent-looking sequences while
+  /// the whole universe stays a pure function of (master, index).
+  static uint64_t SplitSeed(uint64_t master, uint64_t index) {
+    uint64_t x = master + (index + 1) * 0x9e3779b97f4a7c15ULL;
+    return SplitMix64(&x);
   }
 
  private:

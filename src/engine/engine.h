@@ -56,6 +56,27 @@ struct EngineStats {
   uint64_t index_scans = 0;
   uint64_t prepared_evaluations = 0;
   double exec_seconds = 0.0;
+
+  /// Field-wise sum/difference, so campaign finalization (delta since a
+  /// baseline) and cross-shard aggregation (summing) stay in lockstep
+  /// when a counter is added here.
+  EngineStats& operator+=(const EngineStats& o) {
+    statements_executed += o.statements_executed;
+    pairs_evaluated += o.pairs_evaluated;
+    index_scans += o.index_scans;
+    prepared_evaluations += o.prepared_evaluations;
+    exec_seconds += o.exec_seconds;
+    return *this;
+  }
+  EngineStats operator-(const EngineStats& o) const {
+    EngineStats d = *this;
+    d.statements_executed -= o.statements_executed;
+    d.pairs_evaluated -= o.pairs_evaluated;
+    d.index_scans -= o.index_scans;
+    d.prepared_evaluations -= o.prepared_evaluations;
+    d.exec_seconds -= o.exec_seconds;
+    return d;
+  }
 };
 
 class Engine {

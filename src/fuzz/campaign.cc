@@ -31,6 +31,23 @@ double Campaign::NowSeconds() {
       .count();
 }
 
+void Campaign::RunIterationAt(size_t iteration, CampaignResult* result,
+                              double started_at) {
+  // Iteration i draws from its own splitmix64-derived stream: the test
+  // cases of iteration i are identical whether it runs serially, on shard
+  // 0 of 1, or on shard 3 of 8.
+  rng_.Seed(Rng::SplitSeed(config_.seed, iteration));
+  RunIteration(iteration, result, started_at);
+}
+
+void Campaign::FinalizeResult(CampaignResult* result, double started_at,
+                              const engine::EngineStats& stats_at_start) {
+  result->total_seconds = NowSeconds() - started_at;
+  result->busy_seconds = result->total_seconds;
+  result->engine_stats = engine_->stats() - stats_at_start;
+  result->engine_seconds = result->engine_stats.exec_seconds;
+}
+
 void Campaign::RunIteration(size_t iteration, CampaignResult* result,
                             double started_at) {
   // Step 1: geometry-aware generation (crashes during derivation count).
@@ -43,6 +60,7 @@ void Campaign::RunIteration(size_t iteration, CampaignResult* result,
     d.iteration = iteration;
     d.is_crash = true;
     d.oracle = OracleKind::kAei;
+    d.dialect = config_.dialect;
     d.sdb1 = sdb1;
     d.detail = crash.function + ": " + crash.message;
     d.fault_hits = crash.fault_hits;
@@ -80,6 +98,7 @@ void Campaign::RunIteration(size_t iteration, CampaignResult* result,
     d.is_crash = outcome.crash;
     d.oracle =
         canonical_only ? OracleKind::kCanonicalOnly : OracleKind::kAei;
+    d.dialect = config_.dialect;
     d.query = query;
     d.sdb1 = sdb1;
     d.transform = transform;
@@ -100,12 +119,11 @@ void Campaign::RunIteration(size_t iteration, CampaignResult* result,
 CampaignResult Campaign::Run() {
   CampaignResult result;
   const double t0 = NowSeconds();
-  const double engine_t0 = engine_->stats().exec_seconds;
+  const engine::EngineStats stats_t0 = engine_->stats();
   for (size_t i = 0; i < config_.iterations; ++i) {
-    RunIteration(i, &result, t0);
+    RunIterationAt(i, &result, t0);
   }
-  result.total_seconds = NowSeconds() - t0;
-  result.engine_seconds = engine_->stats().exec_seconds - engine_t0;
+  FinalizeResult(&result, t0, stats_t0);
   return result;
 }
 
@@ -114,14 +132,13 @@ CampaignResult Campaign::RunForDuration(
     const std::function<void(double, const CampaignResult&)>& sampler) {
   CampaignResult result;
   const double t0 = NowSeconds();
-  const double engine_t0 = engine_->stats().exec_seconds;
+  const engine::EngineStats stats_t0 = engine_->stats();
   size_t iteration = 0;
   while (NowSeconds() - t0 < deadline_seconds) {
-    RunIteration(iteration++, &result, t0);
+    RunIterationAt(iteration++, &result, t0);
     if (sampler) sampler(NowSeconds() - t0, result);
   }
-  result.total_seconds = NowSeconds() - t0;
-  result.engine_seconds = engine_->stats().exec_seconds - engine_t0;
+  FinalizeResult(&result, t0, stats_t0);
   return result;
 }
 

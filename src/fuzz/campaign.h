@@ -2,10 +2,19 @@
 // construct affine equivalent inputs, validate results — with timing split
 // (Figure 7), coverage sampling (Table 5, Figure 8), crash capture, and
 // unique-bug accounting (Figure 8a).
+//
+// Every iteration reseeds the RNG from (campaign seed, iteration index) via
+// Rng::SplitSeed, so iteration i produces the same database and queries no
+// matter which shard, thread, or process executes it, or in what order.
+// This is what lets the sharded runtime (src/runtime/) split one campaign
+// across any number of workers and still reproduce the exact universe of
+// test cases a serial run would explore.
 #ifndef SPATTER_FUZZ_CAMPAIGN_H_
 #define SPATTER_FUZZ_CAMPAIGN_H_
 
+#include <functional>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
@@ -40,6 +49,10 @@ struct Discrepancy {
   size_t query_index = 0;
   bool is_crash = false;
   OracleKind oracle = OracleKind::kAei;
+  /// Dialect of the engine that produced the discrepancy; lets fleet-mode
+  /// consumers (aggregated multi-dialect runs) rebuild a matching engine
+  /// for reduction and reporting.
+  engine::Dialect dialect = engine::Dialect::kPostgis;
   QuerySpec query;
   DatabaseSpec sdb1;
   algo::AffineTransform transform;
@@ -60,7 +73,14 @@ struct CampaignResult {
   size_t queries_run = 0;
   size_t checks_run = 0;
   double total_seconds = 0.0;   ///< wall time of the campaign ("Spatter")
+  /// Summed per-shard wall time. Equals total_seconds for a serial run;
+  /// for an aggregated sharded run it is the cumulative worker time, the
+  /// denominator of the Figure-7 Spatter/SDBMS split.
+  double busy_seconds = 0.0;
   double engine_seconds = 0.0;  ///< time spent inside the engine ("SDBMS")
+  /// Engine counters (statements, join pairs, index scans, ...); summed
+  /// across shards by the aggregator.
+  engine::EngineStats engine_stats;
 };
 
 class Campaign {
@@ -78,12 +98,31 @@ class Campaign {
       const std::function<void(double elapsed, const CampaignResult&)>&
           sampler = nullptr);
 
+  // --- Single-shard iteration API (used by runtime::ShardedCampaign) ----
+
+  /// Runs global iteration `iteration`, reseeding the RNG from
+  /// (config.seed, iteration) first. Appends discrepancies and updates
+  /// counters in `result`; `started_at` anchors elapsed_seconds so shard
+  /// results stay comparable when several shards share one start time.
+  void RunIterationAt(size_t iteration, CampaignResult* result,
+                      double started_at);
+
+  /// Stamps total/busy/engine timing and engine counters accumulated since
+  /// `started_at` into `result`. `stats_at_start` is the engine's stats
+  /// reading when the run began; only the delta since then is recorded, so
+  /// reusing one Campaign for several runs never double-counts.
+  void FinalizeResult(CampaignResult* result, double started_at,
+                      const engine::EngineStats& stats_at_start);
+
+  /// Monotonic wall clock, comparable across threads.
+  static double NowSeconds();
+
+  const CampaignConfig& config() const { return config_; }
   engine::Engine& engine() { return *engine_; }
 
  private:
   void RunIteration(size_t iteration, CampaignResult* result,
                     double started_at);
-  static double NowSeconds();
 
   CampaignConfig config_;
   Rng rng_;

@@ -258,6 +258,11 @@ geom::GeomPtr GeometryAwareGenerator::Derive(
 
 DatabaseSpec GeometryAwareGenerator::Generate(
     std::vector<GenerationCrash>* crashes) {
+  // Each database is a pure function of the RNG state at entry: the shared
+  // coordinate pool must not leak vertices from earlier generations, or an
+  // iteration's output would depend on which iterations a shard ran before
+  // it (breaking the sharded runtime's shard-count invariance).
+  coord_pool_.clear();
   DatabaseSpec sdb;
   for (size_t t = 0; t < config_.num_tables; ++t) {
     sdb.tables.push_back(TableSpec{"t" + std::to_string(t + 1), {}});

@@ -1,0 +1,66 @@
+#include "runtime/aggregator.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace spatter::runtime {
+
+void Aggregator::Merge(const fuzz::CampaignResult& shard) {
+  fuzz::CampaignResult copy = shard;
+  Merge(std::move(copy));
+}
+
+namespace {
+
+// "Earliest detection" by logical campaign position, not wall clock: a
+// global iteration runs on exactly one shard, so this order is total
+// across shards and the dedup winner is identical for every shard count
+// and thread schedule (a wall-clock comparison would let the OS scheduler
+// pick the reproducer). Generation crashes precede queries within an
+// iteration, mirroring serial insertion order.
+bool DetectedEarlier(const fuzz::Discrepancy& a, const fuzz::Discrepancy& b) {
+  if (a.iteration != b.iteration) return a.iteration < b.iteration;
+  if (a.is_crash != b.is_crash) return a.is_crash;
+  return a.query_index < b.query_index;
+}
+
+}  // namespace
+
+void Aggregator::Merge(fuzz::CampaignResult&& shard) {
+  acc_.discrepancies.insert(
+      acc_.discrepancies.end(),
+      std::make_move_iterator(shard.discrepancies.begin()),
+      std::make_move_iterator(shard.discrepancies.end()));
+  for (auto& [id, candidate] : shard.unique_bugs) {
+    auto it = acc_.unique_bugs.find(id);
+    if (it == acc_.unique_bugs.end()) {
+      acc_.unique_bugs.emplace(id, std::move(candidate));
+    } else if (DetectedEarlier(candidate, it->second)) {
+      it->second = std::move(candidate);
+    }
+  }
+  acc_.iterations_run += shard.iterations_run;
+  acc_.queries_run += shard.queries_run;
+  acc_.checks_run += shard.checks_run;
+  acc_.busy_seconds += shard.busy_seconds;
+  acc_.engine_seconds += shard.engine_seconds;
+  acc_.engine_stats += shard.engine_stats;
+}
+
+fuzz::CampaignResult Aggregator::Finish(double wall_seconds) {
+  // Stable so a shard's in-order records keep their relative order on tie
+  // (generation crashes share query_index 0 with the first query).
+  std::stable_sort(acc_.discrepancies.begin(), acc_.discrepancies.end(),
+                   [](const fuzz::Discrepancy& a, const fuzz::Discrepancy& b) {
+                     if (a.iteration != b.iteration) {
+                       return a.iteration < b.iteration;
+                     }
+                     return a.query_index < b.query_index;
+                   });
+  acc_.total_seconds = wall_seconds;
+  fuzz::CampaignResult out = std::move(acc_);
+  acc_ = fuzz::CampaignResult();
+  return out;
+}
+
+}  // namespace spatter::runtime

@@ -1,0 +1,49 @@
+// Cross-shard result aggregation for the parallel campaign runtime.
+//
+// Shards run isolated Campaign instances (own Engine, own FaultState, own
+// RNG stream) and report plain CampaignResults; the aggregator folds them
+// into one campaign-level result:
+//   - discrepancies concatenated, then ordered by (iteration, query_index)
+//     so the merged report reads like a serial run;
+//   - unique_bugs deduplicated by FaultId, earliest detection winning.
+//     "Earliest" is by logical campaign position (iteration, then
+//     query_index), which is a total order across shards — so the winning
+//     reproducer per bug is the serial run's winner, independent of shard
+//     count and thread scheduling;
+//   - iteration/query/check counters and EngineStats summed;
+//   - the Figure-7 time split preserved: busy_seconds accumulates per-shard
+//     wall time and engine_seconds per-shard SDBMS time, while
+//     total_seconds is stamped with the sharded run's wall clock.
+#ifndef SPATTER_RUNTIME_AGGREGATOR_H_
+#define SPATTER_RUNTIME_AGGREGATOR_H_
+
+#include "fuzz/campaign.h"
+
+namespace spatter::runtime {
+
+class Aggregator {
+ public:
+  /// Folds a shard result (or a per-iteration delta; zero-valued timing
+  /// fields merge as no-ops) into the running aggregate. The rvalue
+  /// overload moves discrepancy payloads instead of deep-copying them —
+  /// use it on the duration-mode hot path, where merges run under the
+  /// shared aggregate lock.
+  void Merge(const fuzz::CampaignResult& shard);
+  void Merge(fuzz::CampaignResult&& shard);
+
+  /// Running aggregate, for live sampling mid-campaign. Discrepancies are
+  /// in merge order, not yet sorted.
+  const fuzz::CampaignResult& current() const { return acc_; }
+
+  /// Finalizes and returns the aggregate: discrepancies sorted into
+  /// (iteration, query_index) order, total_seconds set to `wall_seconds`.
+  /// The aggregator is left empty.
+  fuzz::CampaignResult Finish(double wall_seconds);
+
+ private:
+  fuzz::CampaignResult acc_;
+};
+
+}  // namespace spatter::runtime
+
+#endif  // SPATTER_RUNTIME_AGGREGATOR_H_

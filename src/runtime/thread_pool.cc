@@ -1,0 +1,102 @@
+#include "runtime/thread_pool.h"
+
+#include <utility>
+
+namespace spatter::runtime {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  queues_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  Wait();
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  const size_t target =
+      next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  unfinished_.fetch_add(1, std::memory_order_relaxed);
+  {
+    // queued_ changes only while the owning queue's mutex is held (here
+    // and in the pop paths), so it exactly tracks the tasks sitting in
+    // deques and never transiently underflows.
+    std::lock_guard<std::mutex> lock(queues_[target]->mu);
+    queues_[target]->tasks.push_back(std::move(task));
+    queued_.fetch_add(1, std::memory_order_relaxed);
+  }
+  {
+    // Empty critical section: serializes with a starved worker between
+    // its predicate check and its sleep, so the notify below cannot slip
+    // into that window and be lost.
+    std::lock_guard<std::mutex> lock(wake_mu_);
+  }
+  wake_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(wake_mu_);
+  idle_cv_.wait(lock, [this] {
+    return unfinished_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+bool ThreadPool::TryPopOwn(size_t worker, std::function<void()>* task) {
+  WorkerQueue& q = *queues_[worker];
+  std::lock_guard<std::mutex> lock(q.mu);
+  if (q.tasks.empty()) return false;
+  *task = std::move(q.tasks.back());
+  q.tasks.pop_back();
+  queued_.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool ThreadPool::TrySteal(size_t thief, std::function<void()>* task) {
+  const size_t n = queues_.size();
+  for (size_t offset = 1; offset < n; ++offset) {
+    WorkerQueue& q = *queues_[(thief + offset) % n];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (q.tasks.empty()) continue;
+    *task = std::move(q.tasks.front());
+    q.tasks.pop_front();
+    queued_.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(size_t index) {
+  std::function<void()> task;
+  for (;;) {
+    if (TryPopOwn(index, &task) || TrySteal(index, &task)) {
+      task();
+      task = nullptr;
+      if (unfinished_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(wake_mu_);
+        idle_cv_.notify_all();
+      }
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    if (stop_) return;
+    wake_cv_.wait(lock, [this] {
+      return stop_ || queued_.load(std::memory_order_relaxed) > 0;
+    });
+    if (stop_) return;
+  }
+}
+
+}  // namespace spatter::runtime

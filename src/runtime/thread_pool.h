@@ -1,0 +1,67 @@
+// Work-stealing thread pool backing the sharded campaign runtime.
+//
+// Each worker owns a deque: it pops its own tasks from the back (LIFO,
+// cache-warm) and, when empty, steals the oldest task from another
+// worker's front (FIFO, lowest contention with the owner). Submissions
+// round-robin across the queues; stealing rebalances whatever the static
+// distribution gets wrong — exactly the shape fuzzing shards need, where
+// per-shard runtimes vary with how many discrepancies each one trips.
+#ifndef SPATTER_RUNTIME_THREAD_POOL_H_
+#define SPATTER_RUNTIME_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace spatter::runtime {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(size_t num_threads);
+  /// Waits for all submitted tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Safe from any thread, including worker threads.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished executing.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  bool TryPopOwn(size_t worker, std::function<void()>* task);
+  bool TrySteal(size_t thief, std::function<void()>* task);
+  void WorkerLoop(size_t index);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;   // workers sleep here when starved
+  std::condition_variable idle_cv_;   // Wait() sleeps here
+  std::atomic<size_t> queued_{0};     // tasks in deques; modified only
+                                      // under the owning queue's mutex
+  std::atomic<size_t> unfinished_{0}; // submitted but not yet completed
+  std::atomic<size_t> next_queue_{0}; // round-robin submission cursor
+  bool stop_ = false;                 // guarded by wake_mu_
+};
+
+}  // namespace spatter::runtime
+
+#endif  // SPATTER_RUNTIME_THREAD_POOL_H_

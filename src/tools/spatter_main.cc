@@ -1,11 +1,15 @@
 // spatter — the command-line fuzzer, as a user of the open-source release
 // would run it:
 //
-//   spatter --dialect=postgis --seed=42 --iterations=100 --queries=100 \
-//           --geometries=10 [--no-derivative] [--fixed] [--reduce]
+//   spatter --dialect=postgis --seed=42 --iterations=100 --queries=100
+//           --geometries=10 --jobs=4 [--no-derivative] [--fixed] [--reduce]
 //
 // Runs an AEI campaign against the chosen (faulty by default) dialect and
 // prints each deduplicated unique bug with a minimal SQL reproducer.
+// --jobs=N shards the campaign across N worker threads; the unique-bug set
+// is identical for any N at a fixed seed (deterministic seed-splitting).
+// --dialect=all runs a fleet campaign over all four dialects at once,
+// deduplicating shared-library bugs across them.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -13,6 +17,7 @@
 
 #include "fuzz/campaign.h"
 #include "fuzz/reducer.h"
+#include "runtime/sharded_campaign.h"
 
 using namespace spatter;  // NOLINT
 
@@ -20,10 +25,12 @@ namespace {
 
 struct Options {
   engine::Dialect dialect = engine::Dialect::kPostgis;
+  bool all_dialects = false;
   uint64_t seed = 42;
   size_t iterations = 100;
   size_t queries = 100;
   size_t geometries = 10;
+  size_t jobs = 1;
   bool derivative = true;
   bool enable_faults = true;
   bool reduce = true;
@@ -33,11 +40,14 @@ void Usage() {
   std::fprintf(
       stderr,
       "usage: spatter [options]\n"
-      "  --dialect=postgis|duckdb|mysql|sqlserver   system under test\n"
+      "  --dialect=postgis|duckdb|mysql|sqlserver|all   system under test\n"
+      "                    ('all' = fleet mode: every dialect at once)\n"
       "  --seed=N          campaign seed (default 42)\n"
       "  --iterations=N    database generations (default 100)\n"
       "  --queries=N       random queries per generation (default 100)\n"
       "  --geometries=N    geometries per database (default 10)\n"
+      "  --jobs=N          worker threads / shards (default 1); the\n"
+      "                    unique-bug set is identical for any N\n"
       "  --no-derivative   random-shape strategy only (RSG ablation)\n"
       "  --fixed           run against the fixed engine (expect 0 bugs)\n"
       "  --no-reduce       skip test-case reduction\n");
@@ -64,6 +74,8 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
         opts->dialect = engine::Dialect::kMysql;
       } else if (value == "sqlserver") {
         opts->dialect = engine::Dialect::kSqlserver;
+      } else if (value == "all") {
+        opts->all_dialects = true;
       } else {
         std::fprintf(stderr, "unknown dialect '%s'\n", value.c_str());
         return false;
@@ -76,6 +88,16 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
       opts->queries = std::strtoul(value.c_str(), nullptr, 10);
     } else if (ParseFlag(argv[i], "--geometries", &value)) {
       opts->geometries = std::strtoul(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--jobs", &value)) {
+      // Reject rather than clamp garbage: strtoul would wrap "-1" to
+      // 2^64-1 and the runtime would try to allocate that many shards.
+      char* end = nullptr;
+      const unsigned long jobs = std::strtoul(value.c_str(), &end, 10);
+      if (value.empty() || *end != '\0' || value[0] == '-' || jobs > 1024) {
+        std::fprintf(stderr, "--jobs must be an integer in [1, 1024]\n");
+        return false;
+      }
+      opts->jobs = jobs == 0 ? 1 : jobs;
     } else if (std::strcmp(argv[i], "--no-derivative") == 0) {
       opts->derivative = false;
     } else if (std::strcmp(argv[i], "--fixed") == 0) {
@@ -102,46 +124,59 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  fuzz::CampaignConfig config;
-  config.dialect = opts.dialect;
-  config.seed = opts.seed;
-  config.iterations = opts.iterations;
-  config.queries_per_iteration = opts.queries;
-  config.generator.num_geometries = opts.geometries;
-  config.generator.derivative_enabled = opts.derivative;
-  config.enable_faults = opts.enable_faults;
+  runtime::ShardedCampaignConfig config;
+  config.base.dialect = opts.dialect;
+  config.base.seed = opts.seed;
+  config.base.iterations = opts.iterations;
+  config.base.queries_per_iteration = opts.queries;
+  config.base.generator.num_geometries = opts.geometries;
+  config.base.generator.derivative_enabled = opts.derivative;
+  config.base.enable_faults = opts.enable_faults;
+  config.jobs = opts.jobs;
+  if (opts.all_dialects) {
+    config.dialects = runtime::ShardedCampaign::AllDialects();
+  }
 
   std::printf("spatter: %s engine (%s), seed %llu, %zu x %zu checks, "
-              "N=%zu, generator=%s\n",
-              engine::DialectName(opts.dialect),
+              "N=%zu, generator=%s, jobs=%zu\n",
+              opts.all_dialects ? "fleet (all dialects)"
+                                : engine::DialectName(opts.dialect),
               opts.enable_faults ? "faulty" : "fixed",
               static_cast<unsigned long long>(opts.seed), opts.iterations,
               opts.queries, opts.geometries,
-              opts.derivative ? "geometry-aware" : "random-shape");
+              opts.derivative ? "geometry-aware" : "random-shape",
+              opts.jobs);
 
-  fuzz::Campaign campaign(config);
+  runtime::ShardedCampaign campaign(config);
   const fuzz::CampaignResult result = campaign.Run();
 
-  std::printf("\n%zu discrepancies -> %zu unique bugs in %.2fs "
-              "(%.2fs inside the engine, %.0f%%)\n",
+  std::printf("\n%zu discrepancies -> %zu unique bugs in %.2fs wall "
+              "(%.2fs across %zu shard(s); %.2fs inside the engine, %.0f%% "
+              "of shard time)\n",
               result.discrepancies.size(), result.unique_bugs.size(),
-              result.total_seconds, result.engine_seconds,
-              result.total_seconds > 0
-                  ? 100.0 * result.engine_seconds / result.total_seconds
+              result.total_seconds, result.busy_seconds,
+              campaign.shards_per_dialect() * campaign.dialects().size(),
+              result.engine_seconds,
+              result.busy_seconds > 0
+                  ? 100.0 * result.engine_seconds / result.busy_seconds
                   : 0.0);
 
   int bug_no = 0;
   for (const auto& [id, first] : result.unique_bugs) {
     const auto& info = faults::GetFaultInfo(id);
-    std::printf("\n=== bug %d: %s [%s, %s, %s] ===\n", ++bug_no, info.name,
-                faults::ComponentName(info.component),
+    std::printf("\n=== bug %d: %s [%s, %s, %s] (found by %s) ===\n", ++bug_no,
+                info.name, faults::ComponentName(info.component),
                 faults::BugKindName(info.kind),
-                faults::BugStatusName(info.status));
+                faults::BugStatusName(info.status),
+                engine::DialectName(first.dialect));
     std::printf("%s\n", info.description);
     fuzz::Discrepancy repro = first;
     if (opts.reduce && !first.is_crash) {
+      // Reduce against a fresh engine of the dialect that found the bug
+      // (in fleet/sharded mode the original shard engine is gone).
+      engine::Engine reduce_engine(first.dialect, opts.enable_faults);
       fuzz::ReductionStats stats;
-      repro = fuzz::ReduceDiscrepancy(&campaign.engine(), first, &stats);
+      repro = fuzz::ReduceDiscrepancy(&reduce_engine, first, &stats);
     }
     for (const auto& stmt : repro.sdb1.ToSql()) {
       std::printf("  %s\n", stmt.c_str());
