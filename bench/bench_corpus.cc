@@ -1,0 +1,151 @@
+// Corpus subsystem bench: codec throughput, mutate-vs-generate iteration
+// cost, and the acceptance gate of the corpus PR — at an equal iteration
+// budget, corpus mode must rediscover at least as many injected faults as
+// the pure-random baseline (averaged over seeds so one lucky stream can't
+// decide it). Exits non-zero when the gate fails, so CI can run it.
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/coverage.h"
+#include "corpus/codec.h"
+#include "corpus/mutator.h"
+#include "fuzz/campaign.h"
+#include "fuzz/generator.h"
+
+using namespace spatter;  // NOLINT
+
+namespace {
+
+double NowSeconds() { return fuzz::Campaign::NowSeconds(); }
+
+fuzz::CampaignConfig BudgetConfig(uint64_t seed, bool corpus_mode) {
+  fuzz::CampaignConfig config;
+  config.dialect = engine::Dialect::kPostgis;
+  config.seed = seed;
+  config.iterations = 60;
+  config.queries_per_iteration = 40;
+  config.generator.num_geometries = 10;
+  config.corpus.enabled = corpus_mode;
+  config.corpus.mutate_pct = 50;
+  return config;
+}
+
+size_t UniqueBugs(const fuzz::CampaignResult& r) {
+  return r.unique_bugs.size();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("bench_corpus: codec throughput, mutation cost, and the\n"
+              "corpus-vs-random fault-discovery gate\n");
+  bench::Rule('=');
+
+  // --- Codec throughput ----------------------------------------------------
+  {
+    Rng rng(17);
+    engine::Engine engine(engine::Dialect::kPostgis, false);
+    fuzz::GeneratorConfig gconfig;
+    gconfig.num_geometries = 12;
+    fuzz::GeometryAwareGenerator generator(gconfig, &rng, &engine);
+    std::vector<corpus::TestCaseRecord> records;
+    for (int i = 0; i < 200; ++i) {
+      corpus::TestCaseRecord rec;
+      rec.sdb = generator.Generate(nullptr);
+      records.push_back(std::move(rec));
+    }
+    size_t bytes = 0;
+    const double t0 = NowSeconds();
+    std::vector<std::vector<uint8_t>> encoded;
+    for (const auto& rec : records) {
+      auto e = corpus::TestCaseCodec::Encode(rec);
+      if (!e.ok()) {
+        std::fprintf(stderr, "encode failed: %s\n",
+                     e.status().ToString().c_str());
+        return 1;
+      }
+      bytes += e.value().size();
+      encoded.push_back(e.Take());
+    }
+    const double t1 = NowSeconds();
+    for (const auto& buf : encoded) {
+      auto d = corpus::TestCaseCodec::Decode(buf);
+      if (!d.ok()) {
+        std::fprintf(stderr, "decode failed: %s\n",
+                     d.status().ToString().c_str());
+        return 1;
+      }
+    }
+    const double t2 = NowSeconds();
+    std::printf("codec: %zu records, %.1f KiB total, encode %.0f rec/s "
+                "(%.1f MiB/s), decode %.0f rec/s (%.1f MiB/s)\n",
+                records.size(), bytes / 1024.0, records.size() / (t1 - t0),
+                bytes / (t1 - t0) / (1 << 20), records.size() / (t2 - t1),
+                bytes / (t2 - t1) / (1 << 20));
+  }
+
+  // --- Mutate vs generate iteration cost -----------------------------------
+  {
+    Rng rng(23);
+    engine::Engine engine(engine::Dialect::kPostgis, false);
+    fuzz::GeneratorConfig gconfig;
+    fuzz::GeometryAwareGenerator generator(gconfig, &rng, &engine);
+    const fuzz::DatabaseSpec parent = generator.Generate(nullptr);
+    corpus::MutationEngine mutator;
+    const int kRounds = 2000;
+    double t0 = NowSeconds();
+    for (int i = 0; i < kRounds; ++i) {
+      fuzz::DatabaseSpec fresh = generator.Generate(nullptr);
+      (void)fresh;
+    }
+    const double generate_s = NowSeconds() - t0;
+    t0 = NowSeconds();
+    for (int i = 0; i < kRounds; ++i) {
+      fuzz::DatabaseSpec mutant = mutator.MutateDatabase(parent, &rng);
+      (void)mutant;
+    }
+    const double mutate_s = NowSeconds() - t0;
+    std::printf("input construction: generate %.1f us/db, mutate %.1f us/db "
+                "(mutation %.2fx the cost of generation)\n",
+                1e6 * generate_s / kRounds, 1e6 * mutate_s / kRounds,
+                mutate_s / generate_s);
+  }
+
+  // --- Corpus mode must not lose to pure random at equal budget ------------
+  bench::Rule();
+  size_t corpus_total = 0;
+  size_t random_total = 0;
+  const std::vector<uint64_t> kSeeds = {42, 7, 1234, 99, 5, 11};
+  std::printf("%-8s %-14s %-14s %-14s %-14s\n", "seed", "random bugs",
+              "corpus bugs", "random sites", "corpus sites");
+  auto& registry = CoverageRegistry::Instance();
+  for (uint64_t seed : kSeeds) {
+    // CoveredSiteCount (one atomic load) gives the Figure-8-style
+    // site-coverage signal alongside the fault counts.
+    registry.ResetHits();
+    fuzz::Campaign random_campaign(BudgetConfig(seed, false));
+    const size_t random_bugs = UniqueBugs(random_campaign.Run());
+    const size_t random_sites = registry.CoveredSiteCount();
+    registry.ResetHits();
+    fuzz::Campaign corpus_campaign(BudgetConfig(seed, true));
+    const size_t corpus_bugs = UniqueBugs(corpus_campaign.Run());
+    const size_t corpus_sites = registry.CoveredSiteCount();
+    std::printf("%-8llu %-14zu %-14zu %-14zu %-14zu\n",
+                static_cast<unsigned long long>(seed), random_bugs,
+                corpus_bugs, random_sites, corpus_sites);
+    corpus_total += corpus_bugs;
+    random_total += random_bugs;
+  }
+  bench::Rule();
+  std::printf("total over %zu seeds at equal budget: random %zu, corpus %zu\n",
+              kSeeds.size(), random_total, corpus_total);
+  if (corpus_total < random_total) {
+    std::printf("FAIL: corpus mode found fewer injected faults than pure "
+                "random\n");
+    return 1;
+  }
+  std::printf("OK: corpus mode >= pure random\n");
+  return 0;
+}

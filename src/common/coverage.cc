@@ -1,5 +1,6 @@
 #include "common/coverage.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
@@ -9,6 +10,17 @@ CoverageRegistry& CoverageRegistry::Instance() {
   static CoverageRegistry registry;
   return registry;
 }
+
+namespace {
+uint64_t Fnv1a64(const std::string& s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+}  // namespace
 
 size_t CoverageRegistry::Register(const std::string& module,
                                   const std::string& point) {
@@ -24,7 +36,7 @@ size_t CoverageRegistry::Register(const std::string& module,
                  kMaxPoints);
     std::abort();
   }
-  points_.push_back(Point{module, point});
+  points_.push_back(Point{module, point, Fnv1a64(key)});
   index_.emplace(key, idx);
   return idx;
 }
@@ -34,6 +46,65 @@ void CoverageRegistry::ResetHits() {
   for (size_t i = 0; i < points_.size(); ++i) {
     hits_[i].store(0, std::memory_order_relaxed);
   }
+  covered_count_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<uint32_t> CoverageRegistry::NewSitesSince(
+    const std::vector<uint64_t>& snapshot) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint32_t> out;
+  for (size_t i = 0; i < points_.size(); ++i) {
+    const uint64_t before = i < snapshot.size() ? snapshot[i] : 0;
+    if (hits_[i].load(std::memory_order_relaxed) > before) {
+      out.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  return out;
+}
+
+namespace {
+thread_local std::vector<uint32_t> trace_storage;
+/// Epoch mark per site: trace_seen[i] == trace_epoch iff site i is
+/// already in trace_storage for the current trace. Bumping the epoch on
+/// BeginTrace resets all marks in O(1).
+thread_local std::vector<uint32_t> trace_seen;
+thread_local uint32_t trace_epoch = 0;
+}  // namespace
+
+void CoverageRegistry::BeginTrace() {
+  trace_storage.clear();
+  if (trace_seen.size() < kMaxPoints) trace_seen.resize(kMaxPoints, 0);
+  if (++trace_epoch == 0) {  // epoch wrapped: clear stale marks
+    std::fill(trace_seen.begin(), trace_seen.end(), 0);
+    trace_epoch = 1;
+  }
+  trace_sink_ = &trace_storage;
+}
+
+void CoverageRegistry::TraceHit(uint32_t index) {
+  if (index >= trace_seen.size() || trace_seen[index] == trace_epoch) return;
+  trace_seen[index] = trace_epoch;
+  trace_sink_->push_back(index);
+}
+
+std::vector<uint32_t> CoverageRegistry::TakeTrace() {
+  trace_sink_ = nullptr;
+  std::sort(trace_storage.begin(), trace_storage.end());
+  return std::move(trace_storage);
+}
+
+std::vector<uint64_t> CoverageRegistry::KeysOf(
+    const std::vector<uint32_t>& indices,
+    const std::set<std::string>& exclude_modules) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint64_t> keys;
+  keys.reserve(indices.size());
+  for (uint32_t i : indices) {
+    if (i >= points_.size()) continue;
+    if (exclude_modules.count(points_[i].module) > 0) continue;
+    keys.push_back(points_[i].key);
+  }
+  return keys;
 }
 
 size_t CoverageRegistry::TotalPoints(const std::string& module) const {
@@ -105,6 +176,11 @@ void CoverageRegistry::RestoreHits(const std::vector<uint64_t>& hits) {
   for (size_t i = hits.size(); i < points_.size(); ++i) {
     hits_[i].store(0, std::memory_order_relaxed);
   }
+  size_t covered = 0;
+  for (size_t i = 0; i < points_.size(); ++i) {
+    if (hits_[i].load(std::memory_order_relaxed) > 0) covered++;
+  }
+  covered_count_.store(covered, std::memory_order_relaxed);
 }
 
 }  // namespace spatter

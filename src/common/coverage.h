@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -38,10 +39,56 @@ class CoverageRegistry {
   /// Registers a point (idempotent) and returns its index.
   size_t Register(const std::string& module, const std::string& point);
 
-  /// Marks a point hit. Lock-free; safe from any thread.
+  /// Marks a point hit. Lock-free; safe from any thread. When the calling
+  /// thread has an active trace (BeginTrace), the index is also appended to
+  /// that thread's trace — hits from other threads never leak in, which is
+  /// what keeps per-shard corpus admission deterministic under concurrency.
   void Hit(size_t index) {
-    hits_[index].fetch_add(1, std::memory_order_relaxed);
+    if (hits_[index].fetch_add(1, std::memory_order_relaxed) == 0) {
+      covered_count_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (trace_sink_ != nullptr) TraceHit(static_cast<uint32_t>(index));
   }
+
+  /// Sites hit at least once since the last reset — one relaxed atomic
+  /// load, cheap enough to poll every iteration. Greybox callers compare
+  /// it against an earlier reading ("snapshot") to learn whether ANY new
+  /// site was covered before paying for a full SnapshotHits() diff.
+  size_t CoveredSiteCount() const {
+    return covered_count_.load(std::memory_order_relaxed);
+  }
+
+  /// Indices whose hit count grew relative to `snapshot` (from
+  /// SnapshotHits); indices registered after the snapshot count as new.
+  std::vector<uint32_t> NewSitesSince(const std::vector<uint64_t>& snapshot)
+      const;
+
+  // --- Per-thread coverage trace -------------------------------------------
+  // The corpus feedback loop needs "which sites did THIS iteration hit",
+  // attributable to the executing thread alone. A thread-local sink makes
+  // that exact and deterministic per shard regardless of what other shards
+  // hit concurrently (a global snapshot diff would be contaminated).
+
+  /// Starts (or restarts) the calling thread's trace.
+  static void BeginTrace();
+  /// Ends the trace and returns the sorted, deduplicated site indices the
+  /// calling thread hit since BeginTrace().
+  static std::vector<uint32_t> TakeTrace();
+  /// Records `index` in the active trace, once per site per trace (an
+  /// epoch mark per site keeps the trace O(unique sites), not O(hits) —
+  /// one iteration produces ~10^5 hits over a few hundred sites).
+  static void TraceHit(uint32_t index);
+
+  /// Stable 64-bit keys (FNV-1a of "module/point") for site indices. Raw
+  /// indices are registration order, which varies across processes; keys
+  /// are what the corpus persists and dedups on. Sites whose module is in
+  /// `exclude_modules` are skipped — the corpus admission path drops
+  /// fuzzer-internal modules (campaign, corpus, generator, oracles) so an
+  /// entry is admitted for new ENGINE behaviour, not because it was the
+  /// first input to exercise a piece of harness instrumentation.
+  std::vector<uint64_t> KeysOf(
+      const std::vector<uint32_t>& indices,
+      const std::set<std::string>& exclude_modules = {}) const;
 
   /// Clears hit counters (registrations persist).
   void ResetHits();
@@ -71,6 +118,9 @@ class CoverageRegistry {
   struct Point {
     std::string module;
     std::string name;
+    /// FNV-1a of "module/point", computed once at registration so KeysOf
+    /// is a plain indexed load under the lock.
+    uint64_t key = 0;
   };
 
   mutable std::mutex mu_;  // guards points_ and index_
@@ -78,6 +128,10 @@ class CoverageRegistry {
   std::map<std::string, size_t> index_;  // "module/point" -> index
   /// Fixed-capacity so concurrent Hit() never races a reallocation.
   std::atomic<uint64_t> hits_[kMaxPoints] = {};
+  /// Sites with a non-zero hit count (maintained by Hit/Reset/Restore).
+  std::atomic<size_t> covered_count_{0};
+  /// Calling thread's active trace; null when tracing is off.
+  static inline thread_local std::vector<uint32_t>* trace_sink_ = nullptr;
 };
 
 namespace internal {

@@ -1,0 +1,332 @@
+#include "corpus/mutator.h"
+
+#include <cmath>
+
+#include "common/coverage.h"
+#include "engine/functions.h"
+#include "geom/wkt_reader.h"
+
+namespace spatter::corpus {
+
+using geom::Coord;
+using geom::GeomPtr;
+using geom::GeomType;
+
+namespace {
+
+enum class MutationKind {
+  kCoordNudge = 0,
+  kSnapToGrid,
+  kVertexInsert,
+  kVertexDelete,
+  kGeometrySwap,
+  kEmptyInject,
+  kNestedWrap,
+  kVertexShare,
+  kAffineJolt,
+  kNumKinds,
+};
+
+/// Mutable views into a geometry's coordinate storage: every line/ring
+/// sequence plus every point, gathered recursively.
+struct CoordSeqs {
+  std::vector<std::vector<Coord>*> seqs;
+  std::vector<geom::Point*> points;
+};
+
+void CollectSeqs(geom::Geometry* g, CoordSeqs* out) {
+  switch (g->type()) {
+    case GeomType::kPoint:
+      out->points.push_back(static_cast<geom::Point*>(g));
+      break;
+    case GeomType::kLineString:
+      out->seqs.push_back(
+          &static_cast<geom::LineString*>(g)->mutable_points());
+      break;
+    case GeomType::kPolygon:
+      for (auto& ring : static_cast<geom::Polygon*>(g)->mutable_rings()) {
+        out->seqs.push_back(&ring);
+      }
+      break;
+    default:
+      for (auto& e :
+           static_cast<geom::GeometryCollection*>(g)->mutable_elements()) {
+        CollectSeqs(e.get(), out);
+      }
+      break;
+  }
+}
+
+double NudgeDelta(Rng* rng) {
+  static const double kDeltas[] = {-2, -1, -0.5, -0.1, 0.1, 0.5, 1, 2};
+  return kDeltas[rng->Below(8)];
+}
+
+/// Copies a vertex from a random row into another row's geometry. Shared
+/// vertices are where touches/crosses/boundary bugs live, and independent
+/// coordinate nudges destroy them — this mutation puts them back, so it
+/// also runs as an extra pass beyond the uniform kind roulette.
+bool ApplyVertexShare(fuzz::DatabaseSpec* out, Rng* rng) {
+  size_t tt, tr, st, sr;
+  if (!MutationEngine::PickRow(*out, rng, &tt, &tr) ||
+      !MutationEngine::PickRow(*out, rng, &st, &sr)) {
+    return false;
+  }
+  auto target = geom::ReadWkt(out->tables[tt].rows[tr]);
+  auto source = geom::ReadWkt(out->tables[st].rows[sr]);
+  if (!target.ok() || !source.ok()) return false;
+  GeomPtr g = target.Take();
+  std::vector<Coord> donor_coords;
+  source.value()->MutateCoords([&donor_coords](const Coord& c) {
+    donor_coords.push_back(c);
+    return c;
+  });
+  if (donor_coords.empty()) return false;
+  const Coord shared = donor_coords[rng->Below(donor_coords.size())];
+  CoordSeqs cs;
+  CollectSeqs(g.get(), &cs);
+  if (!cs.points.empty() && (cs.seqs.empty() || rng->Percent(30))) {
+    geom::Point* p = cs.points[rng->Below(cs.points.size())];
+    if (p->IsEmpty()) return false;
+    SPATTER_COV("corpus", "mutate_vertex_share");
+    p->set_coord(shared);
+  } else {
+    if (cs.seqs.empty()) return false;
+    auto* seq = cs.seqs[rng->Below(cs.seqs.size())];
+    if (seq->empty()) return false;
+    SPATTER_COV("corpus", "mutate_vertex_share");
+    const bool was_closed = seq->size() >= 2 && seq->front() == seq->back();
+    const size_t idx = rng->Below(seq->size());
+    (*seq)[idx] = shared;
+    // Preserve closure when an endpoint of a closed seq was replaced.
+    if (was_closed && (idx == 0 || idx + 1 == seq->size())) {
+      seq->front() = shared;
+      seq->back() = shared;
+    }
+  }
+  out->tables[tt].rows[tr] = g->ToWkt();
+  return true;
+}
+
+}  // namespace
+
+bool MutationEngine::PickRow(const fuzz::DatabaseSpec& sdb, Rng* rng,
+                             size_t* table, size_t* row) {
+  std::vector<size_t> non_empty;
+  for (size_t t = 0; t < sdb.tables.size(); ++t) {
+    if (!sdb.tables[t].rows.empty()) non_empty.push_back(t);
+  }
+  if (non_empty.empty()) return false;
+  *table = non_empty[rng->Below(non_empty.size())];
+  *row = rng->Below(sdb.tables[*table].rows.size());
+  return true;
+}
+
+fuzz::DatabaseSpec MutationEngine::MutateDatabase(
+    const fuzz::DatabaseSpec& sdb, Rng* rng) const {
+  fuzz::DatabaseSpec out = sdb;
+  const int rounds = 1 + static_cast<int>(rng->Below(
+                            static_cast<uint64_t>(config_.max_mutations)));
+  for (int round = 0; round < rounds; ++round) {
+    const auto kind = static_cast<MutationKind>(
+        rng->Below(static_cast<uint64_t>(MutationKind::kNumKinds)));
+
+    if (kind == MutationKind::kVertexShare) {
+      ApplyVertexShare(&out, rng);
+      continue;
+    }
+    if (kind == MutationKind::kGeometrySwap) {
+      // Exchange raw rows; parsing is unnecessary and the swap crosses
+      // the table boundary that join predicates see.
+      size_t t1, r1, t2, r2;
+      if (!PickRow(out, rng, &t1, &r1) || !PickRow(out, rng, &t2, &r2)) {
+        continue;
+      }
+      SPATTER_COV("corpus", "mutate_geometry_swap");
+      std::swap(out.tables[t1].rows[r1], out.tables[t2].rows[r2]);
+      continue;
+    }
+
+    size_t t, r;
+    if (!PickRow(out, rng, &t, &r)) continue;
+    std::string& wkt = out.tables[t].rows[r];
+    auto parsed = geom::ReadWkt(wkt);
+    if (!parsed.ok()) continue;
+    GeomPtr g = parsed.Take();
+
+    switch (kind) {
+      case MutationKind::kCoordNudge: {
+        SPATTER_COV("corpus", "mutate_coord_nudge");
+        g->MutateCoords([&](const Coord& c) {
+          if (!rng->Percent(60)) return c;
+          return Coord{c.x + NudgeDelta(rng), c.y + NudgeDelta(rng)};
+        });
+        break;
+      }
+      case MutationKind::kSnapToGrid: {
+        SPATTER_COV("corpus", "mutate_snap_to_grid");
+        g->MutateCoords([](const Coord& c) {
+          return Coord{std::nearbyint(c.x), std::nearbyint(c.y)};
+        });
+        break;
+      }
+      case MutationKind::kVertexInsert: {
+        CoordSeqs cs;
+        CollectSeqs(g.get(), &cs);
+        if (cs.seqs.empty()) break;
+        auto* seq = cs.seqs[rng->Below(cs.seqs.size())];
+        if (seq->size() < 2) break;
+        SPATTER_COV("corpus", "mutate_vertex_insert");
+        const size_t edge = rng->Below(seq->size() - 1);
+        const Coord& a = (*seq)[edge];
+        const Coord& b = (*seq)[edge + 1];
+        Coord mid{(a.x + b.x) / 2, (a.y + b.y) / 2};
+        if (rng->Percent(50)) {
+          mid.x += NudgeDelta(rng);
+          mid.y += NudgeDelta(rng);
+        }
+        seq->insert(seq->begin() + static_cast<ptrdiff_t>(edge) + 1, mid);
+        break;
+      }
+      case MutationKind::kVertexDelete: {
+        CoordSeqs cs;
+        CollectSeqs(g.get(), &cs);
+        if (cs.seqs.empty()) break;
+        auto* seq = cs.seqs[rng->Below(cs.seqs.size())];
+        // Only interior vertices go, so ring closure (first == last) and
+        // endpoints survive; size floors keep lines >= 2 and rings >= 4.
+        const bool ring = seq->size() >= 2 && seq->front() == seq->back();
+        const size_t min_size = ring ? 5 : 3;
+        if (seq->size() < min_size) break;
+        SPATTER_COV("corpus", "mutate_vertex_delete");
+        const size_t victim = 1 + rng->Below(seq->size() - 2);
+        seq->erase(seq->begin() + static_cast<ptrdiff_t>(victim));
+        break;
+      }
+      case MutationKind::kEmptyInject: {
+        SPATTER_COV("corpus", "mutate_empty_inject");
+        g = geom::MakeEmpty(g->type());
+        break;
+      }
+      case MutationKind::kNestedWrap: {
+        SPATTER_COV("corpus", "mutate_nested_wrap");
+        std::vector<GeomPtr> elems;
+        elems.push_back(std::move(g));
+        if (rng->Percent(40)) {
+          // An EMPTY sibling: several of the catalog's bugs are exactly
+          // "EMPTY element inside a collection" misbehaviour.
+          elems.push_back(geom::MakeEmpty(
+              rng->Bool() ? GeomType::kPoint : GeomType::kPolygon));
+        }
+        g = geom::MakeCollection(GeomType::kGeometryCollection,
+                                 std::move(elems));
+        break;
+      }
+      case MutationKind::kAffineJolt: {
+        // Whole-geometry jumps into coordinate regimes the generator
+        // under-produces but the paper's listings feature: decimal
+        // scaling (Listing 3 broke after scaling by 10), axis swap
+        // (Listing 4's x/y asymmetry), the all-negative quadrant, and
+        // displacement into the hundreds.
+        SPATTER_COV("corpus", "mutate_affine_jolt");
+        switch (rng->Below(5)) {
+          case 0:
+            g->MutateCoords([](const Coord& c) {
+              return Coord{10 * c.x, 10 * c.y};
+            });
+            break;
+          case 1:
+            g->MutateCoords([](const Coord& c) {
+              return Coord{c.x / 10, c.y / 10};
+            });
+            break;
+          case 2:
+            g->MutateCoords([](const Coord& c) {
+              return Coord{c.x == 0 ? 0.0 : -std::fabs(c.x),
+                           c.y == 0 ? 0.0 : -std::fabs(c.y)};
+            });
+            break;
+          case 3:
+            g->MutateCoords([](const Coord& c) { return Coord{c.y, c.x}; });
+            break;
+          default: {
+            const double dx = static_cast<double>(100 * rng->IntIn(-9, 9));
+            const double dy = static_cast<double>(100 * rng->IntIn(-9, 9));
+            g->MutateCoords(
+                [dx, dy](const Coord& c) { return Coord{c.x + dx, c.y + dy}; });
+            break;
+          }
+        }
+        break;
+      }
+      case MutationKind::kVertexShare:
+      case MutationKind::kGeometrySwap:
+      case MutationKind::kNumKinds:
+        break;
+    }
+    wkt = g->ToWkt();
+  }
+  // Shared-vertex topology (junctions, touching boundaries) is fragile
+  // under the coordinate mutations above and rare under independent
+  // randomness, so vertex sharing gets its own extra shot.
+  if (rng->Percent(35)) ApplyVertexShare(&out, rng);
+  return out;
+}
+
+fuzz::QuerySpec MutationEngine::MutateQuery(const fuzz::QuerySpec& query,
+                                            engine::Dialect dialect,
+                                            Rng* rng) const {
+  fuzz::QuerySpec out = query;
+  std::vector<std::string> names;
+  for (const auto* p : engine::PredicatesFor(dialect)) {
+    names.push_back(p->name);
+  }
+  if (engine::GetDialectTraits(dialect).has_same_as_operator) {
+    names.push_back("~=");
+  }
+  if (names.empty()) return out;
+  SPATTER_COV("corpus", "mutate_predicate_swap");
+  std::string pick = names[rng->Below(names.size())];
+  if (pick == query.predicate && names.size() > 1) {
+    pick = names[rng->Below(names.size())];  // one re-roll, not a loop
+  }
+  out.predicate = pick;
+  out.extra = engine::PredicateExtra::kNone;
+  out.distance = 0.0;
+  out.pattern.clear();
+  if (pick != "~=") {
+    const auto* fn = engine::FindFunction(pick);
+    out.extra = fn->extra;
+    if (out.extra == engine::PredicateExtra::kDistance) {
+      out.distance =
+          static_cast<double>(rng->IntIn(0, 2 * config_.coord_range));
+    } else if (out.extra == engine::PredicateExtra::kPattern) {
+      static const char* kPatterns[] = {
+          "T*F**F***", "FF*FF****", "T********", "T*T***T**", "0********",
+      };
+      out.pattern = kPatterns[rng->Below(5)];
+    }
+  }
+  return out;
+}
+
+algo::AffineTransform MutationEngine::MutateTransform(
+    const algo::AffineTransform& t, Rng* rng) const {
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    double m[6] = {t.a11(), t.a12(), t.a21(), t.a22(), t.b1(), t.b2()};
+    const size_t param = rng->Below(6);
+    int64_t step = rng->IntIn(-3, 3);
+    if (step == 0) step = 1;
+    m[param] += static_cast<double>(step);
+    algo::AffineTransform candidate(m[0], m[1], m[2], m[3], m[4], m[5]);
+    if (candidate.IsInvertible()) {
+      SPATTER_COV("corpus", "mutate_affine_param");
+      return candidate;
+    }
+  }
+  // Translation perturbation never touches the determinant.
+  return algo::AffineTransform(t.a11(), t.a12(), t.a21(), t.a22(),
+                               t.b1() + 1.0, t.b2() - 1.0);
+}
+
+}  // namespace spatter::corpus

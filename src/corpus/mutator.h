@@ -1,0 +1,68 @@
+// Structural, geometry-aware mutation of stored test cases.
+//
+// Blind byte-level mutation of WKT would mostly produce parse errors; the
+// mutators here work on the parsed geometry model (the style of EET's
+// data-aware mutator, adapted from SQL expressions to geometries), so
+// every output is again a syntactically valid database spec:
+//   - coordinate nudge       small perturbation of one row's vertices
+//   - snap to grid           round a row's coordinates to integers
+//   - vertex insert/delete   grow or shrink a line/ring (closure kept)
+//   - geometry swap          exchange rows between tables
+//   - EMPTY injection        replace a row with the typed EMPTY
+//   - nested wrap            wrap a row in GEOMETRYCOLLECTION(...)
+// plus query-level mutators (predicate swap, affine-parameter swap) used
+// by the campaign's corpus path. All randomness flows through the caller's
+// Rng, which the campaign reseeds from Rng::SplitSeed — mutation output is
+// a pure function of (parent, iteration seed).
+#ifndef SPATTER_CORPUS_MUTATOR_H_
+#define SPATTER_CORPUS_MUTATOR_H_
+
+#include "algo/affine.h"
+#include "common/rng.h"
+#include "engine/dialect.h"
+#include "fuzz/testcase.h"
+
+namespace spatter::corpus {
+
+struct MutatorConfig {
+  /// Stacked mutations per output, 1..max (AFL stacks small steps too).
+  int max_mutations = 3;
+  /// Coordinate magnitude used by grid snapping and vertex insertion;
+  /// matches GeneratorConfig::coord_range so mutants stay in-distribution.
+  int coord_range = 10;
+};
+
+class MutationEngine {
+ public:
+  explicit MutationEngine(const MutatorConfig& config = MutatorConfig())
+      : config_(config) {}
+
+  /// Applies 1..max_mutations random structural mutations to a copy of
+  /// `sdb`. Rows that fail to parse (there should be none) pass through
+  /// unchanged.
+  fuzz::DatabaseSpec MutateDatabase(const fuzz::DatabaseSpec& sdb,
+                                    Rng* rng) const;
+
+  /// Predicate swap: replaces the predicate (and its extra parameter) with
+  /// another from `dialect`'s candidate list, keeping the table pair.
+  fuzz::QuerySpec MutateQuery(const fuzz::QuerySpec& query,
+                              engine::Dialect dialect, Rng* rng) const;
+
+  /// Affine-parameter swap: perturbs one matrix entry by an integer step,
+  /// re-rolling until the linear part stays invertible.
+  algo::AffineTransform MutateTransform(const algo::AffineTransform& t,
+                                        Rng* rng) const;
+
+  /// Picks a uniformly random (table, row) among non-empty tables; false
+  /// when the database has no rows. Shared with the campaign's
+  /// derive-splice path so row-picking semantics live in one place.
+  static bool PickRow(const fuzz::DatabaseSpec& sdb, Rng* rng, size_t* table,
+                      size_t* row);
+
+ private:
+  MutatorConfig config_;
+};
+
+}  // namespace spatter::corpus
+
+#endif  // SPATTER_CORPUS_MUTATOR_H_

@@ -1,0 +1,22 @@
+#include "corpus/scheduler.h"
+
+namespace spatter::corpus {
+
+size_t Scheduler::PickEntry(const Corpus& corpus, Rng* rng) const {
+  const std::vector<double> energies = corpus.Energies();
+  if (energies.empty()) return 0;
+  double total = 0.0;
+  for (double e : energies) total += e;
+  if (total <= 0.0) return rng->Below(energies.size());
+  // Roulette-wheel selection. One Double01() draw regardless of where the
+  // wheel stops, keeping the RNG stream's shape schedule-independent.
+  const double target = rng->Double01() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < energies.size(); ++i) {
+    acc += energies[i];
+    if (target < acc) return i;
+  }
+  return energies.size() - 1;
+}
+
+}  // namespace spatter::corpus

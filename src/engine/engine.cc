@@ -1,6 +1,9 @@
 #include "engine/engine.h"
 
+#include <array>
 #include <chrono>
+#include <cmath>
+#include <ctime>
 
 #include "common/coverage.h"
 #include "common/strings.h"
@@ -16,21 +19,141 @@ using geom::Geometry;
 
 namespace {
 
+// Engine time is accounted on the per-thread CPU clock, not the wall
+// clock: a statement's cost must not include time the OS scheduled the
+// worker out, or the Figure-7 SDBMS share inflates whenever --jobs
+// oversubscribes the cores (each of N threads on one core would bill
+// near-N× its real compute). Falls back to the steady clock on platforms
+// without CLOCK_THREAD_CPUTIME_ID.
+double ThreadCpuSeconds() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+#endif
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 class ScopedTimer {
  public:
-  explicit ScopedTimer(double* accum) : accum_(accum) {
-    start_ = std::chrono::steady_clock::now();
-  }
-  ~ScopedTimer() {
-    const auto end = std::chrono::steady_clock::now();
-    *accum_ +=
-        std::chrono::duration<double>(end - start_).count();
-  }
+  explicit ScopedTimer(double* accum)
+      : accum_(accum), start_(ThreadCpuSeconds()) {}
+  ~ScopedTimer() { *accum_ += ThreadCpuSeconds() - start_; }
 
  private:
   double* accum_;
-  std::chrono::steady_clock::time_point start_;
+  double start_;
 };
+
+}  // namespace
+
+namespace {
+
+/// Behaviour-class coverage for join predicates — the greybox corpus's
+/// admission signal. A site per (predicate, content feature) pair records
+/// WHAT kind of inputs a query exercised, not just that the predicate ran;
+/// rare combinations ("ST_Crosses over large coordinates", "ST_Touches
+/// against a nested collection") are exactly the neighbourhoods the
+/// catalog's bugs live in, so keeping and mutating the databases that
+/// first reach them is what makes coverage guidance correlate with fault
+/// discovery. Runs once per join statement (not per pair): ~a dozen
+/// registry hits against ~10^2 pair evaluations.
+struct ContentFeatures {
+  bool types[7] = {};
+  bool empty = false;
+  bool nested = false;
+  bool fractional = false;
+  bool large = false;
+  bool negative = false;
+};
+
+void ClassifyGeometry(const Geometry& g, int depth, ContentFeatures* f) {
+  f->types[static_cast<int>(g.type())] = true;
+  if (g.IsEmpty()) f->empty = true;
+  if (geom::IsCollectionType(g.type())) {
+    if (depth > 0) f->nested = true;
+    for (const auto& e : geom::AsCollection(g).elements()) {
+      ClassifyGeometry(*e, depth + 1, f);
+    }
+    return;
+  }
+  geom::ForEachBasic(g, [f](const Geometry& basic) {
+    auto coord = [f](const geom::Coord& c) {
+      for (double v : {c.x, c.y}) {
+        // trunc-compare, not an int64 cast: mutation lineages can scale
+        // coordinates past 2^63, where the cast is undefined behaviour.
+        if (std::trunc(v) != v) f->fractional = true;
+        if (v <= -100 || v >= 100) f->large = true;
+        if (v < 0) f->negative = true;
+      }
+    };
+    switch (basic.type()) {
+      case geom::GeomType::kPoint:
+        if (!basic.IsEmpty()) coord(*geom::AsPoint(basic).coord());
+        break;
+      case geom::GeomType::kLineString:
+        for (const auto& p : geom::AsLineString(basic).points()) coord(p);
+        break;
+      case geom::GeomType::kPolygon:
+        for (const auto& ring : geom::AsPolygon(basic).rings()) {
+          for (const auto& p : ring) coord(p);
+        }
+        break;
+      default:
+        break;
+    }
+  });
+}
+
+void CoverJoinBehaviour(const std::string& func, const Table& t1,
+                        const Table& t2) {
+  ContentFeatures f;
+  for (const Table* t : {&t1, &t2}) {
+    if (t->geometry_column < 0) continue;
+    for (const Row& row : t->rows) {
+      const Value& v = row[t->geometry_column];
+      if (v.kind() == Value::Kind::kGeometry && v.geometry()) {
+        ClassifyGeometry(*v.geometry(), 0, &f);
+      }
+    }
+  }
+  // Registration takes the global registry mutex and builds strings, so
+  // the 12 site indices per predicate are resolved once per thread and
+  // reused; steady-state cost is a map lookup plus relaxed increments.
+  static constexpr int kFeatureSites = 12;
+  static thread_local std::map<std::string, std::array<size_t, kFeatureSites>>
+      site_cache;
+  auto it = site_cache.find(func);
+  if (it == site_cache.end()) {
+    auto& registry = CoverageRegistry::Instance();
+    std::array<size_t, kFeatureSites> sites;
+    for (int t = 0; t < 7; ++t) {
+      sites[t] = registry.Register(
+          "behaviour",
+          func + "/" + geom::GeomTypeName(static_cast<geom::GeomType>(t)));
+    }
+    sites[7] = registry.Register("behaviour", func + "/empty");
+    sites[8] = registry.Register("behaviour", func + "/nested");
+    sites[9] = registry.Register("behaviour", func + "/fractional");
+    sites[10] = registry.Register("behaviour", func + "/large");
+    sites[11] = registry.Register("behaviour", func + "/negative");
+    it = site_cache.emplace(func, sites).first;
+  }
+  const std::array<size_t, kFeatureSites>& sites = it->second;
+  auto& registry = CoverageRegistry::Instance();
+  for (int t = 0; t < 7; ++t) {
+    if (f.types[t]) registry.Hit(sites[t]);
+  }
+  if (f.empty) registry.Hit(sites[7]);
+  if (f.nested) registry.Hit(sites[8]);
+  if (f.fractional) registry.Hit(sites[9]);
+  if (f.large) registry.Hit(sites[10]);
+  if (f.negative) registry.Hit(sites[11]);
+}
 
 }  // namespace
 
@@ -463,6 +586,7 @@ Result<ExecResult> Engine::ExecSelectCountJoin(const sql::Statement& stmt) {
   const bool simple =
       IsSimpleColumnPredicate(*stmt.condition, stmt.table, stmt.table2,
                               &func_name);
+  if (simple) CoverJoinBehaviour(func_name, *t1, *t2);
 
   // Prepared-geometry path: PostGIS prepares the outer geometry when the
   // same predicate is evaluated against many inner candidates.

@@ -55,6 +55,8 @@ struct EngineStats {
   uint64_t pairs_evaluated = 0;      // join pairs examined
   uint64_t index_scans = 0;
   uint64_t prepared_evaluations = 0;
+  /// Statement execution time on the per-thread CPU clock (wall clock
+  /// would inflate the Figure-7 SDBMS share when --jobs > cores).
   double exec_seconds = 0.0;
 
   /// Field-wise sum/difference, so campaign finalization (delta since a

@@ -23,6 +23,21 @@ Campaign::Campaign(const CampaignConfig& config)
                                              config.enable_faults);
   generator_ = std::make_unique<GeometryAwareGenerator>(config.generator,
                                                         &rng_, engine_.get());
+  if (config.corpus.enabled) {
+    corpus_ = std::make_unique<corpus::Corpus>(config.corpus);
+    corpus::MutatorConfig mutator_config;
+    mutator_config.coord_range = config.generator.coord_range;
+    mutator_ = std::make_unique<corpus::MutationEngine>(mutator_config);
+    scheduler_ = std::make_unique<corpus::Scheduler>(config.corpus);
+  }
+}
+
+void Campaign::SeedCorpus(const std::vector<corpus::TestCaseRecord>& records) {
+  if (!corpus_) return;
+  // Restore, not Admit: persisted records already earned their slots in a
+  // previous run; re-litigating the new-coverage rule in load order would
+  // drop some of them.
+  for (const auto& record : records) corpus_->Restore(record);
 }
 
 double Campaign::NowSeconds() {
@@ -50,11 +65,50 @@ void Campaign::FinalizeResult(CampaignResult* result, double started_at,
 
 void Campaign::RunIteration(size_t iteration, CampaignResult* result,
                             double started_at) {
-  // Step 1: geometry-aware generation (crashes during derivation count).
+  // Step 1: input construction — geometry-aware generation, or (corpus
+  // mode) mutation of a stored entry when the scheduler says so. The
+  // thread-local coverage trace brackets the whole iteration so admission
+  // sees exactly the sites THIS iteration hit, untouched by other shards.
   engine_->Reset();
+  if (corpus_) CoverageRegistry::BeginTrace();
   std::vector<GenerationCrash> crashes;
-  DatabaseSpec sdb1 = generator_->Generate(&crashes);
-  sdb1.with_index = rng_.Percent(config_.index_pct);
+  DatabaseSpec sdb1;
+  corpus::TestCaseRecord parent;
+  bool mutated = false;
+  if (corpus_ &&
+      scheduler_->ShouldMutate(*corpus_, shard_iterations_run_,
+                               iterations_since_admit_, &rng_)) {
+    SPATTER_COV("campaign", "corpus_mutate_iteration");
+    const size_t pick = scheduler_->PickEntry(*corpus_, &rng_);
+    corpus_->NoteFuzzed(pick);
+    parent = corpus_->Entry(pick);
+    sdb1 = mutator_->MutateDatabase(parent.sdb, &rng_);
+    if (config_.generator.derivative_enabled) {
+      // Mutate through the engine's own editing functions too (the EET
+      // data-aware idea): derive geometries from the mutated database and
+      // splice them in. Without this, derivation-path bugs would be
+      // reachable only on generate iterations (which run ~N/2 derives
+      // each) and corpus mode would trade those bugs away.
+      const uint64_t splices = 1 + rng_.Below(3);
+      for (uint64_t s = 0; s < splices; ++s) {
+        geom::GeomPtr derived = generator_->Derive(sdb1, &crashes);
+        size_t table, row;
+        if (!corpus::MutationEngine::PickRow(sdb1, &rng_, &table, &row)) {
+          break;
+        }
+        sdb1.tables[table].rows[row] = derived->ToWkt();
+      }
+    }
+    mutated = true;
+  } else {
+    sdb1 = generator_->Generate(&crashes);
+  }
+  // Mutants keep the parent's index configuration half the time: several
+  // catalog bugs live on the index path, and an indexed parent that
+  // reached them is worth re-probing with the index still on.
+  sdb1.with_index = (mutated && rng_.Percent(50))
+                        ? parent.sdb.with_index
+                        : rng_.Percent(config_.index_pct);
   for (const auto& crash : crashes) {
     Discrepancy d;
     d.iteration = iteration;
@@ -74,16 +128,31 @@ void Campaign::RunIteration(size_t iteration, CampaignResult* result,
   }
 
   // Step 2+3: affine equivalent input construction and result validation.
+  QuerySpec first_query;
   for (size_t q = 0; q < config_.queries_per_iteration; ++q) {
-    const QuerySpec query = generator_->RandomQuery(sdb1);
+    QuerySpec query = generator_->RandomQuery(sdb1);
+    if (mutated && parent.has_query && rng_.Percent(25)) {
+      // Predicate swap against the parent's recorded query: re-probes the
+      // behaviour that earned the parent its corpus slot under a
+      // different predicate (same table pair, mutated extras).
+      query = mutator_->MutateQuery(parent.query, config_.dialect, &rng_);
+    }
+    if (q == 0) first_query = query;
     const bool canonical_only = rng_.Percent(config_.canonical_only_pct);
     const bool metric_sensitive =
         query.extra == engine::PredicateExtra::kDistance ||
         query.predicate == "~=";
-    const algo::AffineTransform transform =
+    algo::AffineTransform transform =
         canonical_only ? algo::AffineTransform::Identity()
         : metric_sensitive ? RandomIntegerSimilarity(&rng_)
                            : RandomIntegerAffine(&rng_);
+    if (mutated && !canonical_only && !metric_sensitive &&
+        rng_.Percent(25)) {
+      // Affine-parameter swap. Only for topological predicates: a raw
+      // matrix perturbation would break the similarity property that
+      // keeps distance predicates affine-invariant.
+      transform = mutator_->MutateTransform(transform, &rng_);
+    }
     const OracleOutcome outcome =
         RunAeiCheck(engine_.get(), sdb1, query, transform,
                     /*canonicalize=*/true);
@@ -113,7 +182,35 @@ void Campaign::RunIteration(size_t iteration, CampaignResult* result,
     SPATTER_COV("campaign", d.is_crash ? "crash_found" : "logic_found");
     result->discrepancies.push_back(std::move(d));
   }
+  if (corpus_) {
+    // Feedback: keep the iteration's database when it bought coverage
+    // this corpus had never seen (generated AND mutated inputs compete on
+    // equal terms — the classic greybox loop).
+    const std::vector<uint32_t> trace = CoverageRegistry::TakeTrace();
+    corpus::TestCaseRecord record;
+    record.kind = corpus::RecordKind::kCorpusEntry;
+    record.dialect = config_.dialect;
+    record.seed = Rng::SplitSeed(config_.seed, iteration);
+    record.iteration = iteration;
+    record.sdb = sdb1;
+    record.has_query = config_.queries_per_iteration > 0;
+    record.query = first_query;
+    // Admission must reward new ENGINE behaviour only: the trace also
+    // caught the harness's own instrumentation (scheduler, mutator,
+    // generator, oracle sites), whose first firing says nothing about the
+    // input's value and would auto-admit e.g. the first mutant of a run.
+    static const std::set<std::string> kHarnessModules = {
+        "campaign", "corpus", "generator", "aei", "oracle"};
+    record.sites = CoverageRegistry::Instance().KeysOf(trace, kHarnessModules);
+    if (corpus_->Admit(std::move(record))) {
+      SPATTER_COV("campaign", "corpus_admit");
+      iterations_since_admit_ = 0;
+    } else {
+      iterations_since_admit_++;
+    }
+  }
   result->iterations_run++;
+  shard_iterations_run_++;
 }
 
 CampaignResult Campaign::Run() {

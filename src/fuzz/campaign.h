@@ -9,6 +9,16 @@
 // This is what lets the sharded runtime (src/runtime/) split one campaign
 // across any number of workers and still reproduce the exact universe of
 // test cases a serial run would explore.
+//
+// Corpus mode (config.corpus.enabled) adds greybox feedback on top:
+// iterations that hit new coverage are admitted to a corpus, and a
+// scheduled fraction of later iterations mutates stored entries instead of
+// generating fresh databases. The determinism contract weakens honestly:
+// an iteration's input now depends on the shard's own corpus history, so
+// the test-case universe is a pure function of (seed, shard count) — any
+// run with the same --jobs reproduces it exactly, but different job counts
+// may explore different mutants. Pure-generate mode (corpus disabled)
+// keeps the full jobs-invariance guarantee above.
 #ifndef SPATTER_FUZZ_CAMPAIGN_H_
 #define SPATTER_FUZZ_CAMPAIGN_H_
 
@@ -20,6 +30,9 @@
 #include <vector>
 
 #include "algo/affine.h"
+#include "corpus/corpus.h"
+#include "corpus/mutator.h"
+#include "corpus/scheduler.h"
 #include "engine/engine.h"
 #include "fuzz/generator.h"
 #include "fuzz/oracles.h"
@@ -41,6 +54,10 @@ struct CampaignConfig {
   int canonical_only_pct = 25;
   /// Inject the dialect's default fault set (false = fixed engine).
   bool enable_faults = true;
+  /// Greybox corpus feedback (see the class comment for the determinism
+  /// contract). Disabled by default: pure-generate campaigns draw an
+  /// identical RNG stream to pre-corpus builds.
+  corpus::CorpusOptions corpus;
 };
 
 /// One recorded discrepancy (logic or crash).
@@ -120,6 +137,16 @@ class Campaign {
   const CampaignConfig& config() const { return config_; }
   engine::Engine& engine() { return *engine_; }
 
+  /// Corpus feedback store; null unless config.corpus.enabled.
+  corpus::Corpus* corpus() { return corpus_.get(); }
+  /// Moves the corpus out (for cross-shard merging); the campaign reverts
+  /// to pure-generate behaviour afterwards.
+  std::unique_ptr<corpus::Corpus> TakeCorpus() { return std::move(corpus_); }
+  /// Pre-seeds the corpus with persisted records (no-op when corpus mode
+  /// is off). Records are restored — signature dedup only, never the
+  /// new-coverage rule, which would drop entries earned in earlier runs.
+  void SeedCorpus(const std::vector<corpus::TestCaseRecord>& records);
+
  private:
   void RunIteration(size_t iteration, CampaignResult* result,
                     double started_at);
@@ -128,6 +155,15 @@ class Campaign {
   Rng rng_;
   std::unique_ptr<engine::Engine> engine_;
   std::unique_ptr<GeometryAwareGenerator> generator_;
+  std::unique_ptr<corpus::Corpus> corpus_;            // corpus mode only
+  std::unique_ptr<corpus::MutationEngine> mutator_;   // corpus mode only
+  std::unique_ptr<corpus::Scheduler> scheduler_;      // corpus mode only
+  /// Shard-local iterations since the corpus last admitted an entry;
+  /// drives the scheduler's staleness fallback to pure generation.
+  size_t iterations_since_admit_ = 0;
+  /// Iterations this Campaign instance has run (shard-local), for the
+  /// scheduler's warmup window.
+  size_t shard_iterations_run_ = 0;
 };
 
 }  // namespace spatter::fuzz

@@ -134,10 +134,14 @@ DatabaseSpec ReduceDatabase(const DatabaseSpec& sdb,
 }
 
 Discrepancy ReduceDiscrepancy(engine::Engine* engine, const Discrepancy& d,
-                              ReductionStats* stats) {
+                              ReductionStats* stats,
+                              std::optional<faults::FaultId> preserve_fault) {
   const StillFailsFn still_fails = [&](const DatabaseSpec& candidate) {
     const OracleOutcome o = RunAeiCheck(engine, candidate, d.query,
                                         d.transform, /*canonicalize=*/true);
+    if (preserve_fault && o.fault_hits.count(*preserve_fault) == 0) {
+      return false;
+    }
     return d.is_crash ? o.crash : o.mismatch;
   };
   Discrepancy reduced = d;

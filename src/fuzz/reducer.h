@@ -8,6 +8,7 @@
 #define SPATTER_FUZZ_REDUCER_H_
 
 #include <functional>
+#include <optional>
 
 #include "fuzz/campaign.h"
 
@@ -32,9 +33,15 @@ DatabaseSpec ReduceDatabase(const DatabaseSpec& sdb,
 
 /// Convenience wrapper that reduces a recorded AEI discrepancy: rebuilds
 /// the oracle check for each candidate. Returns the reduced discrepancy
-/// (query and transform unchanged).
-Discrepancy ReduceDiscrepancy(engine::Engine* engine, const Discrepancy& d,
-                              ReductionStats* stats = nullptr);
+/// (query and transform unchanged). When `preserve_fault` is set, a
+/// candidate only counts as "still failing" if that fault fires — without
+/// it, reduction can drift to a smaller input whose mismatch has a
+/// DIFFERENT root cause, and the reproducer saved under this bug's name
+/// would replay some other bug.
+Discrepancy ReduceDiscrepancy(
+    engine::Engine* engine, const Discrepancy& d,
+    ReductionStats* stats = nullptr,
+    std::optional<faults::FaultId> preserve_fault = std::nullopt);
 
 }  // namespace spatter::fuzz
 

@@ -47,6 +47,18 @@ void Aggregator::Merge(fuzz::CampaignResult&& shard) {
   acc_.engine_stats += shard.engine_stats;
 }
 
+void Aggregator::MergeCorpus(const corpus::Corpus& shard) {
+  if (!corpus_) {
+    // Same cap as the shards: a larger merged cap would persist more
+    // entries than the next run's loader and per-shard corpora can hold,
+    // and the overflow would be evicted on reload and its files deleted
+    // as stale. Keeping every stage at one cap makes save -> reload a
+    // fixed point.
+    corpus_ = std::make_unique<corpus::Corpus>(shard.options());
+  }
+  corpus_->MergeFrom(shard);
+}
+
 fuzz::CampaignResult Aggregator::Finish(double wall_seconds) {
   // Stable so a shard's in-order records keep their relative order on tie
   // (generation crashes share query_index 0 with the first query).

@@ -17,6 +17,9 @@
 #ifndef SPATTER_RUNTIME_AGGREGATOR_H_
 #define SPATTER_RUNTIME_AGGREGATOR_H_
 
+#include <memory>
+
+#include "corpus/corpus.h"
 #include "fuzz/campaign.h"
 
 namespace spatter::runtime {
@@ -37,11 +40,22 @@ class Aggregator {
 
   /// Finalizes and returns the aggregate: discrepancies sorted into
   /// (iteration, query_index) order, total_seconds set to `wall_seconds`.
-  /// The aggregator is left empty.
+  /// The aggregator is left empty (the merged corpus, if any, stays until
+  /// TakeCorpus).
   fuzz::CampaignResult Finish(double wall_seconds);
+
+  /// Folds a shard's corpus into the campaign-level corpus with
+  /// coverage-signature dedup: behaviour two shards both discovered is
+  /// kept once, and entries restored from disk always survive. The first
+  /// merged corpus donates its options.
+  void MergeCorpus(const corpus::Corpus& shard);
+
+  /// The merged corpus; null when no shard contributed one.
+  std::unique_ptr<corpus::Corpus> TakeCorpus() { return std::move(corpus_); }
 
  private:
   fuzz::CampaignResult acc_;
+  std::unique_ptr<corpus::Corpus> corpus_;
 };
 
 }  // namespace spatter::runtime

@@ -31,16 +31,20 @@ CampaignResult ShardedCampaign::Run() {
 
   // One result slot per (dialect, shard); written only by the shard task.
   std::vector<CampaignResult> shard_results(dialects_.size() * shards);
+  std::vector<std::unique_ptr<corpus::Corpus>> shard_corpora(
+      shard_results.size());
   {
     ThreadPool pool(config_.jobs);
     size_t slot = 0;
     for (const engine::Dialect dialect : dialects_) {
       for (size_t shard = 0; shard < shards; ++shard, ++slot) {
         CampaignResult* out = &shard_results[slot];
-        pool.Submit([this, dialect, shard, shards, t0, out] {
+        std::unique_ptr<corpus::Corpus>* corpus_out = &shard_corpora[slot];
+        pool.Submit([this, dialect, shard, shards, t0, out, corpus_out] {
           CampaignConfig cfg = config_.base;
           cfg.dialect = dialect;
           Campaign campaign(cfg);
+          campaign.SeedCorpus(config_.seed_corpus);
           const double shard_t0 = Campaign::NowSeconds();
           const engine::EngineStats stats_t0 = campaign.engine().stats();
           for (size_t i = shard; i < cfg.iterations; i += shards) {
@@ -50,6 +54,7 @@ CampaignResult ShardedCampaign::Run() {
             campaign.RunIterationAt(i, out, t0);
           }
           campaign.FinalizeResult(out, shard_t0, stats_t0);
+          *corpus_out = campaign.TakeCorpus();
         });
       }
     }
@@ -58,7 +63,14 @@ CampaignResult ShardedCampaign::Run() {
 
   Aggregator aggregator;
   for (CampaignResult& r : shard_results) aggregator.Merge(std::move(r));
-  return aggregator.Finish(Campaign::NowSeconds() - t0);
+  // Merge in slot order: (dialect, shard) position, not finish time, so
+  // the merged corpus is reproducible for a fixed configuration.
+  for (auto& shard_corpus : shard_corpora) {
+    if (shard_corpus) aggregator.MergeCorpus(*shard_corpus);
+  }
+  CampaignResult result = aggregator.Finish(Campaign::NowSeconds() - t0);
+  merged_corpus_ = aggregator.TakeCorpus();
+  return result;
 }
 
 CampaignResult ShardedCampaign::RunForDuration(double deadline_seconds,
@@ -68,6 +80,8 @@ CampaignResult ShardedCampaign::RunForDuration(double deadline_seconds,
 
   std::mutex aggregate_mu;
   Aggregator aggregator;
+  std::vector<std::unique_ptr<corpus::Corpus>> shard_corpora(
+      dialects_.size() * shards);
   {
     // Every shard task loops until the shared deadline, so a pool smaller
     // than the task count would never start the excess shards (the first
@@ -76,13 +90,16 @@ CampaignResult ShardedCampaign::RunForDuration(double deadline_seconds,
     // the pool to the task count and let the OS time-slice; the jobs knob
     // still governs batch-mode concurrency.
     ThreadPool pool(std::max(config_.jobs, dialects_.size() * shards));
+    size_t slot = 0;
     for (const engine::Dialect dialect : dialects_) {
-      for (size_t shard = 0; shard < shards; ++shard) {
+      for (size_t shard = 0; shard < shards; ++shard, ++slot) {
+        std::unique_ptr<corpus::Corpus>* corpus_out = &shard_corpora[slot];
         pool.Submit([this, dialect, shard, shards, t0, deadline_seconds,
-                     &aggregate_mu, &aggregator, &sampler] {
+                     &aggregate_mu, &aggregator, &sampler, corpus_out] {
           CampaignConfig cfg = config_.base;
           cfg.dialect = dialect;
           Campaign campaign(cfg);
+          campaign.SeedCorpus(config_.seed_corpus);
           const double shard_t0 = Campaign::NowSeconds();
           const engine::EngineStats stats_t0 = campaign.engine().stats();
           size_t iteration = shard;
@@ -103,6 +120,7 @@ CampaignResult ShardedCampaign::RunForDuration(double deadline_seconds,
           // Timing-only record: counters were merged per iteration above.
           CampaignResult timing;
           campaign.FinalizeResult(&timing, shard_t0, stats_t0);
+          *corpus_out = campaign.TakeCorpus();
           std::lock_guard<std::mutex> lock(aggregate_mu);
           aggregator.Merge(std::move(timing));
         });
@@ -111,7 +129,12 @@ CampaignResult ShardedCampaign::RunForDuration(double deadline_seconds,
     pool.Wait();
   }
 
-  return aggregator.Finish(Campaign::NowSeconds() - t0);
+  for (auto& shard_corpus : shard_corpora) {
+    if (shard_corpus) aggregator.MergeCorpus(*shard_corpus);
+  }
+  CampaignResult result = aggregator.Finish(Campaign::NowSeconds() - t0);
+  merged_corpus_ = aggregator.TakeCorpus();
+  return result;
 }
 
 }  // namespace spatter::runtime

@@ -35,11 +35,16 @@ struct ShardedCampaignConfig {
   fuzz::CampaignConfig base;
   /// Worker threads in the pool.
   size_t jobs = 1;
-  /// Shards per dialect; 0 = one per job. The unique-bug set is invariant
-  /// to this value — it only controls how the fixed universe is split.
+  /// Shards per dialect; 0 = one per job. With the corpus disabled the
+  /// unique-bug set is invariant to this value — it only controls how the
+  /// fixed universe is split. In corpus mode it parameterizes the
+  /// universe (see campaign.h's determinism contract).
   size_t shards = 0;
   /// Dialects to fuzz concurrently; empty = just base.dialect.
   std::vector<engine::Dialect> dialects;
+  /// Persisted records every shard's corpus is seeded with before its
+  /// first iteration (corpus mode only).
+  std::vector<corpus::TestCaseRecord> seed_corpus;
 };
 
 class ShardedCampaign {
@@ -71,9 +76,14 @@ class ShardedCampaign {
   /// All four paper dialects, for fleet mode.
   static std::vector<engine::Dialect> AllDialects();
 
+  /// Per-shard corpora merged across all (dialect, shard) pairs by the
+  /// aggregator; null until a corpus-mode Run/RunForDuration completes.
+  corpus::Corpus* merged_corpus() { return merged_corpus_.get(); }
+
  private:
   ShardedCampaignConfig config_;
   std::vector<engine::Dialect> dialects_;
+  std::unique_ptr<corpus::Corpus> merged_corpus_;
 };
 
 }  // namespace spatter::runtime

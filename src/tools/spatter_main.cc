@@ -3,6 +3,7 @@
 //
 //   spatter --dialect=postgis --seed=42 --iterations=100 --queries=100
 //           --geometries=10 --jobs=4 [--no-derivative] [--fixed] [--reduce]
+//           [--corpus=dir --mutate-pct=N] [--replay=file]
 //
 // Runs an AEI campaign against the chosen (faulty by default) dialect and
 // prints each deduplicated unique bug with a minimal SQL reproducer.
@@ -10,14 +11,24 @@
 // is identical for any N at a fixed seed (deterministic seed-splitting).
 // --dialect=all runs a fleet campaign over all four dialects at once,
 // deduplicating shared-library bugs across them.
+//
+// --corpus=dir turns on greybox feedback: iterations that reach new
+// coverage are kept, mutated preferentially (--mutate-pct), persisted to
+// `dir` across runs, and every unique bug gets a binary reproducer file
+// there that --replay=file re-executes deterministically.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
+#include <vector>
 
+#include "corpus/codec.h"
 #include "fuzz/campaign.h"
+#include "fuzz/oracles.h"
 #include "fuzz/reducer.h"
 #include "runtime/sharded_campaign.h"
+#include "runtime/thread_pool.h"
 
 using namespace spatter;  // NOLINT
 
@@ -34,6 +45,9 @@ struct Options {
   bool derivative = true;
   bool enable_faults = true;
   bool reduce = true;
+  std::string corpus_dir;   // empty = corpus mode off
+  int mutate_pct = 50;
+  std::string replay_file;  // non-empty = replay mode, no campaign
 };
 
 void Usage() {
@@ -50,7 +64,14 @@ void Usage() {
       "                    unique-bug set is identical for any N\n"
       "  --no-derivative   random-shape strategy only (RSG ablation)\n"
       "  --fixed           run against the fixed engine (expect 0 bugs)\n"
-      "  --no-reduce       skip test-case reduction\n");
+      "  --no-reduce       skip test-case reduction\n"
+      "  --corpus=DIR      greybox mode: persist coverage-novel test cases\n"
+      "                    and bug reproducers to DIR, reloading them on\n"
+      "                    the next run (deterministic for a fixed --jobs)\n"
+      "  --mutate-pct=N    percent of iterations that mutate a corpus\n"
+      "                    entry instead of generating (default 50)\n"
+      "  --replay=FILE     re-execute a saved reproducer/corpus entry and\n"
+      "                    report which injected faults fire; no campaign\n");
 }
 
 bool ParseFlag(const char* arg, const char* name, std::string* value) {
@@ -98,6 +119,26 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
         return false;
       }
       opts->jobs = jobs == 0 ? 1 : jobs;
+    } else if (ParseFlag(argv[i], "--corpus", &value)) {
+      if (value.empty()) {
+        std::fprintf(stderr, "--corpus needs a directory\n");
+        return false;
+      }
+      opts->corpus_dir = value;
+    } else if (ParseFlag(argv[i], "--mutate-pct", &value)) {
+      char* end = nullptr;
+      const long pct = std::strtol(value.c_str(), &end, 10);
+      if (value.empty() || *end != '\0' || pct < 0 || pct > 100) {
+        std::fprintf(stderr, "--mutate-pct must be an integer in [0, 100]\n");
+        return false;
+      }
+      opts->mutate_pct = static_cast<int>(pct);
+    } else if (ParseFlag(argv[i], "--replay", &value)) {
+      if (value.empty()) {
+        std::fprintf(stderr, "--replay needs a file\n");
+        return false;
+      }
+      opts->replay_file = value;
     } else if (std::strcmp(argv[i], "--no-derivative") == 0) {
       opts->derivative = false;
     } else if (std::strcmp(argv[i], "--fixed") == 0) {
@@ -115,6 +156,96 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
   return true;
 }
 
+// --- Replay mode ------------------------------------------------------------
+
+/// Re-executes a saved record: loads the database and, when a query was
+/// recorded, re-runs the exact AEI check. Returns 0 when the record's
+/// expected faults fire again (or, lacking expectations, when any
+/// discrepancy reproduces), 1 when it does not reproduce, 2 on bad input.
+int RunReplay(const Options& opts) {
+  std::ifstream in(opts.replay_file, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "replay: cannot open '%s'\n",
+                 opts.replay_file.c_str());
+    return 2;
+  }
+  std::vector<uint8_t> data((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+  auto decoded = corpus::TestCaseCodec::Decode(data);
+  if (!decoded.ok()) {
+    std::fprintf(stderr, "replay: %s\n",
+                 decoded.status().ToString().c_str());
+    return 2;
+  }
+  const corpus::TestCaseRecord rec = decoded.Take();
+  std::printf("replay: %s record for %s, iteration %llu, recorded seed "
+              "%016llx\n",
+              rec.kind == corpus::RecordKind::kReproducer ? "reproducer"
+                                                          : "corpus",
+              engine::DialectName(rec.dialect),
+              static_cast<unsigned long long>(rec.iteration),
+              static_cast<unsigned long long>(rec.seed));
+  for (const auto& stmt : rec.sdb.ToSql()) std::printf("  %s\n", stmt.c_str());
+
+  engine::Engine engine(rec.dialect, opts.enable_faults);
+  if (!rec.has_query) {
+    const Status st = fuzz::LoadDatabase(&engine, rec.sdb, nullptr);
+    std::printf("replay: loaded database (%s); no recorded query\n",
+                st.ToString().c_str());
+    return st.ok() ? 0 : 1;
+  }
+  std::printf("  %s\n  -- %s oracle, transform %s\n",
+              rec.query.ToSql().c_str(),
+              rec.canonical_only ? "canonicalization-only" : "AEI",
+              rec.transform.ToString().c_str());
+  const fuzz::OracleOutcome outcome = fuzz::RunAeiCheck(
+      &engine, rec.sdb, rec.query, rec.transform, /*canonicalize=*/true);
+  std::printf("replay: %s%s\n",
+              outcome.crash      ? "crash reproduced"
+              : outcome.mismatch ? "mismatch reproduced"
+                                 : "no discrepancy",
+              outcome.detail.empty() ? "" : (" — " + outcome.detail).c_str());
+  bool expected_fired = true;
+  for (uint32_t raw : rec.fault_ids) {
+    const auto id = static_cast<faults::FaultId>(raw);
+    const bool fired = outcome.fault_hits.count(id) > 0;
+    std::printf("  fault %s: %s\n", faults::GetFaultInfo(id).name,
+                fired ? "FIRED" : "did not fire");
+    if (!fired) expected_fired = false;
+  }
+  const bool reproduced =
+      (outcome.mismatch || outcome.crash) && expected_fired;
+  return reproduced ? 0 : 1;
+}
+
+/// Writes one unique bug as a reproducer record into the corpus dir.
+void WriteReproducer(const std::string& dir, const faults::FaultInfo& info,
+                     const fuzz::Discrepancy& d, uint64_t master_seed) {
+  if (d.query.predicate.empty()) return;  // generation crash: no query
+  corpus::TestCaseRecord rec;
+  rec.kind = corpus::RecordKind::kReproducer;
+  rec.dialect = d.dialect;
+  rec.iteration = d.iteration;
+  rec.seed = Rng::SplitSeed(master_seed, d.iteration);
+  rec.sdb = d.sdb1;
+  rec.has_query = true;
+  rec.query = d.query;
+  rec.transform = d.transform;
+  rec.canonical_only = d.oracle == fuzz::OracleKind::kCanonicalOnly;
+  rec.fault_ids.push_back(static_cast<uint32_t>(info.id));
+  auto encoded = corpus::TestCaseCodec::Encode(rec);
+  if (!encoded.ok()) {
+    std::fprintf(stderr, "cannot encode reproducer for %s: %s\n", info.name,
+                 encoded.status().ToString().c_str());
+    return;
+  }
+  const std::string path = dir + "/repro-" + info.name + ".sptc";
+  std::ofstream out(path, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(encoded.value().data()),
+            static_cast<std::streamsize>(encoded.value().size()));
+  if (!out) std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -123,6 +254,7 @@ int main(int argc, char** argv) {
     Usage();
     return 2;
   }
+  if (!opts.replay_file.empty()) return RunReplay(opts);
 
   runtime::ShardedCampaignConfig config;
   config.base.dialect = opts.dialect;
@@ -136,6 +268,21 @@ int main(int argc, char** argv) {
   if (opts.all_dialects) {
     config.dialects = runtime::ShardedCampaign::AllDialects();
   }
+  size_t corpus_loaded = 0;
+  if (!opts.corpus_dir.empty()) {
+    config.base.corpus.enabled = true;
+    config.base.corpus.mutate_pct = opts.mutate_pct;
+    // Reload what previous runs persisted; every shard seeds from it.
+    corpus::Corpus loader(config.base.corpus);
+    auto loaded = loader.LoadFrom(opts.corpus_dir);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "corpus: %s\n",
+                   loaded.status().ToString().c_str());
+      return 2;
+    }
+    corpus_loaded = loaded.value();
+    config.seed_corpus = loader.Entries();
+  }
 
   std::printf("spatter: %s engine (%s), seed %llu, %zu x %zu checks, "
               "N=%zu, generator=%s, jobs=%zu\n",
@@ -146,9 +293,24 @@ int main(int argc, char** argv) {
               opts.queries, opts.geometries,
               opts.derivative ? "geometry-aware" : "random-shape",
               opts.jobs);
+  if (!opts.corpus_dir.empty()) {
+    std::printf("corpus: %s (%zu entries reloaded, mutate %d%%)\n",
+                opts.corpus_dir.c_str(), corpus_loaded, opts.mutate_pct);
+  }
 
   runtime::ShardedCampaign campaign(config);
   const fuzz::CampaignResult result = campaign.Run();
+
+  if (!opts.corpus_dir.empty() && campaign.merged_corpus() != nullptr) {
+    corpus::Corpus* merged = campaign.merged_corpus();
+    const Status st = merged->SaveTo(opts.corpus_dir);
+    if (!st.ok()) {
+      std::fprintf(stderr, "corpus: %s\n", st.ToString().c_str());
+    }
+    std::printf("corpus: %zu entries covering %zu sites persisted to %s\n",
+                merged->size(), merged->covered_sites(),
+                opts.corpus_dir.c_str());
+  }
 
   std::printf("\n%zu discrepancies -> %zu unique bugs in %.2fs wall "
               "(%.2fs across %zu shard(s); %.2fs inside the engine, %.0f%% "
@@ -161,23 +323,52 @@ int main(int argc, char** argv) {
                   ? 100.0 * result.engine_seconds / result.busy_seconds
                   : 0.0);
 
+  // Reduction is embarrassingly parallel — each bug gets its own fresh
+  // engine of the dialect that found it (in fleet/sharded mode the
+  // original shard engine is gone) — so batch it onto the same pool the
+  // campaign used instead of reducing serially while printing.
+  std::vector<std::pair<faults::FaultId, const fuzz::Discrepancy*>> firsts;
+  firsts.reserve(result.unique_bugs.size());
+  for (const auto& [id, first] : result.unique_bugs) {
+    firsts.emplace_back(id, &first);
+  }
+  std::vector<fuzz::Discrepancy> reduced(firsts.size());
+  std::vector<size_t> to_reduce;
+  for (size_t i = 0; i < firsts.size(); ++i) {
+    if (opts.reduce && !firsts[i].second->is_crash) {
+      to_reduce.push_back(i);
+    } else {
+      reduced[i] = *firsts[i].second;
+    }
+  }
+  if (!to_reduce.empty()) {
+    runtime::ThreadPool pool(opts.jobs);
+    for (size_t i : to_reduce) {
+      pool.Submit([&opts, &firsts, &reduced, i] {
+        const auto& [fault_id, first] = firsts[i];
+        engine::Engine reduce_engine(first->dialect, opts.enable_faults);
+        fuzz::ReductionStats stats;
+        // Pin the reduction to this bug's fault so the minimized
+        // reproducer still demonstrates THIS bug, not whichever other
+        // fault happens to survive minimization.
+        reduced[i] = fuzz::ReduceDiscrepancy(&reduce_engine, *first, &stats,
+                                             fault_id);
+      });
+    }
+    pool.Wait();
+  }
+
   int bug_no = 0;
+  size_t repro_idx = 0;
   for (const auto& [id, first] : result.unique_bugs) {
     const auto& info = faults::GetFaultInfo(id);
+    const fuzz::Discrepancy& repro = reduced[repro_idx++];
     std::printf("\n=== bug %d: %s [%s, %s, %s] (found by %s) ===\n", ++bug_no,
                 info.name, faults::ComponentName(info.component),
                 faults::BugKindName(info.kind),
                 faults::BugStatusName(info.status),
                 engine::DialectName(first.dialect));
     std::printf("%s\n", info.description);
-    fuzz::Discrepancy repro = first;
-    if (opts.reduce && !first.is_crash) {
-      // Reduce against a fresh engine of the dialect that found the bug
-      // (in fleet/sharded mode the original shard engine is gone).
-      engine::Engine reduce_engine(first.dialect, opts.enable_faults);
-      fuzz::ReductionStats stats;
-      repro = fuzz::ReduceDiscrepancy(&reduce_engine, first, &stats);
-    }
     for (const auto& stmt : repro.sdb1.ToSql()) {
       std::printf("  %s\n", stmt.c_str());
     }
@@ -187,6 +378,9 @@ int main(int argc, char** argv) {
                   repro.transform.ToString().c_str(), repro.detail.c_str());
     } else {
       std::printf("  -- crash: %s\n", repro.detail.c_str());
+    }
+    if (!opts.corpus_dir.empty()) {
+      WriteReproducer(opts.corpus_dir, info, repro, opts.seed);
     }
   }
   return result.unique_bugs.empty() && opts.enable_faults ? 1 : 0;
