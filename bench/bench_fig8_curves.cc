@@ -1,0 +1,131 @@
+// Figure-8 coverage curves at runtime scale: corpus-guided vs pure-random
+// site-coverage growth over equal wall-time budgets, on the sharded
+// runtime (the duration-budget mode that `--fleet --duration` runs across
+// processes).
+//
+// Gate: summed across seeds, the corpus-guided campaign must cover at
+// least as many ENGINE coverage sites as the pure-random campaign at
+// equal duration — site-coverage growth is where greybox guidance shows
+// up first (unique-fault parity is gated separately in bench_corpus).
+// Harness modules (campaign/corpus/generator/aei/oracle) are excluded
+// from the count: corpus mode exercises its own instrumentation by
+// construction, which would make the gate self-congratulatory.
+//
+// Also emits the machine-readable curve JSON (fleet/curve.h) that
+// `spatter --duration=S --curve-out=FILE` produces, as a format example.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/coverage.h"
+#include "fleet/curve.h"
+#include "runtime/sharded_campaign.h"
+
+using namespace spatter;         // NOLINT
+using namespace spatter::bench;  // NOLINT
+
+namespace {
+
+/// Engine-behaviour sites hit (all modules except the fuzzer's own).
+size_t EngineSitesCovered() {
+  size_t hit = 0;
+  const auto& harness = fuzz::Campaign::HarnessCoverageModules();
+  for (const auto& row : CoverageRegistry::Instance().Summaries()) {
+    if (harness.count(row.module) > 0) continue;
+    hit += row.hit;
+  }
+  return hit;
+}
+
+struct CurveRun {
+  size_t engine_sites = 0;
+  size_t iterations = 0;
+  size_t unique_bugs = 0;
+  std::unique_ptr<fleet::CurveRecorder> curve =
+      std::make_unique<fleet::CurveRecorder>();
+};
+
+CurveRun RunTimed(uint64_t seed, bool corpus_mode, double seconds) {
+  CoverageRegistry::Instance().ResetHits();
+  runtime::ShardedCampaignConfig config;
+  config.base.dialect = engine::Dialect::kPostgis;
+  config.base.seed = seed;
+  config.base.queries_per_iteration = 50;
+  config.base.generator.num_geometries = 10;
+  config.base.corpus.enabled = corpus_mode;
+  config.base.corpus.mutate_pct = 50;
+  config.jobs = 2;
+  config.cross_dialect_transfer = false;  // measure the loop, not the merge
+  runtime::ShardedCampaign campaign(config);
+
+  CurveRun run;
+  auto& registry = CoverageRegistry::Instance();
+  const fuzz::CampaignResult result = campaign.RunForDuration(
+      seconds, [&run, &registry](double elapsed,
+                                 const fuzz::CampaignResult& r) {
+        run.curve->Add(elapsed, registry.CoveredSiteCount(),
+                       r.unique_bugs.size(), r.iterations_run);
+      });
+  run.engine_sites = EngineSitesCovered();
+  run.iterations = result.iterations_run;
+  run.unique_bugs = result.unique_bugs.size();
+  return run;
+}
+
+void PrintCurve(const char* name, const CurveRun& run) {
+  const auto samples = run.curve->samples();
+  std::printf("  %-12s %6zu engine sites, %5zu iterations, %3zu bugs, "
+              "%4zu curve samples\n",
+              name, run.engine_sites, run.iterations, run.unique_bugs,
+              samples.size());
+}
+
+}  // namespace
+
+int main() {
+  const double kSeconds = 3.0;
+  const std::vector<uint64_t> kSeeds = {3101, 3102, 3103};
+
+  std::printf("Figure 8 (runtime scale): site-coverage growth, corpus vs "
+              "pure-random, %.1fs per run\n",
+              kSeconds);
+  Rule();
+
+  size_t corpus_total = 0;
+  size_t random_total = 0;
+  for (uint64_t seed : kSeeds) {
+    std::printf("seed %llu:\n", static_cast<unsigned long long>(seed));
+    CurveRun random = RunTimed(seed, /*corpus_mode=*/false, kSeconds);
+    PrintCurve("pure-random", random);
+    CurveRun corpus = RunTimed(seed, /*corpus_mode=*/true, kSeconds);
+    PrintCurve("corpus", corpus);
+    random_total += random.engine_sites;
+    corpus_total += corpus.engine_sites;
+
+    if (seed == kSeeds.back()) {
+      fleet::CurveInfo info;
+      info.label = "corpus";
+      info.seed = seed;
+      info.jobs = 2;
+      info.duration_seconds = kSeconds;
+      const Status st =
+          corpus.curve->WriteJson("fig8_corpus_curve.json", info);
+      std::printf("  curve JSON: %s\n",
+                  st.ok() ? "fig8_corpus_curve.json" : st.ToString().c_str());
+    }
+  }
+
+  Rule();
+  std::printf("engine sites, summed over %zu seeds: corpus %zu vs "
+              "pure-random %zu\n",
+              kSeeds.size(), corpus_total, random_total);
+  if (corpus_total < random_total) {
+    std::printf("FAIL: corpus-guided coverage growth fell below "
+                "pure-random at equal duration\n");
+    return 1;
+  }
+  std::printf("OK: corpus-guided >= pure-random at equal duration\n");
+  return 0;
+}

@@ -93,6 +93,19 @@ std::vector<uint32_t> CoverageRegistry::TakeTrace() {
   return std::move(trace_storage);
 }
 
+std::vector<uint64_t> CoverageRegistry::KeysCoveredSince(
+    const std::vector<uint64_t>& snapshot) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint64_t> keys;
+  for (size_t i = 0; i < points_.size(); ++i) {
+    const uint64_t before = i < snapshot.size() ? snapshot[i] : 0;
+    if (hits_[i].load(std::memory_order_relaxed) > before) {
+      keys.push_back(points_[i].key);
+    }
+  }
+  return keys;
+}
+
 std::vector<uint64_t> CoverageRegistry::KeysOf(
     const std::vector<uint32_t>& indices,
     const std::set<std::string>& exclude_modules) const {

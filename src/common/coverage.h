@@ -63,6 +63,13 @@ class CoverageRegistry {
   std::vector<uint32_t> NewSitesSince(const std::vector<uint64_t>& snapshot)
       const;
 
+  /// Stable keys (see KeysOf) of the sites NewSitesSince would report,
+  /// composed under one lock. The fleet worker polls this between
+  /// iterations to ship coverage deltas: keys, not indices, because
+  /// registration order differs between worker processes.
+  std::vector<uint64_t> KeysCoveredSince(
+      const std::vector<uint64_t>& snapshot) const;
+
   // --- Per-thread coverage trace -------------------------------------------
   // The corpus feedback loop needs "which sites did THIS iteration hit",
   // attributable to the executing thread alone. A thread-local sink makes

@@ -45,10 +45,20 @@ bool Corpus::AdmitLocked(TestCaseRecord record, bool require_new_site) {
     holders_[key]++;
   }
   signatures_.insert(signature);
+  if (options_.log_admissions && require_new_site) {
+    admission_log_.push_back(record);
+  }
   entries_.push_back(Slot{std::move(record), signature});
   admitted_++;
   if (entries_.size() > options_.max_entries) EvictLocked();
   return true;
+}
+
+std::vector<TestCaseRecord> Corpus::TakeNewlyAdmitted() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TestCaseRecord> out = std::move(admission_log_);
+  admission_log_.clear();
+  return out;
 }
 
 double Corpus::EnergyLocked(const Slot& slot) const {

@@ -41,6 +41,10 @@ struct CorpusOptions {
   int mutate_pct = 50;
   /// Entry cap; favored entries (sole holders of a site) survive eviction.
   size_t max_entries = 256;
+  /// Record genuine Admit()s (not Restores) in a drainable log. The fleet
+  /// worker enables this to stream fresh entries to the coordinator;
+  /// off by default so non-fleet runs never accumulate the log.
+  bool log_admissions = false;
 };
 
 class Corpus {
@@ -75,6 +79,12 @@ class Corpus {
 
   /// Records that entry `i` was chosen for mutation (decays its energy).
   void NoteFuzzed(size_t i);
+
+  /// Drains the admission log (see CorpusOptions::log_admissions): every
+  /// record a genuine Admit() stored since the last drain, in admission
+  /// order. Restored/merged entries are excluded on purpose — the fleet
+  /// worker must not echo entries the coordinator broadcast back to it.
+  std::vector<TestCaseRecord> TakeNewlyAdmitted();
 
   /// Distinct site keys covered by everything ever admitted.
   size_t covered_sites() const;
@@ -116,6 +126,7 @@ class Corpus {
   mutable std::mutex mu_;
   CorpusOptions options_;
   std::vector<Slot> entries_;
+  std::vector<TestCaseRecord> admission_log_;  ///< log_admissions only
   std::set<uint64_t> covered_;            ///< site keys ever admitted
   std::set<uint64_t> signatures_;         ///< signature dedup, survives evict
   std::map<uint64_t, size_t> holders_;    ///< site key -> live entry count

@@ -1,0 +1,604 @@
+#include "fleet/coordinator.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cinttypes>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "corpus/codec.h"
+#include "engine/dialect.h"
+#include "fleet/wire.h"
+#include "fuzz/transfer.h"
+
+namespace spatter::fleet {
+
+namespace {
+
+using fuzz::Campaign;
+using fuzz::CampaignResult;
+
+/// The CLI flag token for a dialect (DialectName is a display name like
+/// "DuckDB Spatial"; --dialect wants the parseable token).
+const char* DialectCliToken(engine::Dialect dialect) {
+  switch (dialect) {
+    case engine::Dialect::kPostgis:
+      return "postgis";
+    case engine::Dialect::kDuckdbSpatial:
+      return "duckdb";
+    case engine::Dialect::kMysql:
+      return "mysql";
+    case engine::Dialect::kSqlserver:
+      return "sqlserver";
+  }
+  return "postgis";
+}
+
+std::string InflightFileName(size_t worker, engine::Dialect dialect,
+                             uint64_t iteration) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "inflight-w%zu-%s-i%" PRIu64 ".sptc",
+                worker, engine::DialectName(dialect), iteration);
+  return buf;
+}
+
+}  // namespace
+
+struct FleetCoordinator::Worker {
+  size_t index = 0;
+  WorkerOptions options;
+  int pid = -1;
+  int in_fd = -1;   ///< coordinator -> worker stdin
+  int out_fd = -1;  ///< worker stdout -> coordinator
+  std::string buffer;
+  bool got_done = false;
+  bool exited = false;        ///< final: no incarnation running or pending
+  bool write_failed = false;  ///< stop broadcasting to it
+  /// INFLIGHT frames seen this incarnation, per (dialect, slice): the
+  /// count is "iterations started", the value the last announced index.
+  std::map<std::pair<uint64_t, uint64_t>, uint64_t> started;
+  std::map<std::pair<uint64_t, uint64_t>, uint64_t> last_inflight;
+  /// Latest COV counters this incarnation (crash-loss accounting).
+  uint64_t cov_iterations = 0;
+  uint64_t cov_queries = 0;
+};
+
+FleetCoordinator::FleetCoordinator(const FleetConfig& config)
+    : config_(config) {
+  dialects_ = config.dialects;
+  if (dialects_.empty()) dialects_.push_back(config.base.dialect);
+  total_slices_ = std::max<size_t>(1, config_.processes) *
+                  std::max<size_t>(1, config_.jobs);
+}
+
+FleetCoordinator::~FleetCoordinator() {
+  for (const auto& worker : workers_) {
+    if (worker && worker->pid > 0) {
+      ::kill(worker->pid, SIGKILL);
+      int status = 0;
+      ::waitpid(worker->pid, &status, 0);
+      if (worker->in_fd >= 0) ::close(worker->in_fd);
+      if (worker->out_fd >= 0) ::close(worker->out_fd);
+    }
+  }
+}
+
+std::vector<int> FleetCoordinator::live_worker_pids() const {
+  std::lock_guard<std::mutex> lock(pids_mu_);
+  std::vector<int> pids;
+  for (const auto& worker : workers_) {
+    if (worker && worker->pid > 0) pids.push_back(worker->pid);
+  }
+  return pids;
+}
+
+void FleetCoordinator::Spawn(size_t index) {
+  Worker* worker = workers_[index].get();
+  int to_worker[2];    // coordinator writes, worker reads
+  int from_worker[2];  // worker writes, coordinator reads
+  if (::pipe(to_worker) != 0 || ::pipe(from_worker) != 0) {
+    std::fprintf(stderr, "fleet: pipe() failed: %s\n", std::strerror(errno));
+    worker->exited = true;
+    return;
+  }
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    std::fprintf(stderr, "fleet: fork() failed: %s\n", std::strerror(errno));
+    ::close(to_worker[0]);
+    ::close(to_worker[1]);
+    ::close(from_worker[0]);
+    ::close(from_worker[1]);
+    worker->exited = true;
+    return;
+  }
+
+  if (pid == 0) {
+    // Child. Only the worker-side pipe ends stay open: inherited
+    // parent-side fds of OTHER workers must go too, or a sibling's death
+    // never reads as EOF (this child would hold its write end open).
+    ::close(to_worker[1]);
+    ::close(from_worker[0]);
+    for (const auto& other : workers_) {
+      if (!other) continue;
+      if (other->in_fd >= 0) ::close(other->in_fd);
+      if (other->out_fd >= 0) ::close(other->out_fd);
+    }
+    if (!config_.exe_path.empty()) {
+      // Self-exec `spatter --worker ...` with the protocol on stdio.
+      ::dup2(to_worker[0], STDIN_FILENO);
+      ::dup2(from_worker[1], STDOUT_FILENO);
+      ::close(to_worker[0]);
+      ::close(from_worker[1]);
+      const WorkerOptions& o = worker->options;
+      std::vector<std::string> args;
+      args.push_back(config_.exe_path);
+      args.push_back("--worker");
+      auto add = [&args](const char* flag, uint64_t v) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%s=%" PRIu64, flag, v);
+        args.push_back(buf);
+      };
+      add("--seed", o.base.seed);
+      add("--iterations", o.base.iterations);
+      add("--queries", o.base.queries_per_iteration);
+      add("--geometries", o.base.generator.num_geometries);
+      add("--worker-index", o.index);
+      add("--worker-slice-offset", o.slice_offset);
+      add("--worker-slice-count", o.slice_count);
+      add("--worker-total-slices", o.total_slices);
+      if (dialects_.size() > 1) {
+        args.push_back("--dialect=all");
+      } else {
+        args.push_back(std::string("--dialect=") +
+                       DialectCliToken(dialects_[0]));
+      }
+      if (!o.base.generator.derivative_enabled) {
+        args.push_back("--no-derivative");
+      }
+      if (!o.base.enable_faults) args.push_back("--fixed");
+      if (o.base.corpus.enabled && !o.corpus_dir.empty()) {
+        args.push_back("--corpus=" + o.corpus_dir);
+        add("--mutate-pct", static_cast<uint64_t>(o.base.corpus.mutate_pct));
+      }
+      if (o.duration_seconds > 0) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "--worker-duration=%.3f",
+                      o.duration_seconds);
+        args.push_back(buf);
+      }
+      {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "--worker-cov-interval=%.3f",
+                      o.cov_interval_seconds);
+        args.push_back(buf);
+      }
+      if (!o.completed.empty()) {
+        std::string flag = "--worker-completed=";
+        bool first = true;
+        for (const auto& [key, count] : o.completed) {
+          char buf[96];
+          std::snprintf(buf, sizeof(buf),
+                        "%s%" PRIu64 ":%" PRIu64 ":%" PRIu64,
+                        first ? "" : ",", key.first, key.second, count);
+          flag += buf;
+          first = false;
+        }
+        args.push_back(flag);
+      }
+      std::vector<char*> argv;
+      argv.reserve(args.size() + 1);
+      for (auto& arg : args) argv.push_back(arg.data());
+      argv.push_back(nullptr);
+      ::execv(argv[0], argv.data());
+      std::fprintf(stderr, "fleet: execv(%s) failed: %s\n",
+                   config_.exe_path.c_str(), std::strerror(errno));
+      ::_exit(127);
+    }
+    // Fork mode: run the worker body in the child directly. _exit, never
+    // exit: the child inherited the parent's atexit/stdio state.
+    const int rc =
+        config_.worker_body_for_test
+            ? config_.worker_body_for_test(worker->options, to_worker[0],
+                                           from_worker[1])
+            : RunWorker(worker->options, to_worker[0], from_worker[1]);
+    ::_exit(rc);
+  }
+
+  // Parent. CLOEXEC keeps these ends out of exec-mode children spawned
+  // later (fork-mode children close them explicitly above).
+  ::close(to_worker[0]);
+  ::close(from_worker[1]);
+  ::fcntl(to_worker[1], F_SETFD, FD_CLOEXEC);
+  ::fcntl(from_worker[0], F_SETFD, FD_CLOEXEC);
+  worker->in_fd = to_worker[1];
+  worker->out_fd = from_worker[0];
+  worker->buffer.clear();
+  worker->got_done = false;
+  worker->write_failed = false;
+  worker->started.clear();
+  worker->last_inflight.clear();
+  worker->cov_iterations = 0;
+  worker->cov_queries = 0;
+  std::lock_guard<std::mutex> lock(pids_mu_);
+  worker->pid = pid;
+}
+
+void FleetCoordinator::WriteToWorker(Worker* worker, const std::string& line) {
+  if (worker->in_fd < 0 || worker->write_failed) return;
+  size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n =
+        ::write(worker->in_fd, line.data() + off, line.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      worker->write_failed = true;  // dead or wedged: stop feeding it
+      return;
+    }
+    off += static_cast<size_t>(n);
+  }
+}
+
+void FleetCoordinator::BroadcastEntry(const std::vector<uint8_t>& payload,
+                                      size_t from) {
+  Frame frame;
+  frame.type = FrameType::kEntry;
+  frame.payload = payload;
+  const std::string line = EncodeFrame(frame);
+  for (const auto& worker : workers_) {
+    if (!worker || worker->index == from || worker->pid <= 0) continue;
+    WriteToWorker(worker.get(), line);
+  }
+}
+
+void FleetCoordinator::AddCurveSample() {
+  // aggregator counters hold everything DONE'd or crash-accounted; live
+  // incarnations contribute their latest COV reading.
+  uint64_t iterations = aggregator_.current().iterations_run;
+  for (const auto& worker : workers_) {
+    if (worker && worker->pid > 0 && !worker->got_done) {
+      iterations += worker->cov_iterations;
+    }
+  }
+  curve_.Add(Campaign::NowSeconds() - t0_, covered_keys_.size(),
+             aggregator_.current().unique_bugs.size(), iterations);
+}
+
+void FleetCoordinator::HandleLine(Worker* worker, const std::string& line) {
+  auto decoded = DecodeFrame(line);
+  if (!decoded.ok()) {
+    protocol_errors_++;
+    return;  // skip the corrupt line; the stream stays line-synchronized
+  }
+  const Frame& frame = decoded.value();
+  switch (frame.type) {
+    case FrameType::kHello:
+      break;  // informational
+    case FrameType::kInflight: {
+      const auto key = std::make_pair(frame.dialect, frame.slice);
+      worker->started[key]++;
+      worker->last_inflight[key] = frame.iteration;
+      break;
+    }
+    case FrameType::kSliceDone:
+      // The slice's last announced iteration completed: it must not be
+      // persisted as an in-flight reproducer if the worker dies later.
+      worker->last_inflight.erase({frame.dialect, frame.slice});
+      break;
+    case FrameType::kCov: {
+      for (uint64_t key : frame.site_keys) covered_keys_.insert(key);
+      worker->cov_iterations = frame.iterations;
+      worker->cov_queries = frame.queries;
+      AddCurveSample();
+      break;
+    }
+    case FrameType::kEntry: {
+      if (!corpus_) break;  // not in corpus mode: ignore strays
+      auto record = corpus::TestCaseCodec::Decode(frame.payload);
+      if (!record.ok()) {
+        protocol_errors_++;
+        break;
+      }
+      // Restore (signature dedup only): the worker's Admit already judged
+      // coverage in its own context. A fresh signature is rebroadcast so
+      // every other worker can fold it into its shard corpora.
+      if (corpus_->Restore(record.Take())) {
+        BroadcastEntry(frame.payload, worker->index);
+      }
+      break;
+    }
+    case FrameType::kBug: {
+      auto d = BugFrameToDiscrepancy(frame);
+      if (!d.ok()) {
+        protocol_errors_++;
+        break;
+      }
+      aggregator_.MergeDiscrepancy(d.Take());
+      break;
+    }
+    case FrameType::kDone: {
+      CampaignResult delta;
+      delta.iterations_run = frame.iterations;
+      delta.queries_run = frame.queries;
+      delta.checks_run = frame.checks;
+      delta.busy_seconds = frame.busy_seconds;
+      delta.engine_seconds = frame.engine_seconds;
+      delta.engine_stats.statements_executed = frame.statements;
+      delta.engine_stats.pairs_evaluated = frame.pairs;
+      delta.engine_stats.index_scans = frame.index_scans;
+      delta.engine_stats.prepared_evaluations = frame.prepared;
+      delta.engine_stats.exec_seconds = frame.engine_seconds;
+      aggregator_.Merge(std::move(delta));
+      worker->got_done = true;
+      break;
+    }
+    case FrameType::kStop:
+      break;  // coordinator-only frame; a worker echoing it is harmless
+  }
+}
+
+void FleetCoordinator::PersistInflight(const Worker& worker) {
+  if (config_.reproducer_dir.empty()) return;
+  if (config_.base.corpus.enabled) {
+    // Mutants depend on the dead shard's corpus history; (seed,
+    // iteration) cannot reconstruct them. Honest failure beats a wrong
+    // reproducer.
+    std::fprintf(stderr,
+                 "fleet: worker %zu died in corpus mode; in-flight case "
+                 "not reconstructable\n",
+                 worker.index);
+    return;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(config_.reproducer_dir, ec);
+  for (const auto& [key, iteration] : worker.last_inflight) {
+    const auto dialect = static_cast<engine::Dialect>(key.first);
+    fuzz::CampaignConfig cfg = config_.base;
+    cfg.dialect = dialect;
+    corpus::TestCaseRecord rec;
+    rec.kind = corpus::RecordKind::kReproducer;
+    rec.dialect = dialect;
+    rec.iteration = iteration;
+    rec.seed = Rng::SplitSeed(cfg.seed, iteration);
+    rec.sdb = Campaign::GenerateDatabaseFor(cfg, iteration);
+    rec.has_query = false;
+    auto encoded = corpus::TestCaseCodec::Encode(rec);
+    if (!encoded.ok()) continue;
+    const std::filesystem::path path =
+        std::filesystem::path(config_.reproducer_dir) /
+        InflightFileName(worker.index, dialect, iteration);
+    std::ofstream out(path, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(encoded.value().data()),
+              static_cast<std::streamsize>(encoded.value().size()));
+    if (out) inflight_persisted_++;
+  }
+}
+
+bool FleetCoordinator::WorkRemains(const Worker& worker) const {
+  if (config_.duration_seconds > 0) {
+    return Campaign::NowSeconds() - t0_ < config_.duration_seconds;
+  }
+  for (const engine::Dialect dialect : dialects_) {
+    for (size_t s = 0; s < worker.options.slice_count; ++s) {
+      const uint64_t slice = worker.options.slice_offset + s;
+      const auto key =
+          std::make_pair(static_cast<uint64_t>(dialect), slice);
+      const auto it = worker.options.completed.find(key);
+      const uint64_t completed =
+          it == worker.options.completed.end() ? 0 : it->second;
+      if (slice + completed * total_slices_ < config_.base.iterations) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void FleetCoordinator::HandleExit(Worker* worker, int wait_status) {
+  if (worker->in_fd >= 0) ::close(worker->in_fd);
+  if (worker->out_fd >= 0) ::close(worker->out_fd);
+  worker->in_fd = worker->out_fd = -1;
+  {
+    std::lock_guard<std::mutex> lock(pids_mu_);
+    worker->pid = -1;
+  }
+  // DONE is terminal however the process then died (straggler SIGKILL,
+  // writer-failure exit code): every counter and bug was already merged,
+  // so treating it as lost work would double-count, and there is nothing
+  // left to respawn for.
+  if (worker->got_done) {
+    worker->exited = true;
+    return;
+  }
+
+  // Abnormal exit. Counters the incarnation reported via COV are folded
+  // in (BUG frames were merged live, so no bug is lost); the in-flight
+  // iterations are persisted as reproducers, then marked completed so a
+  // respawn resumes the slice right after the case that killed it.
+  if (WIFSIGNALED(wait_status)) {
+    std::fprintf(stderr, "fleet: worker %zu (pid gone) killed by signal %d\n",
+                 worker->index, WTERMSIG(wait_status));
+  } else {
+    std::fprintf(stderr, "fleet: worker %zu exited abnormally (status %d)\n",
+                 worker->index,
+                 WIFEXITED(wait_status) ? WEXITSTATUS(wait_status) : -1);
+  }
+  CampaignResult lost;
+  lost.iterations_run = worker->cov_iterations;
+  lost.queries_run = worker->cov_queries;
+  lost.checks_run = worker->cov_queries;
+  aggregator_.Merge(std::move(lost));
+  dead_iterations_ += worker->cov_iterations;
+  dead_queries_ += worker->cov_queries;
+  PersistInflight(*worker);
+  for (const auto& [key, count] : worker->started) {
+    worker->options.completed[key] += count;
+  }
+
+  if (respawns_ < config_.max_respawns && WorkRemains(*worker)) {
+    respawns_++;
+    if (config_.duration_seconds > 0) {
+      worker->options.duration_seconds = std::max(
+          0.1, config_.duration_seconds - (Campaign::NowSeconds() - t0_));
+    }
+    Spawn(worker->index);
+    if (worker->pid > 0 && corpus_) {
+      // Re-seed the fresh incarnation with everything the fleet merged
+      // so far: it reloads the on-disk dir itself, but entries streamed
+      // since the campaign started exist only in memory here — without
+      // this it would fuzz blind to the fleet's progress. Signature
+      // dedup on the worker side makes the overlap with the disk load a
+      // no-op.
+      for (const corpus::TestCaseRecord& record : corpus_->Entries()) {
+        auto encoded = corpus::TestCaseCodec::Encode(record);
+        if (!encoded.ok()) continue;
+        Frame entry;
+        entry.type = FrameType::kEntry;
+        entry.payload = encoded.Take();
+        WriteToWorker(worker, EncodeFrame(entry));
+      }
+    }
+  } else {
+    worker->exited = true;
+  }
+}
+
+CampaignResult FleetCoordinator::Run() {
+  // A worker can die between our poll and our write to it; that must be
+  // an EPIPE we handle, not a process-killing SIGPIPE.
+  using SigHandler = void (*)(int);
+  SigHandler old_sigpipe = ::signal(SIGPIPE, SIG_IGN);
+
+  t0_ = Campaign::NowSeconds();
+  if (config_.base.corpus.enabled) {
+    corpus::CorpusOptions options = config_.base.corpus;
+    corpus_ = std::make_unique<corpus::Corpus>(options);
+    // Workers never save; the coordinator owns persistence, so it must
+    // hold the seed entries too or SaveTo would delete their files.
+    if (!config_.corpus_dir.empty()) {
+      auto loaded = corpus_->LoadFrom(config_.corpus_dir);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "fleet: corpus load: %s\n",
+                     loaded.status().ToString().c_str());
+      }
+    }
+  }
+
+  const size_t processes = std::max<size_t>(1, config_.processes);
+  const size_t jobs = std::max<size_t>(1, config_.jobs);
+  workers_.clear();
+  for (size_t p = 0; p < processes; ++p) {
+    auto worker = std::make_unique<Worker>();
+    worker->index = p;
+    worker->options.base = config_.base;
+    worker->options.dialects = dialects_;
+    worker->options.index = p;
+    worker->options.slice_offset = p * jobs;
+    worker->options.slice_count = jobs;
+    worker->options.total_slices = total_slices_;
+    worker->options.duration_seconds = config_.duration_seconds;
+    worker->options.corpus_dir = config_.corpus_dir;
+    worker->options.cov_interval_seconds = config_.cov_interval_seconds;
+    workers_.push_back(std::move(worker));
+  }
+  for (size_t p = 0; p < processes; ++p) Spawn(p);
+
+  const double kill_after =
+      config_.duration_seconds > 0
+          ? config_.duration_seconds + config_.grace_seconds
+          : 0.0;
+  bool killed_stragglers = false;
+
+  char chunk[8192];
+  while (true) {
+    std::vector<struct pollfd> pfds;
+    std::vector<Worker*> pfd_workers;
+    for (const auto& worker : workers_) {
+      if (worker->pid > 0 && worker->out_fd >= 0) {
+        pfds.push_back({worker->out_fd, POLLIN, 0});
+        pfd_workers.push_back(worker.get());
+      }
+    }
+    if (pfds.empty()) {
+      if (std::all_of(workers_.begin(), workers_.end(),
+                      [](const auto& w) { return w->exited; })) {
+        break;
+      }
+      continue;  // a respawn is imminent (Spawn runs inside HandleExit)
+    }
+
+    const int ready = ::poll(pfds.data(), pfds.size(), 100);
+    if (ready < 0 && errno != EINTR) break;
+
+    if (kill_after > 0 && !killed_stragglers &&
+        Campaign::NowSeconds() - t0_ > kill_after) {
+      // Duration mode wall-clock safety: a wedged worker must not hang
+      // the campaign (or CI) forever.
+      std::lock_guard<std::mutex> lock(pids_mu_);
+      for (const auto& worker : workers_) {
+        if (worker->pid > 0) {
+          std::fprintf(stderr, "fleet: killing straggler worker %zu\n",
+                       worker->index);
+          ::kill(worker->pid, SIGKILL);
+        }
+      }
+      killed_stragglers = true;
+    }
+
+    for (size_t i = 0; i < pfds.size(); ++i) {
+      if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      Worker* worker = pfd_workers[i];
+      const ssize_t n = ::read(worker->out_fd, chunk, sizeof(chunk));
+      if (n > 0) {
+        worker->buffer.append(chunk, static_cast<size_t>(n));
+        size_t nl;
+        while ((nl = worker->buffer.find('\n')) != std::string::npos) {
+          const std::string line = worker->buffer.substr(0, nl);
+          worker->buffer.erase(0, nl + 1);
+          HandleLine(worker, line);
+        }
+        continue;
+      }
+      if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
+      // EOF (or read error): the incarnation is over; reap and decide.
+      if (!worker->buffer.empty()) {
+        // A final line without '\n' is a torn write from a dying worker.
+        protocol_errors_++;
+        worker->buffer.clear();
+      }
+      int status = 0;
+      ::waitpid(worker->pid, &status, 0);
+      HandleExit(worker, status);
+    }
+  }
+
+  AddCurveSample();
+  CampaignResult result = aggregator_.Finish(Campaign::NowSeconds() - t0_);
+
+  // Transfer only when the fleet actually fuzzes several dialects — a
+  // single-dialect campaign would pay the replays and the corpus-cap
+  // pressure without ever scheduling the transferred copies.
+  if (corpus_ && config_.cross_dialect_transfer && dialects_.size() > 1) {
+    const fuzz::TransferStats transfer = fuzz::CrossDialectCorpusTransfer(
+        corpus_.get(), config_.base.enable_faults);
+    if (transfer.admitted > 0) {
+      std::fprintf(stderr,
+                   "fleet: cross-dialect transfer admitted %zu of %zu "
+                   "replays\n",
+                   transfer.admitted, transfer.replays);
+    }
+  }
+
+  ::signal(SIGPIPE, old_sigpipe);
+  return result;
+}
+
+}  // namespace spatter::fleet

@@ -1,0 +1,142 @@
+// FleetCoordinator: the process-level tier of the runtime (threads ->
+// shards -> processes). Spawns N worker processes, assigns each a window
+// of the global SplitSeed slice space, and supervises them over the
+// line-framed pipe protocol of wire.h.
+//
+// Slice assignment: with P processes and J jobs each, there are P*J
+// global slices; worker p owns slices [p*J, (p+1)*J) and runs iteration i
+// on slice s iff i ≡ s (mod P*J). The universe of pure-generate test
+// cases is therefore the iteration budget itself, independent of how it
+// is factored into processes and jobs — `--fleet=4 --jobs=2` and
+// `--fleet=2 --jobs=4` explore the identical case set and report the
+// identical unique-bug FaultId set.
+//
+// Supervision: BUG frames merge into the shared Aggregator the moment
+// they arrive, so a worker that dies loses at most its in-flight
+// iteration — which the coordinator reconstructs from (seed, iteration)
+// via Campaign::GenerateDatabaseFor and persists as a reproducer before
+// respawning the worker with that iteration marked completed (a
+// deterministic crasher is skipped, not re-run forever). ENTRY frames are
+// Restored into the merged corpus and rebroadcast to the other workers
+// (cross-process corpus sync); COV frames union stable site keys into the
+// fleet-wide coverage set that drives the Figure-8 curve recorder.
+#ifndef SPATTER_FLEET_COORDINATOR_H_
+#define SPATTER_FLEET_COORDINATOR_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "fleet/curve.h"
+#include "fleet/worker.h"
+#include "fuzz/campaign.h"
+#include "runtime/aggregator.h"
+
+namespace spatter::fleet {
+
+struct FleetConfig {
+  /// Campaign template shared by all workers; `base.seed` is the master
+  /// seed, `base.iterations` the fleet-wide batch budget.
+  fuzz::CampaignConfig base;
+  size_t processes = 2;  ///< worker processes (P)
+  size_t jobs = 1;       ///< slices (and threads) per worker (J)
+  /// Dialects fuzzed by every worker; empty = base.dialect only.
+  std::vector<engine::Dialect> dialects;
+  /// > 0: duration-budget campaign (Figure 8 mode); 0: batch mode.
+  double duration_seconds = 0.0;
+  /// Corpus directory workers seed from; the coordinator persists the
+  /// merged corpus back. Empty = corpus mode off.
+  std::string corpus_dir;
+  /// Where in-flight reproducers of dead workers are persisted
+  /// (pure-generate mode only); empty = skip persisting.
+  std::string reproducer_dir;
+  /// Path of the spatter binary to self-exec with `--worker`. Empty =
+  /// fork mode: the child calls fleet::RunWorker directly without exec
+  /// (used by in-process tests; behaviourally identical, same isolation).
+  std::string exe_path;
+  /// Replay merged corpus entries across dialects after the run.
+  bool cross_dialect_transfer = true;
+  /// Total respawn budget across the fleet (caps pathological churn).
+  size_t max_respawns = 8;
+  /// Duration mode: seconds past the deadline before stragglers are
+  /// killed (batch mode trusts workers to finish their budget).
+  double grace_seconds = 30.0;
+  /// Seconds between COV heartbeats (forwarded to workers).
+  double cov_interval_seconds = 0.2;
+  /// Fork-mode test hook: runs in the child instead of RunWorker. Lets
+  /// tests exercise coordinator parsing and crash handling with scripted
+  /// workers (garbage frames, abrupt exits).
+  std::function<int(const WorkerOptions&, int in_fd, int out_fd)>
+      worker_body_for_test;
+};
+
+class FleetCoordinator {
+ public:
+  explicit FleetCoordinator(const FleetConfig& config);
+  ~FleetCoordinator();
+
+  FleetCoordinator(const FleetCoordinator&) = delete;
+  FleetCoordinator& operator=(const FleetCoordinator&) = delete;
+
+  /// Spawns the fleet, supervises it to completion, and returns the
+  /// aggregated campaign result (same shape as ShardedCampaign::Run).
+  fuzz::CampaignResult Run();
+
+  /// Workers respawned after abnormal exits.
+  size_t respawns() const { return respawns_; }
+  /// Malformed frames skipped (torn writes from killed workers, mostly).
+  size_t protocol_errors() const { return protocol_errors_; }
+  /// In-flight reproducers persisted for dead workers.
+  size_t crash_reproducers_persisted() const { return inflight_persisted_; }
+  /// Distinct coverage-site keys reported by the whole fleet.
+  size_t fleet_covered_sites() const { return covered_keys_.size(); }
+
+  /// PIDs of currently live workers (for kill-isolation tests).
+  std::vector<int> live_worker_pids() const;
+
+  /// Merged fleet corpus; null unless corpus mode. Valid after Run().
+  corpus::Corpus* merged_corpus() { return corpus_.get(); }
+
+  /// The Figure-8 curve sampled from COV frames. Valid after Run().
+  const CurveRecorder& curve() const { return curve_; }
+
+ private:
+  struct Worker;
+
+  void Spawn(size_t index);
+  void HandleLine(Worker* worker, const std::string& line);
+  void HandleExit(Worker* worker, int wait_status);
+  void PersistInflight(const Worker& worker);
+  bool WorkRemains(const Worker& worker) const;
+  void BroadcastEntry(const std::vector<uint8_t>& payload, size_t from);
+  void WriteToWorker(Worker* worker, const std::string& line);
+  void AddCurveSample();
+
+  FleetConfig config_;
+  std::vector<engine::Dialect> dialects_;
+  size_t total_slices_ = 1;
+  double t0_ = 0.0;
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  runtime::Aggregator aggregator_;
+  std::unique_ptr<corpus::Corpus> corpus_;
+  std::set<uint64_t> covered_keys_;
+  CurveRecorder curve_;
+
+  size_t respawns_ = 0;
+  size_t protocol_errors_ = 0;
+  size_t inflight_persisted_ = 0;
+  /// Iterations/queries credited to incarnations that died without DONE.
+  uint64_t dead_iterations_ = 0;
+  uint64_t dead_queries_ = 0;
+
+  mutable std::mutex pids_mu_;  ///< guards pid reads from other threads
+};
+
+}  // namespace spatter::fleet
+
+#endif  // SPATTER_FLEET_COORDINATOR_H_

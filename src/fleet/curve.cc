@@ -1,0 +1,80 @@
+#include "fleet/curve.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace spatter::fleet {
+
+void CurveRecorder::Add(double elapsed_seconds, uint64_t covered_sites,
+                        uint64_t unique_bugs, uint64_t iterations) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!samples_.empty()) {
+    const CurveSample& last = samples_.back();
+    const bool moved = covered_sites != last.covered_sites ||
+                       unique_bugs != last.unique_bugs;
+    if (!moved &&
+        elapsed_seconds - last.elapsed_seconds < min_interval_) {
+      return;
+    }
+    // Monotone clock skew across threads: never let the curve go back in
+    // time, it would render as a scribble.
+    if (elapsed_seconds < last.elapsed_seconds) {
+      elapsed_seconds = last.elapsed_seconds;
+    }
+  }
+  samples_.push_back(
+      CurveSample{elapsed_seconds, covered_sites, unique_bugs, iterations});
+}
+
+std::vector<CurveSample> CurveRecorder::samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_;
+}
+
+std::string CurveRecorder::ToJson(const CurveInfo& info) const {
+  const std::vector<CurveSample> samples = this->samples();
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\n"
+                "  \"schema\": \"spatter-fig8-curve-v1\",\n"
+                "  \"label\": \"%s\",\n"
+                "  \"seed\": %llu,\n"
+                "  \"fleet\": %llu,\n"
+                "  \"jobs\": %llu,\n"
+                "  \"duration_seconds\": %.3f,\n"
+                "  \"samples\": [",
+                info.label.c_str(),
+                static_cast<unsigned long long>(info.seed),
+                static_cast<unsigned long long>(info.fleet),
+                static_cast<unsigned long long>(info.jobs),
+                info.duration_seconds);
+  out += buf;
+  for (size_t i = 0; i < samples.size(); ++i) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n    {\"t\": %.3f, \"sites\": %llu, "
+                  "\"unique_bugs\": %llu, \"iterations\": %llu}",
+                  i == 0 ? "" : ",", samples[i].elapsed_seconds,
+                  static_cast<unsigned long long>(samples[i].covered_sites),
+                  static_cast<unsigned long long>(samples[i].unique_bugs),
+                  static_cast<unsigned long long>(samples[i].iterations));
+    out += buf;
+  }
+  out += samples.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+Status CurveRecorder::WriteJson(const std::string& path,
+                                const CurveInfo& info) const {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::Internal("cannot open curve file '" + path + "'");
+  }
+  out << ToJson(info);
+  if (!out) {
+    return Status::Internal("cannot write curve file '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace spatter::fleet

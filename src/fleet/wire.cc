@@ -1,0 +1,384 @@
+#include "fleet/wire.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "corpus/codec.h"
+
+namespace spatter::fleet {
+
+namespace {
+
+constexpr const char kMagic[] = "SPTW1";
+
+const char* kTypeNames[] = {"HELLO", "INFLIGHT", "SLICEDONE", "COV",
+                            "ENTRY", "BUG",      "DONE",      "STOP"};
+
+/// Splits on single spaces. Empty tokens (double spaces, leading or
+/// trailing space) are preserved so malformed framing fails field checks
+/// instead of silently collapsing.
+std::vector<std::string> SplitFields(const std::string& line) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  while (start <= line.size()) {
+    const size_t space = line.find(' ', start);
+    if (space == std::string::npos) {
+      fields.push_back(line.substr(start));
+      break;
+    }
+    fields.push_back(line.substr(start, space - start));
+    start = space + 1;
+  }
+  return fields;
+}
+
+bool ParseU64(const std::string& s, uint64_t* out) {
+  if (s.empty()) return false;
+  uint64_t value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    if (value > (UINT64_MAX - (c - '0')) / 10) return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseF64(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+bool ParseBool01(const std::string& s, bool* out) {
+  if (s == "0") return *out = false, true;
+  if (s == "1") return *out = true, true;
+  return false;
+}
+
+std::string FormatF64(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+std::string FormatKeys(const std::vector<uint64_t>& keys) {
+  if (keys.empty()) return "-";
+  std::string out;
+  char buf[24];
+  for (size_t i = 0; i < keys.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%s%016" PRIx64, i == 0 ? "" : ",",
+                  keys[i]);
+    out += buf;
+  }
+  return out;
+}
+
+bool ParseKeys(const std::string& s, std::vector<uint64_t>* out) {
+  out->clear();
+  if (s == "-") return true;
+  size_t start = 0;
+  while (start <= s.size()) {
+    const size_t comma = s.find(',', start);
+    const std::string tok = s.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (tok.size() != 16) return false;
+    uint64_t key = 0;
+    for (char c : tok) {
+      int digit;
+      if (c >= '0' && c <= '9') {
+        digit = c - '0';
+      } else if (c >= 'a' && c <= 'f') {
+        digit = c - 'a' + 10;
+      } else {
+        return false;
+      }
+      key = (key << 4) | static_cast<uint64_t>(digit);
+    }
+    out->push_back(key);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return true;
+}
+
+Status Malformed(const char* what) {
+  return Status::InvalidArgument(std::string("wire: malformed frame: ") +
+                                 what);
+}
+
+}  // namespace
+
+const char* FrameTypeName(FrameType t) {
+  return kTypeNames[static_cast<size_t>(t)];
+}
+
+std::string HexEncode(const std::vector<uint8_t>& bytes) {
+  static const char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (uint8_t b : bytes) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xf]);
+  }
+  return out;
+}
+
+Result<std::vector<uint8_t>> HexDecode(const std::string& hex) {
+  if (hex.size() % 2 != 0) {
+    return Status::InvalidArgument("wire: odd-length hex payload");
+  }
+  std::vector<uint8_t> out;
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    int value = 0;
+    for (size_t j = i; j < i + 2; ++j) {
+      const char c = hex[j];
+      int digit;
+      if (c >= '0' && c <= '9') {
+        digit = c - '0';
+      } else if (c >= 'a' && c <= 'f') {
+        digit = c - 'a' + 10;
+      } else {
+        return Status::InvalidArgument("wire: non-hex character in payload");
+      }
+      value = (value << 4) | digit;
+    }
+    out.push_back(static_cast<uint8_t>(value));
+  }
+  return out;
+}
+
+std::string EncodeFrame(const Frame& frame) {
+  std::string line = kMagic;
+  line += ' ';
+  line += FrameTypeName(frame.type);
+  auto put_u = [&line](uint64_t v) {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), " %" PRIu64, v);
+    line += buf;
+  };
+  auto put_f = [&line](double v) { line += ' ' + FormatF64(v); };
+  switch (frame.type) {
+    case FrameType::kHello:
+      put_u(frame.worker);
+      put_u(frame.pid);
+      put_u(frame.slice_offset);
+      put_u(frame.slice_count);
+      put_u(frame.total_slices);
+      break;
+    case FrameType::kInflight:
+      put_u(frame.dialect);
+      put_u(frame.slice);
+      put_u(frame.iteration);
+      break;
+    case FrameType::kSliceDone:
+      put_u(frame.dialect);
+      put_u(frame.slice);
+      break;
+    case FrameType::kCov:
+      put_f(frame.elapsed);
+      put_u(frame.iterations);
+      put_u(frame.queries);
+      line += ' ' + FormatKeys(frame.site_keys);
+      break;
+    case FrameType::kEntry:
+      line += ' ' + HexEncode(frame.payload);
+      break;
+    case FrameType::kBug:
+      put_u(frame.query_index);
+      put_u(frame.is_crash ? 1 : 0);
+      put_u(frame.canonical_only ? 1 : 0);
+      put_f(frame.elapsed);
+      line += ' ' + HexEncode(std::vector<uint8_t>(frame.detail.begin(),
+                                                   frame.detail.end()));
+      line += ' ' + HexEncode(frame.payload);
+      break;
+    case FrameType::kDone:
+      put_u(frame.iterations);
+      put_u(frame.queries);
+      put_u(frame.checks);
+      put_f(frame.busy_seconds);
+      put_f(frame.engine_seconds);
+      put_u(frame.statements);
+      put_u(frame.pairs);
+      put_u(frame.index_scans);
+      put_u(frame.prepared);
+      break;
+    case FrameType::kStop:
+      break;
+  }
+  line += '\n';
+  return line;
+}
+
+Result<Frame> DecodeFrame(const std::string& line) {
+  std::string body = line;
+  if (!body.empty() && body.back() == '\n') body.pop_back();
+  if (!body.empty() && body.back() == '\r') body.pop_back();
+  const std::vector<std::string> fields = SplitFields(body);
+  if (fields.size() < 2 || fields[0] != kMagic) return Malformed("bad magic");
+
+  Frame frame;
+  size_t want = 0;
+  bool known = false;
+  for (size_t t = 0; t < sizeof(kTypeNames) / sizeof(kTypeNames[0]); ++t) {
+    if (fields[1] == kTypeNames[t]) {
+      frame.type = static_cast<FrameType>(t);
+      known = true;
+      break;
+    }
+  }
+  if (!known) return Malformed("unknown type");
+
+  const auto args = fields.size() - 2;
+  auto arg = [&fields](size_t i) -> const std::string& {
+    return fields[2 + i];
+  };
+  switch (frame.type) {
+    case FrameType::kHello:
+      want = 5;
+      if (args != want) return Malformed("HELLO field count");
+      if (!ParseU64(arg(0), &frame.worker) || !ParseU64(arg(1), &frame.pid) ||
+          !ParseU64(arg(2), &frame.slice_offset) ||
+          !ParseU64(arg(3), &frame.slice_count) ||
+          !ParseU64(arg(4), &frame.total_slices)) {
+        return Malformed("HELLO fields");
+      }
+      break;
+    case FrameType::kInflight:
+      want = 3;
+      if (args != want) return Malformed("INFLIGHT field count");
+      if (!ParseU64(arg(0), &frame.dialect) ||
+          !ParseU64(arg(1), &frame.slice) ||
+          !ParseU64(arg(2), &frame.iteration)) {
+        return Malformed("INFLIGHT fields");
+      }
+      if (frame.dialect >= static_cast<uint64_t>(engine::kNumDialects)) {
+        return Malformed("INFLIGHT dialect out of range");
+      }
+      break;
+    case FrameType::kSliceDone:
+      want = 2;
+      if (args != want) return Malformed("SLICEDONE field count");
+      if (!ParseU64(arg(0), &frame.dialect) ||
+          !ParseU64(arg(1), &frame.slice)) {
+        return Malformed("SLICEDONE fields");
+      }
+      if (frame.dialect >= static_cast<uint64_t>(engine::kNumDialects)) {
+        return Malformed("SLICEDONE dialect out of range");
+      }
+      break;
+    case FrameType::kCov:
+      want = 4;
+      if (args != want) return Malformed("COV field count");
+      if (!ParseF64(arg(0), &frame.elapsed) ||
+          !ParseU64(arg(1), &frame.iterations) ||
+          !ParseU64(arg(2), &frame.queries) ||
+          !ParseKeys(arg(3), &frame.site_keys)) {
+        return Malformed("COV fields");
+      }
+      break;
+    case FrameType::kEntry: {
+      want = 1;
+      if (args != want) return Malformed("ENTRY field count");
+      auto payload = HexDecode(arg(0));
+      if (!payload.ok()) return payload.status();
+      frame.payload = payload.Take();
+      break;
+    }
+    case FrameType::kBug: {
+      want = 6;
+      if (args != want) return Malformed("BUG field count");
+      if (!ParseU64(arg(0), &frame.query_index) ||
+          !ParseBool01(arg(1), &frame.is_crash) ||
+          !ParseBool01(arg(2), &frame.canonical_only) ||
+          !ParseF64(arg(3), &frame.elapsed)) {
+        return Malformed("BUG fields");
+      }
+      auto detail = HexDecode(arg(4));
+      if (!detail.ok()) return detail.status();
+      const std::vector<uint8_t> detail_bytes = detail.Take();
+      frame.detail.assign(detail_bytes.begin(), detail_bytes.end());
+      auto payload = HexDecode(arg(5));
+      if (!payload.ok()) return payload.status();
+      frame.payload = payload.Take();
+      break;
+    }
+    case FrameType::kDone:
+      want = 9;
+      if (args != want) return Malformed("DONE field count");
+      if (!ParseU64(arg(0), &frame.iterations) ||
+          !ParseU64(arg(1), &frame.queries) ||
+          !ParseU64(arg(2), &frame.checks) ||
+          !ParseF64(arg(3), &frame.busy_seconds) ||
+          !ParseF64(arg(4), &frame.engine_seconds) ||
+          !ParseU64(arg(5), &frame.statements) ||
+          !ParseU64(arg(6), &frame.pairs) ||
+          !ParseU64(arg(7), &frame.index_scans) ||
+          !ParseU64(arg(8), &frame.prepared)) {
+        return Malformed("DONE fields");
+      }
+      break;
+    case FrameType::kStop:
+      want = 0;
+      if (args != want) return Malformed("STOP field count");
+      break;
+  }
+  return frame;
+}
+
+Result<Frame> MakeBugFrame(const fuzz::Discrepancy& d, uint64_t master_seed) {
+  corpus::TestCaseRecord rec;
+  rec.kind = corpus::RecordKind::kReproducer;
+  rec.dialect = d.dialect;
+  rec.iteration = d.iteration;
+  rec.seed = Rng::SplitSeed(master_seed, d.iteration);
+  rec.sdb = d.sdb1;
+  rec.has_query = !d.query.predicate.empty();
+  rec.query = d.query;
+  rec.transform = d.transform;
+  rec.canonical_only = d.oracle == fuzz::OracleKind::kCanonicalOnly;
+  for (faults::FaultId id : d.fault_hits) {
+    rec.fault_ids.push_back(static_cast<uint32_t>(id));
+  }
+  auto encoded = corpus::TestCaseCodec::Encode(rec);
+  if (!encoded.ok()) return encoded.status();
+
+  Frame frame;
+  frame.type = FrameType::kBug;
+  frame.query_index = d.query_index;
+  frame.is_crash = d.is_crash;
+  frame.canonical_only = rec.canonical_only;
+  frame.elapsed = d.elapsed_seconds;
+  frame.detail = d.detail;
+  frame.payload = encoded.Take();
+  return frame;
+}
+
+Result<fuzz::Discrepancy> BugFrameToDiscrepancy(const Frame& frame) {
+  auto decoded = corpus::TestCaseCodec::Decode(frame.payload);
+  if (!decoded.ok()) return decoded.status();
+  const corpus::TestCaseRecord rec = decoded.Take();
+
+  fuzz::Discrepancy d;
+  d.iteration = rec.iteration;
+  d.query_index = frame.query_index;
+  d.is_crash = frame.is_crash;
+  d.oracle = frame.canonical_only ? fuzz::OracleKind::kCanonicalOnly
+                                  : fuzz::OracleKind::kAei;
+  d.dialect = rec.dialect;
+  if (rec.has_query) d.query = rec.query;
+  d.sdb1 = rec.sdb;
+  d.transform = rec.transform;
+  d.detail = frame.detail;
+  for (uint32_t raw : rec.fault_ids) {
+    d.fault_hits.insert(static_cast<faults::FaultId>(raw));
+  }
+  d.elapsed_seconds = frame.elapsed;
+  return d;
+}
+
+}  // namespace spatter::fleet

@@ -1,0 +1,123 @@
+// Line-framed wire protocol between the fleet coordinator and its worker
+// processes (src/fleet/coordinator.h spawns `spatter --worker` children
+// and supervises them over pipes).
+//
+// Every frame is one text line: the magic "SPTW1", a type token, then
+// space-separated fields in a fixed per-type order. Binary payloads
+// (corpus entries and bug reproducers) are TestCaseCodec records carried
+// as lowercase hex — the codec already guarantees byte-identical
+// round-trips, so the wire adds framing and nothing else. Text framing
+// keeps the stream debuggable (`spatter --worker ... | head`) and makes
+// corruption detection trivial: a frame either parses completely against
+// its type's field list or is rejected; a torn write (worker killed mid
+// line) fails the field-count check instead of desynchronizing the stream.
+//
+// Frames, by direction:
+//   worker -> coordinator
+//     HELLO    <worker> <pid> <slice_offset> <slice_count> <total_slices>
+//     INFLIGHT <dialect> <slice> <iteration>
+//     SLICEDONE <dialect> <slice>   (the slice's loop exited: its last
+//              announced iteration completed; nothing is in flight)
+//     COV      <elapsed> <iterations> <queries> <key,key,...|->
+//     ENTRY    <hex(TestCaseCodec record)>
+//     BUG      <query_index> <is_crash> <canonical_only> <elapsed>
+//              <hex(detail)> <hex(TestCaseCodec record)>
+//     DONE     <iterations> <queries> <checks> <busy_s> <engine_s>
+//              <statements> <pairs> <index_scans> <prepared>
+//   coordinator -> worker
+//     ENTRY    <hex(record)>   (cross-process corpus rebroadcast)
+//     STOP                     (finish the current iteration and report)
+#ifndef SPATTER_FLEET_WIRE_H_
+#define SPATTER_FLEET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "fuzz/campaign.h"
+
+namespace spatter::fleet {
+
+enum class FrameType : uint8_t {
+  kHello,
+  kInflight,
+  kSliceDone,
+  kCov,
+  kEntry,
+  kBug,
+  kDone,
+  kStop,
+};
+
+const char* FrameTypeName(FrameType t);
+
+/// One decoded frame. Fields are a union-of-purposes: each frame type
+/// reads and writes only the members its layout above names, and
+/// DecodeFrame validates exact field counts per type.
+struct Frame {
+  FrameType type = FrameType::kStop;
+
+  // HELLO
+  uint64_t worker = 0;
+  uint64_t pid = 0;
+  uint64_t slice_offset = 0;
+  uint64_t slice_count = 0;
+  uint64_t total_slices = 0;
+
+  // INFLIGHT / SLICEDONE
+  uint64_t dialect = 0;
+  uint64_t slice = 0;
+  uint64_t iteration = 0;  // INFLIGHT only
+
+  // COV / DONE counters
+  double elapsed = 0.0;  // also BUG
+  uint64_t iterations = 0;
+  uint64_t queries = 0;
+  uint64_t checks = 0;
+  std::vector<uint64_t> site_keys;  // COV: stable keys newly covered
+
+  // ENTRY / BUG payload: a TestCaseCodec record.
+  std::vector<uint8_t> payload;
+
+  // BUG
+  uint64_t query_index = 0;
+  bool is_crash = false;
+  bool canonical_only = false;
+  std::string detail;
+
+  // DONE timing + engine counters
+  double busy_seconds = 0.0;
+  double engine_seconds = 0.0;
+  uint64_t statements = 0;
+  uint64_t pairs = 0;
+  uint64_t index_scans = 0;
+  uint64_t prepared = 0;
+};
+
+/// Renders `frame` as one '\n'-terminated line.
+std::string EncodeFrame(const Frame& frame);
+
+/// Parses one line (with or without the trailing '\n'). Rejects bad
+/// magic, unknown types, wrong field counts, malformed numbers, and
+/// malformed hex with kInvalidArgument — a corrupt line never yields a
+/// partially filled frame.
+Result<Frame> DecodeFrame(const std::string& line);
+
+/// Lowercase hex of `bytes` (the payload encoding).
+std::string HexEncode(const std::vector<uint8_t>& bytes);
+/// Inverse of HexEncode; rejects odd length and non-hex characters.
+Result<std::vector<uint8_t>> HexDecode(const std::string& hex);
+
+/// Builds a BUG frame from a recorded discrepancy: frame-level position
+/// and detail plus a TestCaseCodec reproducer payload (database, query,
+/// transform, fault ids). Fails only if the record does not encode.
+Result<Frame> MakeBugFrame(const fuzz::Discrepancy& d, uint64_t master_seed);
+
+/// Rebuilds the discrepancy a BUG frame carries (inverse of MakeBugFrame
+/// up to fields the reproducer format does not store).
+Result<fuzz::Discrepancy> BugFrameToDiscrepancy(const Frame& frame);
+
+}  // namespace spatter::fleet
+
+#endif  // SPATTER_FLEET_WIRE_H_

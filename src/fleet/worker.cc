@@ -1,0 +1,325 @@
+#include "fleet/worker.h"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+#include "common/coverage.h"
+#include "fleet/wire.h"
+#include "runtime/thread_pool.h"
+
+namespace spatter::fleet {
+
+namespace {
+
+using fuzz::Campaign;
+using fuzz::CampaignConfig;
+using fuzz::CampaignResult;
+
+/// Serializes whole-line writes so frames from concurrent slice threads
+/// never interleave. A failed write (coordinator gone) latches `failed`;
+/// slice loops poll it and wind down instead of fuzzing into a dead pipe.
+class FrameWriter {
+ public:
+  explicit FrameWriter(int fd) : fd_(fd) {}
+
+  void Write(const Frame& frame) {
+    const std::string line = EncodeFrame(frame);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (failed_) return;
+    size_t off = 0;
+    while (off < line.size()) {
+      const ssize_t n = ::write(fd_, line.data() + off, line.size() - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        failed_ = true;
+        return;
+      }
+      off += static_cast<size_t>(n);
+    }
+  }
+
+  bool failed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return failed_;
+  }
+
+ private:
+  int fd_;
+  mutable std::mutex mu_;
+  bool failed_ = false;
+};
+
+/// Entries broadcast by the coordinator, drained by slice threads before
+/// each iteration (Restore semantics: signature dedup, never re-echoed).
+struct IncomingEntries {
+  std::mutex mu;
+  std::vector<corpus::TestCaseRecord> records;
+};
+
+/// Reads coordinator frames until STOP/EOF or `exit_flag`. poll() with a
+/// timeout so the thread notices `exit_flag` and joins cleanly even when
+/// the coordinator holds the pipe open past our DONE.
+void ReaderLoop(int in_fd, std::atomic<bool>* stop_flag,
+                std::atomic<bool>* exit_flag, IncomingEntries* incoming) {
+  std::string buffer;
+  char chunk[4096];
+  while (!exit_flag->load(std::memory_order_relaxed)) {
+    struct pollfd pfd = {in_fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 200);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0) continue;
+    const ssize_t n = ::read(in_fd, chunk, sizeof(chunk));
+    if (n == 0) {  // coordinator closed our stdin: finish up
+      stop_flag->store(true, std::memory_order_relaxed);
+      break;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      stop_flag->store(true, std::memory_order_relaxed);
+      break;
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t nl;
+    while ((nl = buffer.find('\n')) != std::string::npos) {
+      const std::string line = buffer.substr(0, nl);
+      buffer.erase(0, nl + 1);
+      auto frame = DecodeFrame(line);
+      if (!frame.ok()) continue;  // corrupt line: skip, stay in sync
+      if (frame.value().type == FrameType::kStop) {
+        stop_flag->store(true, std::memory_order_relaxed);
+      } else if (frame.value().type == FrameType::kEntry) {
+        auto decoded = corpus::TestCaseCodec::Decode(frame.value().payload);
+        if (!decoded.ok()) continue;
+        std::lock_guard<std::mutex> lock(incoming->mu);
+        incoming->records.push_back(decoded.Take());
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int RunWorker(const WorkerOptions& options, int in_fd, int out_fd) {
+  // The coordinator may die while we write; surface that as a latched
+  // write failure, not a SIGPIPE kill (which would be indistinguishable
+  // from a genuine worker crash and trigger a pointless respawn).
+  ::signal(SIGPIPE, SIG_IGN);
+  // Fresh-process coverage semantics even when forked from a warm parent
+  // (the in-process test path): COV deltas must describe THIS worker.
+  CoverageRegistry::Instance().ResetHits();
+
+  std::vector<engine::Dialect> dialects = options.dialects;
+  if (dialects.empty()) dialects.push_back(options.base.dialect);
+
+  FrameWriter writer(out_fd);
+  std::atomic<bool> stop{false};
+  std::atomic<bool> reader_exit{false};
+  IncomingEntries incoming;
+  std::thread reader(ReaderLoop, in_fd, &stop, &reader_exit, &incoming);
+
+  Frame hello;
+  hello.type = FrameType::kHello;
+  hello.worker = options.index;
+  hello.pid = static_cast<uint64_t>(::getpid());
+  hello.slice_offset = options.slice_offset;
+  hello.slice_count = options.slice_count;
+  hello.total_slices = options.total_slices;
+  writer.Write(hello);
+
+  // Seed corpus, loaded once and shared read-only across slice campaigns.
+  CampaignConfig base = options.base;
+  base.corpus.log_admissions = base.corpus.enabled;
+  std::vector<corpus::TestCaseRecord> seed_corpus;
+  if (base.corpus.enabled && !options.corpus_dir.empty()) {
+    corpus::Corpus loader(base.corpus);
+    auto loaded = loader.LoadFrom(options.corpus_dir);
+    if (loaded.ok()) seed_corpus = loader.Entries();
+  }
+
+  const double t0 = Campaign::NowSeconds();
+  const double deadline = options.duration_seconds;
+
+  // Shared COV heartbeat state: one snapshot for the whole process (the
+  // registry is process-global), sent by whichever slice thread crosses
+  // the interval first.
+  std::mutex cov_mu;
+  std::vector<uint64_t> cov_snapshot;  // empty = everything is new
+  double last_cov = t0;
+  std::atomic<uint64_t> total_iterations{0};
+  std::atomic<uint64_t> total_queries{0};
+
+  // Final counters, accumulated as slice tasks finish.
+  std::mutex done_mu;
+  CampaignResult totals;
+
+  auto run_slice = [&](engine::Dialect dialect, size_t slice) {
+    CampaignConfig cfg = base;
+    cfg.dialect = dialect;
+    Campaign campaign(cfg);
+    campaign.SeedCorpus(seed_corpus);
+    const double task_t0 = Campaign::NowSeconds();
+    const engine::EngineStats stats_t0 = campaign.engine().stats();
+
+    uint64_t completed = 0;
+    const auto it = options.completed.find(
+        {static_cast<uint64_t>(dialect), static_cast<uint64_t>(slice)});
+    if (it != options.completed.end()) completed = it->second;
+
+    size_t iteration = slice + completed * options.total_slices;
+    size_t incoming_cursor = 0;
+    while (!stop.load(std::memory_order_relaxed) && !writer.failed()) {
+      if (deadline > 0) {
+        if (Campaign::NowSeconds() - t0 >= deadline) break;
+      } else if (iteration >= cfg.iterations) {
+        break;
+      }
+      // Cross-process corpus sync: fold in what the coordinator
+      // rebroadcast since our last look. `incoming.records` is
+      // append-only, so a per-slice cursor reads each record once.
+      if (campaign.corpus() != nullptr) {
+        std::vector<corpus::TestCaseRecord> records;
+        {
+          std::lock_guard<std::mutex> lock(incoming.mu);
+          records.assign(
+              incoming.records.begin() +
+                  static_cast<ptrdiff_t>(incoming_cursor),
+              incoming.records.end());
+          incoming_cursor = incoming.records.size();
+        }
+        for (auto& record : records) campaign.corpus()->Restore(record);
+      }
+
+      Frame inflight;
+      inflight.type = FrameType::kInflight;
+      inflight.dialect = static_cast<uint64_t>(dialect);
+      inflight.slice = slice;
+      inflight.iteration = iteration;
+      writer.Write(inflight);
+
+      CampaignResult delta;
+      campaign.RunIterationAt(iteration, &delta, t0);
+      total_iterations.fetch_add(1, std::memory_order_relaxed);
+      total_queries.fetch_add(delta.queries_run, std::memory_order_relaxed);
+
+      for (const fuzz::Discrepancy& d : delta.discrepancies) {
+        auto bug = MakeBugFrame(d, cfg.seed);
+        if (bug.ok()) writer.Write(bug.value());
+      }
+      if (campaign.corpus() != nullptr) {
+        for (const auto& record : campaign.corpus()->TakeNewlyAdmitted()) {
+          auto encoded = corpus::TestCaseCodec::Encode(record);
+          if (!encoded.ok()) continue;
+          Frame entry;
+          entry.type = FrameType::kEntry;
+          entry.payload = encoded.Take();
+          writer.Write(entry);
+        }
+      }
+      {
+        std::lock_guard<std::mutex> lock(done_mu);
+        totals.queries_run += delta.queries_run;
+        totals.checks_run += delta.checks_run;
+        totals.iterations_run += delta.iterations_run;
+      }
+
+      const double now = Campaign::NowSeconds();
+      bool send_cov = false;
+      Frame cov;
+      {
+        std::lock_guard<std::mutex> lock(cov_mu);
+        if (now - last_cov >= options.cov_interval_seconds) {
+          auto& registry = CoverageRegistry::Instance();
+          cov.type = FrameType::kCov;
+          cov.elapsed = now - t0;
+          cov.iterations = total_iterations.load(std::memory_order_relaxed);
+          cov.queries = total_queries.load(std::memory_order_relaxed);
+          // Snapshot BEFORE diffing: a site another slice first-hits
+          // between the two calls then lands in the delta AND the next
+          // round (double-reported into a set union — harmless); the
+          // other order would bake it into the snapshot unreported and
+          // lose it from the curve forever.
+          std::vector<uint64_t> next_snapshot = registry.SnapshotHits();
+          cov.site_keys = registry.KeysCoveredSince(cov_snapshot);
+          cov_snapshot = std::move(next_snapshot);
+          last_cov = now;
+          send_cov = true;
+        }
+      }
+      if (send_cov) writer.Write(cov);
+
+      iteration += options.total_slices;
+    }
+
+    // The loop only exits BETWEEN iterations (budget done, deadline hit,
+    // or STOP honoured), so the last INFLIGHT iteration completed:
+    // without this frame the coordinator would persist it as a phantom
+    // in-flight crash case if the process dies later in another slice.
+    Frame slice_done;
+    slice_done.type = FrameType::kSliceDone;
+    slice_done.dialect = static_cast<uint64_t>(dialect);
+    slice_done.slice = slice;
+    writer.Write(slice_done);
+
+    CampaignResult timing;
+    campaign.FinalizeResult(&timing, task_t0, stats_t0);
+    std::lock_guard<std::mutex> lock(done_mu);
+    totals.busy_seconds += timing.busy_seconds;
+    totals.engine_seconds += timing.engine_seconds;
+    totals.engine_stats += timing.engine_stats;
+  };
+
+  {
+    // Batch tasks queue onto slice_count threads; duration tasks must all
+    // run concurrently (a task started after the deadline contributes
+    // nothing), so oversubscribe exactly like ShardedCampaign does.
+    const size_t tasks = dialects.size() * options.slice_count;
+    runtime::ThreadPool pool(
+        deadline > 0 ? std::max(options.slice_count, tasks)
+                     : std::max<size_t>(1, options.slice_count));
+    for (const engine::Dialect dialect : dialects) {
+      for (size_t s = 0; s < options.slice_count; ++s) {
+        const size_t slice = options.slice_offset + s;
+        pool.Submit([&run_slice, dialect, slice] { run_slice(dialect, slice); });
+      }
+    }
+    pool.Wait();
+  }
+
+  // Final COV so the coordinator's curve sees the tail, then DONE.
+  {
+    std::lock_guard<std::mutex> lock(cov_mu);
+    Frame cov;
+    cov.type = FrameType::kCov;
+    cov.elapsed = Campaign::NowSeconds() - t0;
+    cov.iterations = total_iterations.load(std::memory_order_relaxed);
+    cov.queries = total_queries.load(std::memory_order_relaxed);
+    cov.site_keys = CoverageRegistry::Instance().KeysCoveredSince(cov_snapshot);
+    cov_snapshot = CoverageRegistry::Instance().SnapshotHits();
+    writer.Write(cov);
+  }
+  Frame done;
+  done.type = FrameType::kDone;
+  done.iterations = totals.iterations_run;
+  done.queries = totals.queries_run;
+  done.checks = totals.checks_run;
+  done.busy_seconds = totals.busy_seconds;
+  done.engine_seconds = totals.engine_seconds;
+  done.statements = totals.engine_stats.statements_executed;
+  done.pairs = totals.engine_stats.pairs_evaluated;
+  done.index_scans = totals.engine_stats.index_scans;
+  done.prepared = totals.engine_stats.prepared_evaluations;
+  writer.Write(done);
+
+  reader_exit.store(true, std::memory_order_relaxed);
+  reader.join();
+  return writer.failed() ? 1 : 0;
+}
+
+}  // namespace spatter::fleet

@@ -40,6 +40,27 @@ void Campaign::SeedCorpus(const std::vector<corpus::TestCaseRecord>& records) {
   for (const auto& record : records) corpus_->Restore(record);
 }
 
+const std::set<std::string>& Campaign::HarnessCoverageModules() {
+  static const std::set<std::string> kHarnessModules = {
+      "campaign", "corpus", "generator", "aei", "oracle"};
+  return kHarnessModules;
+}
+
+DatabaseSpec Campaign::GenerateDatabaseFor(
+    const CampaignConfig& config, size_t iteration,
+    std::vector<GenerationCrash>* crashes) {
+  // Mirrors the pure-generate arm of RunIteration draw for draw: reseed,
+  // generate, then the index coin — so the returned spec is byte-for-byte
+  // the database that iteration runs (RunIteration has a test pinning the
+  // two paths together).
+  Rng rng(Rng::SplitSeed(config.seed, iteration));
+  engine::Engine engine(config.dialect, config.enable_faults);
+  GeometryAwareGenerator generator(config.generator, &rng, &engine);
+  DatabaseSpec sdb = generator.Generate(crashes);
+  sdb.with_index = rng.Percent(config.index_pct);
+  return sdb;
+}
+
 double Campaign::NowSeconds() {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())
@@ -199,9 +220,8 @@ void Campaign::RunIteration(size_t iteration, CampaignResult* result,
     // caught the harness's own instrumentation (scheduler, mutator,
     // generator, oracle sites), whose first firing says nothing about the
     // input's value and would auto-admit e.g. the first mutant of a run.
-    static const std::set<std::string> kHarnessModules = {
-        "campaign", "corpus", "generator", "aei", "oracle"};
-    record.sites = CoverageRegistry::Instance().KeysOf(trace, kHarnessModules);
+    record.sites = CoverageRegistry::Instance().KeysOf(
+        trace, HarnessCoverageModules());
     if (corpus_->Admit(std::move(record))) {
       SPATTER_COV("campaign", "corpus_admit");
       iterations_since_admit_ = 0;

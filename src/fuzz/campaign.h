@@ -134,8 +134,26 @@ class Campaign {
   /// Monotonic wall clock, comparable across threads.
   static double NowSeconds();
 
+  /// Rebuilds the database a pure-generate iteration would construct,
+  /// without running any queries: fresh RNG seeded from
+  /// Rng::SplitSeed(config.seed, iteration), same generator draw order as
+  /// RunIterationAt (generate, then the index coin). The fleet
+  /// coordinator uses this to persist a reproducer for the iteration a
+  /// worker died inside — the worker is gone, but in pure-generate mode
+  /// its in-flight input is recoverable from (seed, iteration) alone.
+  /// Corpus-mode mutants are NOT recoverable this way (they depend on the
+  /// dead shard's corpus history).
+  static DatabaseSpec GenerateDatabaseFor(
+      const CampaignConfig& config, size_t iteration,
+      std::vector<GenerationCrash>* crashes = nullptr);
+
   const CampaignConfig& config() const { return config_; }
   engine::Engine& engine() { return *engine_; }
+
+  /// Coverage modules that instrument the fuzzer itself rather than the
+  /// engine under test. Corpus admission (and cross-dialect transfer)
+  /// excludes them so entries are rewarded for new ENGINE behaviour only.
+  static const std::set<std::string>& HarnessCoverageModules();
 
   /// Corpus feedback store; null unless config.corpus.enabled.
   corpus::Corpus* corpus() { return corpus_.get(); }

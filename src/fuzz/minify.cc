@@ -1,0 +1,67 @@
+#include "fuzz/minify.h"
+
+#include <memory>
+#include <vector>
+
+#include "fuzz/reducer.h"
+#include "fuzz/transfer.h"
+
+namespace spatter::fuzz {
+
+Result<MinifyStats> MinifyCorpusDir(const std::string& dir,
+                                    const corpus::CorpusOptions& options,
+                                    bool enable_faults) {
+  MinifyStats stats;
+  corpus::CorpusOptions load_options = options;
+  load_options.enabled = true;
+  corpus::Corpus loader(load_options);
+  auto loaded = loader.LoadFrom(dir);
+  if (!loaded.ok()) return loaded.status();
+  stats.loaded = loaded.value();
+
+  std::unique_ptr<engine::Engine> engines[engine::kNumDialects];
+  auto engine_for = [&engines,
+                     enable_faults](engine::Dialect d) -> engine::Engine* {
+    auto& slot = engines[static_cast<size_t>(d)];
+    if (!slot) slot = std::make_unique<engine::Engine>(d, enable_faults);
+    return slot.get();
+  };
+
+  corpus::Corpus minified(load_options);
+  for (corpus::TestCaseRecord entry : loader.Entries()) {
+    engine::Engine* engine = engine_for(entry.dialect);
+    // Ground the signature in what the entry covers under TODAY's
+    // instrumentation; the stored site list may predate site renames or
+    // mutator-era behaviour shifts.
+    const std::vector<uint64_t> baseline =
+        ReplayCoverageSites(engine, entry, entry.sdb);
+    stats.replays++;
+    ReductionStats reduction;
+    entry.sdb = ReduceDatabase(
+        entry.sdb,
+        [&](const DatabaseSpec& candidate) {
+          stats.replays++;
+          // The candidate must preserve the exact site SET (not a
+          // superset): signatures hash the set, and "same signature" is
+          // the contract minification promises to keep.
+          return ReplayCoverageSites(engine, entry, candidate) == baseline;
+        },
+        &reduction);
+    stats.rows_removed += reduction.rows_removed;
+    entry.sites = baseline;
+    // Restore (not Admit): the re-executed site sets of sibling entries
+    // overlap heavily, and the new-coverage rule would keep only the
+    // first of each overlapping family. Only exact signature collisions
+    // are duplicates.
+    if (minified.Restore(std::move(entry))) {
+      stats.kept++;
+    } else {
+      stats.duplicates_dropped++;
+    }
+  }
+
+  SPATTER_RETURN_NOT_OK(minified.SaveTo(dir));
+  return stats;
+}
+
+}  // namespace spatter::fuzz

@@ -1,0 +1,42 @@
+// Offline corpus minimization (`spatter --corpus-minify=DIR`).
+//
+// Live runs honour the never-delete Restore contract: entries loaded from
+// disk are re-admitted unconditionally, because dropping one would let
+// the next SaveTo delete it permanently. That contract means a long-lived
+// corpus accretes: databases keep every row that happened to be present
+// when the entry earned its coverage, and instrumentation changes can
+// leave two entries covering identical behaviour under different stored
+// signatures. Minification is the explicit offline operation allowed to
+// shrink: each entry is re-executed to ground its site set in the current
+// instrumentation, its database is delta-reduced as far as that exact
+// site set is preserved, and entries whose re-executed signatures collide
+// are dropped as duplicates before the directory is rewritten.
+#ifndef SPATTER_FUZZ_MINIFY_H_
+#define SPATTER_FUZZ_MINIFY_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "corpus/corpus.h"
+
+namespace spatter::fuzz {
+
+struct MinifyStats {
+  size_t loaded = 0;              ///< entries decoded from the directory
+  size_t kept = 0;                ///< entries persisted back
+  size_t duplicates_dropped = 0;  ///< re-executed-signature collisions
+  size_t rows_removed = 0;        ///< database rows reduced away in total
+  size_t replays = 0;             ///< executions spent reducing
+};
+
+/// Minifies the cc-*.sptc corpus entries in `dir` in place (reproducer
+/// files are untouched). `enable_faults` must match the campaigns that
+/// populate the corpus — reducing against the fixed engine would preserve
+/// the wrong coverage. Returns stats, or the first I/O error.
+Result<MinifyStats> MinifyCorpusDir(const std::string& dir,
+                                    const corpus::CorpusOptions& options,
+                                    bool enable_faults);
+
+}  // namespace spatter::fuzz
+
+#endif  // SPATTER_FUZZ_MINIFY_H_

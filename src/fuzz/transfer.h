@@ -1,0 +1,48 @@
+// Cross-dialect corpus transfer (the EET-style "cheap extra oracle"):
+// an entry admitted because it reached new behaviour under one dialect is
+// replayed against the other three on merge. If the replay covers sites
+// the corpus has never seen for THAT dialect's engine paths, a copy of
+// the entry is admitted under the new dialect — so, e.g., a database the
+// PostGIS-sim shard found interesting gets scheduled for mutation against
+// MySQL too, without MySQL shards having to rediscover it.
+#ifndef SPATTER_FUZZ_TRANSFER_H_
+#define SPATTER_FUZZ_TRANSFER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "engine/engine.h"
+#include "fuzz/testcase.h"
+
+namespace spatter::fuzz {
+
+/// Replays `sdb` (and the entry's recorded query, when present) on
+/// `engine` and returns the sorted, deduplicated engine-behaviour
+/// coverage-site keys the execution hit — the accounting both
+/// cross-dialect transfer and offline minification (fuzz/minify.h)
+/// ground their decisions in, shared so they cannot drift.
+std::vector<uint64_t> ReplayCoverageSites(
+    engine::Engine* engine, const corpus::TestCaseRecord& entry,
+    const DatabaseSpec& sdb);
+
+struct TransferStats {
+  size_t entries = 0;   ///< corpus entries considered
+  size_t replays = 0;   ///< (entry, other-dialect) replays executed
+  size_t admitted = 0;  ///< copies admitted under a new dialect
+};
+
+/// Replays every current entry of `corpus` against each dialect other
+/// than the entry's own, admitting dialect-retagged copies that buy new
+/// coverage (the corpus's usual new-coverage rule judges them, so a
+/// behaviourally redundant replay is rejected, not hoarded). Runs
+/// serially in (entry, dialect) order — deterministic for a given corpus
+/// state. `enable_faults` selects faulty vs fixed replay engines and must
+/// match the campaign that built the corpus.
+TransferStats CrossDialectCorpusTransfer(corpus::Corpus* corpus,
+                                         bool enable_faults);
+
+}  // namespace spatter::fuzz
+
+#endif  // SPATTER_FUZZ_TRANSFER_H_

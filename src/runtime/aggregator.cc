@@ -17,11 +17,16 @@ namespace {
 // across shards and the dedup winner is identical for every shard count
 // and thread schedule (a wall-clock comparison would let the OS scheduler
 // pick the reproducer). Generation crashes precede queries within an
-// iteration, mirroring serial insertion order.
+// iteration, mirroring serial insertion order. Dialect breaks the last
+// tie: in multi-dialect runs every dialect executes the same iteration
+// universe, so a shared-library fault can fire at the identical position
+// in two dialects — without this the winner would be merge-arrival
+// order, which in fleet mode is racy pipe order.
 bool DetectedEarlier(const fuzz::Discrepancy& a, const fuzz::Discrepancy& b) {
   if (a.iteration != b.iteration) return a.iteration < b.iteration;
   if (a.is_crash != b.is_crash) return a.is_crash;
-  return a.query_index < b.query_index;
+  if (a.query_index != b.query_index) return a.query_index < b.query_index;
+  return static_cast<uint8_t>(a.dialect) < static_cast<uint8_t>(b.dialect);
 }
 
 }  // namespace
@@ -45,6 +50,18 @@ void Aggregator::Merge(fuzz::CampaignResult&& shard) {
   acc_.busy_seconds += shard.busy_seconds;
   acc_.engine_seconds += shard.engine_seconds;
   acc_.engine_stats += shard.engine_stats;
+}
+
+void Aggregator::MergeDiscrepancy(fuzz::Discrepancy&& d) {
+  for (faults::FaultId id : d.fault_hits) {
+    auto it = acc_.unique_bugs.find(id);
+    if (it == acc_.unique_bugs.end()) {
+      acc_.unique_bugs.emplace(id, d);
+    } else if (DetectedEarlier(d, it->second)) {
+      it->second = d;
+    }
+  }
+  acc_.discrepancies.push_back(std::move(d));
 }
 
 void Aggregator::MergeCorpus(const corpus::Corpus& shard) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <mutex>
 
+#include "fuzz/transfer.h"
+
 namespace spatter::runtime {
 
 using fuzz::Campaign;
@@ -23,6 +25,15 @@ size_t ShardedCampaign::shards_per_dialect() const {
 std::vector<engine::Dialect> ShardedCampaign::AllDialects() {
   return {engine::Dialect::kPostgis, engine::Dialect::kDuckdbSpatial,
           engine::Dialect::kMysql, engine::Dialect::kSqlserver};
+}
+
+void ShardedCampaign::FinishCorpus(Aggregator* aggregator) {
+  merged_corpus_ = aggregator->TakeCorpus();
+  if (merged_corpus_ && config_.cross_dialect_transfer &&
+      dialects_.size() > 1) {
+    fuzz::CrossDialectCorpusTransfer(merged_corpus_.get(),
+                                     config_.base.enable_faults);
+  }
 }
 
 CampaignResult ShardedCampaign::Run() {
@@ -69,7 +80,7 @@ CampaignResult ShardedCampaign::Run() {
     if (shard_corpus) aggregator.MergeCorpus(*shard_corpus);
   }
   CampaignResult result = aggregator.Finish(Campaign::NowSeconds() - t0);
-  merged_corpus_ = aggregator.TakeCorpus();
+  FinishCorpus(&aggregator);
   return result;
 }
 
@@ -133,7 +144,7 @@ CampaignResult ShardedCampaign::RunForDuration(double deadline_seconds,
     if (shard_corpus) aggregator.MergeCorpus(*shard_corpus);
   }
   CampaignResult result = aggregator.Finish(Campaign::NowSeconds() - t0);
-  merged_corpus_ = aggregator.TakeCorpus();
+  FinishCorpus(&aggregator);
   return result;
 }
 

@@ -45,6 +45,14 @@ struct ShardedCampaignConfig {
   /// Persisted records every shard's corpus is seeded with before its
   /// first iteration (corpus mode only).
   std::vector<corpus::TestCaseRecord> seed_corpus;
+  /// After the cross-shard merge, replay each corpus entry against the
+  /// dialects that did not produce it and admit copies that buy new
+  /// coverage (fuzz::CrossDialectCorpusTransfer). Applies only to
+  /// multi-dialect campaigns in corpus mode: a single-dialect run never
+  /// fuzzes the foreign dialects, so transferred copies would cost
+  /// replays and corpus-cap pressure without ever being scheduled
+  /// against their own engine.
+  bool cross_dialect_transfer = true;
 };
 
 class ShardedCampaign {
@@ -81,6 +89,11 @@ class ShardedCampaign {
   corpus::Corpus* merged_corpus() { return merged_corpus_.get(); }
 
  private:
+  /// Takes the merged corpus from `aggregator` and (corpus mode with
+  /// transfer enabled) replays entries across dialects — the shared
+  /// epilogue of Run and RunForDuration.
+  void FinishCorpus(Aggregator* aggregator);
+
   ShardedCampaignConfig config_;
   std::vector<engine::Dialect> dialects_;
   std::unique_ptr<corpus::Corpus> merged_corpus_;

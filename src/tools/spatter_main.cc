@@ -4,6 +4,8 @@
 //   spatter --dialect=postgis --seed=42 --iterations=100 --queries=100
 //           --geometries=10 --jobs=4 [--no-derivative] [--fixed] [--reduce]
 //           [--corpus=dir --mutate-pct=N] [--replay=file]
+//           [--fleet=P --duration=S --curve-out=curve.json]
+//           [--corpus-minify=dir]
 //
 // Runs an AEI campaign against the chosen (faulty by default) dialect and
 // prints each deduplicated unique bug with a minimal SQL reproducer.
@@ -12,10 +14,24 @@
 // --dialect=all runs a fleet campaign over all four dialects at once,
 // deduplicating shared-library bugs across them.
 //
+// --fleet=P adds the process tier: P worker processes (self-exec in a
+// hidden --worker mode) x --jobs slices each, supervised over pipes; the
+// pure-generate unique-bug set is identical for any P x J factorization.
+// --duration=S runs a duration-budget campaign instead of an iteration
+// budget and, with --curve-out, writes the Figure-8-style site-coverage
+// curve as JSON.
+//
 // --corpus=dir turns on greybox feedback: iterations that reach new
 // coverage are kept, mutated preferentially (--mutate-pct), persisted to
 // `dir` across runs, and every unique bug gets a binary reproducer file
-// there that --replay=file re-executes deterministically.
+// there that --replay=file re-executes deterministically. On merge,
+// entries are replayed across the other dialects and admitted where they
+// buy new coverage (--no-transfer disables). --corpus-minify=dir
+// re-reduces a stored corpus offline against its coverage signatures.
+#include <unistd.h>
+
+#include <algorithm>
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -23,8 +39,13 @@
 #include <string>
 #include <vector>
 
+#include "common/coverage.h"
 #include "corpus/codec.h"
+#include "fleet/coordinator.h"
+#include "fleet/curve.h"
+#include "fleet/worker.h"
 #include "fuzz/campaign.h"
+#include "fuzz/minify.h"
 #include "fuzz/oracles.h"
 #include "fuzz/reducer.h"
 #include "runtime/sharded_campaign.h"
@@ -47,7 +68,24 @@ struct Options {
   bool reduce = true;
   std::string corpus_dir;   // empty = corpus mode off
   int mutate_pct = 50;
+  bool transfer = true;     // cross-dialect corpus transfer on merge
   std::string replay_file;  // non-empty = replay mode, no campaign
+  std::string minify_dir;   // non-empty = offline corpus minification
+
+  // Fleet / duration mode.
+  size_t fleet = 0;         // worker processes; 0 = in-process campaign
+  double duration = 0.0;    // seconds; 0 = iteration budget
+  std::string curve_out;    // Figure-8 curve JSON path
+
+  // Hidden --worker mode (spawned by the fleet coordinator).
+  bool worker = false;
+  size_t worker_index = 0;
+  size_t worker_slice_offset = 0;
+  size_t worker_slice_count = 1;
+  size_t worker_total_slices = 1;
+  double worker_duration = 0.0;
+  double worker_cov_interval = 0.2;
+  std::string worker_completed;  // "dialect:slice:count,..."
 };
 
 void Usage() {
@@ -62,6 +100,13 @@ void Usage() {
       "  --geometries=N    geometries per database (default 10)\n"
       "  --jobs=N          worker threads / shards (default 1); the\n"
       "                    unique-bug set is identical for any N\n"
+      "  --fleet=P         spawn P worker processes x --jobs slices each;\n"
+      "                    pure-generate bug sets are identical for any\n"
+      "                    P x J factorization of the same P*J\n"
+      "  --duration=S      run for S seconds of wall time instead of an\n"
+      "                    iteration budget (Figure 8 mode)\n"
+      "  --curve-out=FILE  write the time-sampled site-coverage curve as\n"
+      "                    JSON (requires --duration)\n"
       "  --no-derivative   random-shape strategy only (RSG ablation)\n"
       "  --fixed           run against the fixed engine (expect 0 bugs)\n"
       "  --no-reduce       skip test-case reduction\n"
@@ -70,6 +115,10 @@ void Usage() {
       "                    the next run (deterministic for a fixed --jobs)\n"
       "  --mutate-pct=N    percent of iterations that mutate a corpus\n"
       "                    entry instead of generating (default 50)\n"
+      "  --no-transfer     skip cross-dialect corpus transfer on merge\n"
+      "  --corpus-minify=DIR  offline: re-reduce DIR's corpus entries\n"
+      "                    against their coverage signatures, drop\n"
+      "                    signature duplicates, rewrite DIR; no campaign\n"
       "  --replay=FILE     re-execute a saved reproducer/corpus entry and\n"
       "                    report which injected faults fire; no campaign\n");
 }
@@ -81,6 +130,20 @@ bool ParseFlag(const char* arg, const char* name, std::string* value) {
     return true;
   }
   return false;
+}
+
+bool ParseSize(const std::string& value, const char* flag, size_t max,
+               size_t* out) {
+  // Reject rather than clamp garbage: strtoul would wrap "-1" to 2^64-1
+  // and the runtime would try to allocate that many shards.
+  char* end = nullptr;
+  const unsigned long parsed = std::strtoul(value.c_str(), &end, 10);
+  if (value.empty() || *end != '\0' || value[0] == '-' || parsed > max) {
+    std::fprintf(stderr, "%s must be an integer in [0, %zu]\n", flag, max);
+    return false;
+  }
+  *out = parsed;
+  return true;
 }
 
 bool ParseArgs(int argc, char** argv, Options* opts) {
@@ -110,21 +173,31 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
     } else if (ParseFlag(argv[i], "--geometries", &value)) {
       opts->geometries = std::strtoul(value.c_str(), nullptr, 10);
     } else if (ParseFlag(argv[i], "--jobs", &value)) {
-      // Reject rather than clamp garbage: strtoul would wrap "-1" to
-      // 2^64-1 and the runtime would try to allocate that many shards.
+      if (!ParseSize(value, "--jobs", 1024, &opts->jobs)) return false;
+      if (opts->jobs == 0) opts->jobs = 1;
+    } else if (ParseFlag(argv[i], "--fleet", &value)) {
+      if (!ParseSize(value, "--fleet", 256, &opts->fleet)) return false;
+    } else if (ParseFlag(argv[i], "--duration", &value)) {
       char* end = nullptr;
-      const unsigned long jobs = std::strtoul(value.c_str(), &end, 10);
-      if (value.empty() || *end != '\0' || value[0] == '-' || jobs > 1024) {
-        std::fprintf(stderr, "--jobs must be an integer in [1, 1024]\n");
+      opts->duration = std::strtod(value.c_str(), &end);
+      if (value.empty() || *end != '\0' || opts->duration <= 0) {
+        std::fprintf(stderr, "--duration must be a positive number\n");
         return false;
       }
-      opts->jobs = jobs == 0 ? 1 : jobs;
+    } else if (ParseFlag(argv[i], "--curve-out", &value)) {
+      opts->curve_out = value;
     } else if (ParseFlag(argv[i], "--corpus", &value)) {
       if (value.empty()) {
         std::fprintf(stderr, "--corpus needs a directory\n");
         return false;
       }
       opts->corpus_dir = value;
+    } else if (ParseFlag(argv[i], "--corpus-minify", &value)) {
+      if (value.empty()) {
+        std::fprintf(stderr, "--corpus-minify needs a directory\n");
+        return false;
+      }
+      opts->minify_dir = value;
     } else if (ParseFlag(argv[i], "--mutate-pct", &value)) {
       char* end = nullptr;
       const long pct = std::strtol(value.c_str(), &end, 10);
@@ -145,6 +218,35 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
       opts->enable_faults = false;
     } else if (std::strcmp(argv[i], "--no-reduce") == 0) {
       opts->reduce = false;
+    } else if (std::strcmp(argv[i], "--no-transfer") == 0) {
+      opts->transfer = false;
+    } else if (std::strcmp(argv[i], "--worker") == 0) {
+      opts->worker = true;
+    } else if (ParseFlag(argv[i], "--worker-index", &value)) {
+      if (!ParseSize(value, "--worker-index", 1 << 20, &opts->worker_index)) {
+        return false;
+      }
+    } else if (ParseFlag(argv[i], "--worker-slice-offset", &value)) {
+      if (!ParseSize(value, "--worker-slice-offset", 1 << 20,
+                     &opts->worker_slice_offset)) {
+        return false;
+      }
+    } else if (ParseFlag(argv[i], "--worker-slice-count", &value)) {
+      if (!ParseSize(value, "--worker-slice-count", 1 << 20,
+                     &opts->worker_slice_count)) {
+        return false;
+      }
+    } else if (ParseFlag(argv[i], "--worker-total-slices", &value)) {
+      if (!ParseSize(value, "--worker-total-slices", 1 << 20,
+                     &opts->worker_total_slices)) {
+        return false;
+      }
+    } else if (ParseFlag(argv[i], "--worker-duration", &value)) {
+      opts->worker_duration = std::strtod(value.c_str(), nullptr);
+    } else if (ParseFlag(argv[i], "--worker-cov-interval", &value)) {
+      opts->worker_cov_interval = std::strtod(value.c_str(), nullptr);
+    } else if (ParseFlag(argv[i], "--worker-completed", &value)) {
+      opts->worker_completed = value;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       Usage();
       std::exit(0);
@@ -154,6 +256,54 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
     }
   }
   return true;
+}
+
+fuzz::CampaignConfig BaseConfig(const Options& opts) {
+  fuzz::CampaignConfig base;
+  base.dialect = opts.dialect;
+  base.seed = opts.seed;
+  base.iterations = opts.iterations;
+  base.queries_per_iteration = opts.queries;
+  base.generator.num_geometries = opts.geometries;
+  base.generator.derivative_enabled = opts.derivative;
+  base.enable_faults = opts.enable_faults;
+  if (!opts.corpus_dir.empty()) {
+    base.corpus.enabled = true;
+    base.corpus.mutate_pct = opts.mutate_pct;
+  }
+  return base;
+}
+
+// --- Hidden worker mode -----------------------------------------------------
+
+int RunWorkerMode(const Options& opts) {
+  fleet::WorkerOptions worker;
+  worker.base = BaseConfig(opts);
+  if (opts.all_dialects) {
+    worker.dialects = runtime::ShardedCampaign::AllDialects();
+  }
+  worker.index = opts.worker_index;
+  worker.slice_offset = opts.worker_slice_offset;
+  worker.slice_count = std::max<size_t>(1, opts.worker_slice_count);
+  worker.total_slices = std::max<size_t>(1, opts.worker_total_slices);
+  worker.duration_seconds = opts.worker_duration;
+  worker.corpus_dir = opts.corpus_dir;
+  worker.cov_interval_seconds = opts.worker_cov_interval;
+  // Resume state: "dialect:slice:completed,..." from the coordinator.
+  const std::string& spec = opts.worker_completed;
+  size_t start = 0;
+  while (start < spec.size()) {
+    size_t end = spec.find(',', start);
+    if (end == std::string::npos) end = spec.size();
+    uint64_t dialect = 0, slice = 0, count = 0;
+    if (std::sscanf(spec.substr(start, end - start).c_str(),
+                    "%" SCNu64 ":%" SCNu64 ":%" SCNu64, &dialect, &slice,
+                    &count) == 3) {
+      worker.completed[{dialect, slice}] = count;
+    }
+    start = end + 1;
+  }
+  return fleet::RunWorker(worker, STDIN_FILENO, STDOUT_FILENO);
 }
 
 // --- Replay mode ------------------------------------------------------------
@@ -218,6 +368,28 @@ int RunReplay(const Options& opts) {
   return reproduced ? 0 : 1;
 }
 
+// --- Corpus minification mode -----------------------------------------------
+
+int RunMinify(const Options& opts) {
+  corpus::CorpusOptions options;
+  options.enabled = true;
+  options.mutate_pct = opts.mutate_pct;
+  auto stats =
+      fuzz::MinifyCorpusDir(opts.minify_dir, options, opts.enable_faults);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "corpus-minify: %s\n",
+                 stats.status().ToString().c_str());
+    return 2;
+  }
+  const fuzz::MinifyStats& s = stats.value();
+  std::printf("corpus-minify: %s: %zu loaded -> %zu kept "
+              "(%zu signature duplicates dropped, %zu rows removed, "
+              "%zu replays)\n",
+              opts.minify_dir.c_str(), s.loaded, s.kept,
+              s.duplicates_dropped, s.rows_removed, s.replays);
+  return 0;
+}
+
 /// Writes one unique bug as a reproducer record into the corpus dir.
 void WriteReproducer(const std::string& dir, const faults::FaultInfo& info,
                      const fuzz::Discrepancy& d, uint64_t master_seed) {
@@ -246,6 +418,17 @@ void WriteReproducer(const std::string& dir, const faults::FaultInfo& info,
   if (!out) std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
 }
 
+/// Resolves the running binary for fleet self-exec.
+std::string SelfExePath(const char* argv0) {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return buf;
+  }
+  return argv0;  // best effort: relative paths still exec from the cwd
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -254,74 +437,167 @@ int main(int argc, char** argv) {
     Usage();
     return 2;
   }
+  // Worker mode first: stdout is the wire protocol, so no banner.
+  if (opts.worker) return RunWorkerMode(opts);
   if (!opts.replay_file.empty()) return RunReplay(opts);
-
-  runtime::ShardedCampaignConfig config;
-  config.base.dialect = opts.dialect;
-  config.base.seed = opts.seed;
-  config.base.iterations = opts.iterations;
-  config.base.queries_per_iteration = opts.queries;
-  config.base.generator.num_geometries = opts.geometries;
-  config.base.generator.derivative_enabled = opts.derivative;
-  config.base.enable_faults = opts.enable_faults;
-  config.jobs = opts.jobs;
-  if (opts.all_dialects) {
-    config.dialects = runtime::ShardedCampaign::AllDialects();
-  }
-  size_t corpus_loaded = 0;
-  if (!opts.corpus_dir.empty()) {
-    config.base.corpus.enabled = true;
-    config.base.corpus.mutate_pct = opts.mutate_pct;
-    // Reload what previous runs persisted; every shard seeds from it.
-    corpus::Corpus loader(config.base.corpus);
-    auto loaded = loader.LoadFrom(opts.corpus_dir);
-    if (!loaded.ok()) {
-      std::fprintf(stderr, "corpus: %s\n",
-                   loaded.status().ToString().c_str());
-      return 2;
-    }
-    corpus_loaded = loaded.value();
-    config.seed_corpus = loader.Entries();
+  if (!opts.minify_dir.empty()) return RunMinify(opts);
+  if (!opts.curve_out.empty() && opts.duration <= 0) {
+    std::fprintf(stderr, "--curve-out requires --duration\n");
+    return 2;
   }
 
-  std::printf("spatter: %s engine (%s), seed %llu, %zu x %zu checks, "
-              "N=%zu, generator=%s, jobs=%zu\n",
+  const size_t fleet_processes = opts.fleet;
+  std::printf("spatter: %s engine (%s), seed %llu, %s, N=%zu, "
+              "generator=%s, jobs=%zu%s\n",
               opts.all_dialects ? "fleet (all dialects)"
                                 : engine::DialectName(opts.dialect),
               opts.enable_faults ? "faulty" : "fixed",
-              static_cast<unsigned long long>(opts.seed), opts.iterations,
-              opts.queries, opts.geometries,
-              opts.derivative ? "geometry-aware" : "random-shape",
-              opts.jobs);
+              static_cast<unsigned long long>(opts.seed),
+              opts.duration > 0
+                  ? (std::to_string(opts.duration) + "s duration budget")
+                        .c_str()
+                  : (std::to_string(opts.iterations) + " x " +
+                     std::to_string(opts.queries) + " checks")
+                        .c_str(),
+              opts.geometries,
+              opts.derivative ? "geometry-aware" : "random-shape", opts.jobs,
+              fleet_processes > 0 ? (", fleet=" +
+                                     std::to_string(fleet_processes))
+                                        .c_str()
+                                  : "");
   if (!opts.corpus_dir.empty()) {
-    std::printf("corpus: %s (%zu entries reloaded, mutate %d%%)\n",
-                opts.corpus_dir.c_str(), corpus_loaded, opts.mutate_pct);
+    std::printf("corpus: %s (mutate %d%%)\n", opts.corpus_dir.c_str(),
+                opts.mutate_pct);
   }
 
-  runtime::ShardedCampaign campaign(config);
-  const fuzz::CampaignResult result = campaign.Run();
+  fuzz::CampaignResult result;
+  corpus::Corpus* merged_corpus = nullptr;
+  size_t total_shards = 0;
+  fleet::CurveInfo curve_info;
+  curve_info.label = opts.all_dialects ? "all"
+                                       : engine::DialectName(opts.dialect);
+  curve_info.seed = opts.seed;
+  curve_info.fleet = std::max<size_t>(1, fleet_processes);
+  curve_info.jobs = opts.jobs;
+  curve_info.duration_seconds = opts.duration;
 
-  if (!opts.corpus_dir.empty() && campaign.merged_corpus() != nullptr) {
-    corpus::Corpus* merged = campaign.merged_corpus();
-    const Status st = merged->SaveTo(opts.corpus_dir);
+  std::unique_ptr<fleet::FleetCoordinator> coordinator;
+  std::unique_ptr<runtime::ShardedCampaign> campaign;
+  fleet::CurveRecorder local_curve;
+
+  if (fleet_processes > 0) {
+    // Process tier: self-exec workers, supervise over pipes.
+    fleet::FleetConfig config;
+    config.base = BaseConfig(opts);
+    config.processes = fleet_processes;
+    config.jobs = opts.jobs;
+    if (opts.all_dialects) {
+      config.dialects = runtime::ShardedCampaign::AllDialects();
+    }
+    config.duration_seconds = opts.duration;
+    config.corpus_dir = opts.corpus_dir;
+    // In-flight crash reproducers are only reconstructable in
+    // pure-generate mode, which is exactly when there is no corpus dir —
+    // so give them a home of their own (created only if a worker dies).
+    config.reproducer_dir =
+        opts.corpus_dir.empty() ? "spatter-crashes" : opts.corpus_dir;
+    config.exe_path = SelfExePath(argv[0]);
+    config.cross_dialect_transfer = opts.transfer;
+    coordinator = std::make_unique<fleet::FleetCoordinator>(config);
+    result = coordinator->Run();
+    merged_corpus = coordinator->merged_corpus();
+    total_shards = fleet_processes * opts.jobs *
+                   (opts.all_dialects ? 4 : 1);
+    if (!opts.curve_out.empty()) {
+      const Status st =
+          coordinator->curve().WriteJson(opts.curve_out, curve_info);
+      if (!st.ok()) {
+        std::fprintf(stderr, "curve: %s\n", st.ToString().c_str());
+      }
+    }
+    if (coordinator->respawns() > 0) {
+      std::printf("fleet: %zu worker respawn(s), %zu in-flight "
+                  "reproducer(s) persisted\n",
+                  coordinator->respawns(),
+                  coordinator->crash_reproducers_persisted());
+    }
+  } else {
+    runtime::ShardedCampaignConfig config;
+    config.base = BaseConfig(opts);
+    config.jobs = opts.jobs;
+    config.cross_dialect_transfer = opts.transfer;
+    if (opts.all_dialects) {
+      config.dialects = runtime::ShardedCampaign::AllDialects();
+    }
+    if (config.base.corpus.enabled) {
+      // Reload what previous runs persisted; every shard seeds from it.
+      corpus::Corpus loader(config.base.corpus);
+      auto loaded = loader.LoadFrom(opts.corpus_dir);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "corpus: %s\n",
+                     loaded.status().ToString().c_str());
+        return 2;
+      }
+      std::printf("corpus: %zu entries reloaded\n", loaded.value());
+      config.seed_corpus = loader.Entries();
+    }
+    campaign = std::make_unique<runtime::ShardedCampaign>(config);
+    if (opts.duration > 0) {
+      auto& registry = CoverageRegistry::Instance();
+      result = campaign->RunForDuration(
+          opts.duration,
+          [&local_curve, &registry](double elapsed,
+                                    const fuzz::CampaignResult& r) {
+            local_curve.Add(elapsed, registry.CoveredSiteCount(),
+                            r.unique_bugs.size(), r.iterations_run);
+          });
+    } else {
+      result = campaign->Run();
+    }
+    merged_corpus = campaign->merged_corpus();
+    total_shards =
+        campaign->shards_per_dialect() * campaign->dialects().size();
+    if (!opts.curve_out.empty()) {
+      const Status st = local_curve.WriteJson(opts.curve_out, curve_info);
+      if (!st.ok()) {
+        std::fprintf(stderr, "curve: %s\n", st.ToString().c_str());
+      }
+    }
+  }
+
+  if (!opts.corpus_dir.empty() && merged_corpus != nullptr) {
+    const Status st = merged_corpus->SaveTo(opts.corpus_dir);
     if (!st.ok()) {
       std::fprintf(stderr, "corpus: %s\n", st.ToString().c_str());
     }
     std::printf("corpus: %zu entries covering %zu sites persisted to %s\n",
-                merged->size(), merged->covered_sites(),
+                merged_corpus->size(), merged_corpus->covered_sites(),
                 opts.corpus_dir.c_str());
+  }
+  if (!opts.curve_out.empty()) {
+    std::printf("curve: written to %s\n", opts.curve_out.c_str());
   }
 
   std::printf("\n%zu discrepancies -> %zu unique bugs in %.2fs wall "
               "(%.2fs across %zu shard(s); %.2fs inside the engine, %.0f%% "
               "of shard time)\n",
               result.discrepancies.size(), result.unique_bugs.size(),
-              result.total_seconds, result.busy_seconds,
-              campaign.shards_per_dialect() * campaign.dialects().size(),
+              result.total_seconds, result.busy_seconds, total_shards,
               result.engine_seconds,
               result.busy_seconds > 0
                   ? 100.0 * result.engine_seconds / result.busy_seconds
                   : 0.0);
+
+  // Machine-readable bug-set line: CI compares it across --fleet/--jobs
+  // factorizations to hold the determinism contract.
+  {
+    std::string bug_set;
+    for (const auto& [id, first] : result.unique_bugs) {
+      if (!bug_set.empty()) bug_set += ",";
+      bug_set += faults::GetFaultInfo(id).name;
+    }
+    std::printf("bug-set: %s\n", bug_set.empty() ? "(none)" : bug_set.c_str());
+  }
 
   // Reduction is embarrassingly parallel — each bug gets its own fresh
   // engine of the dialect that found it (in fleet/sharded mode the

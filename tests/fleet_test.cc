@@ -1,0 +1,704 @@
+// Fleet orchestration tests: the wire protocol (round-trips, corrupt
+// frame rejection, codec-through-a-pipe), the process-tier determinism
+// contract ((processes x jobs) factorization invariance in pure-generate
+// mode), crash isolation (a dead worker loses no reported bugs, its
+// in-flight case is persisted and its slice resumed), and the satellite
+// subsystems (cross-dialect transfer, offline corpus minification).
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/coverage.h"
+#include "corpus/codec.h"
+#include "fleet/coordinator.h"
+#include "fleet/curve.h"
+#include "fleet/wire.h"
+#include "fleet/worker.h"
+#include "fuzz/campaign.h"
+#include "fuzz/minify.h"
+#include "fuzz/transfer.h"
+#include "runtime/sharded_campaign.h"
+
+namespace spatter::fleet {
+namespace {
+
+namespace fs = std::filesystem;
+
+using engine::Dialect;
+using fuzz::Campaign;
+using fuzz::CampaignConfig;
+using fuzz::CampaignResult;
+
+std::set<faults::FaultId> BugKeys(const CampaignResult& r) {
+  std::set<faults::FaultId> keys;
+  for (const auto& [id, _] : r.unique_bugs) keys.insert(id);
+  return keys;
+}
+
+CampaignConfig SmallConfig(uint64_t seed, size_t iterations) {
+  CampaignConfig config;
+  config.dialect = Dialect::kPostgis;
+  config.seed = seed;
+  config.iterations = iterations;
+  config.queries_per_iteration = 25;
+  config.generator.num_geometries = 8;
+  return config;
+}
+
+corpus::TestCaseRecord SampleRecord() {
+  corpus::TestCaseRecord rec;
+  rec.kind = corpus::RecordKind::kCorpusEntry;
+  rec.dialect = Dialect::kMysql;
+  rec.seed = 0xfeedULL;
+  rec.iteration = 7;
+  rec.sdb.tables.push_back(
+      {"t0", {"POINT(1 2)", "LINESTRING(0 0, 3 4)"}});
+  rec.sdb.tables.push_back({"t1", {"POLYGON((0 0, 4 0, 4 4, 0 4, 0 0))"}});
+  rec.has_query = true;
+  rec.query.table1 = "t0";
+  rec.query.table2 = "t1";
+  rec.query.predicate = "ST_Intersects";
+  rec.sites = {0x1111, 0x2222, 0x3333};
+  return rec;
+}
+
+std::string TempDir(const char* tag) {
+  std::string dir = testing::TempDir() + "spatter_fleet_" + tag;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+/// Writes one whole line to a raw fd (scripted worker bodies).
+void WriteLine(int fd, const std::string& line) {
+  size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n = ::write(fd, line.data() + off, line.size() - off);
+    if (n <= 0) return;
+    off += static_cast<size_t>(n);
+  }
+}
+
+// --- Wire protocol ----------------------------------------------------------
+
+TEST(Wire, HexRoundTripAndRejection) {
+  const std::vector<uint8_t> bytes = {0x00, 0x7f, 0xab, 0xff};
+  EXPECT_EQ(HexEncode(bytes), "007fabff");
+  auto decoded = HexDecode("007fabff");
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), bytes);
+  EXPECT_FALSE(HexDecode("abc").ok()) << "odd length";
+  EXPECT_FALSE(HexDecode("zz").ok()) << "non-hex";
+  EXPECT_FALSE(HexDecode("AB").ok()) << "uppercase is not emitted";
+}
+
+TEST(Wire, EveryFrameTypeRoundTrips) {
+  Frame hello;
+  hello.type = FrameType::kHello;
+  hello.worker = 3;
+  hello.pid = 4242;
+  hello.slice_offset = 6;
+  hello.slice_count = 2;
+  hello.total_slices = 8;
+
+  Frame inflight;
+  inflight.type = FrameType::kInflight;
+  inflight.dialect = 2;
+  inflight.slice = 5;
+  inflight.iteration = 1234567;
+
+  Frame slice_done;
+  slice_done.type = FrameType::kSliceDone;
+  slice_done.dialect = 1;
+  slice_done.slice = 6;
+
+  Frame cov;
+  cov.type = FrameType::kCov;
+  cov.elapsed = 1.25;
+  cov.iterations = 42;
+  cov.queries = 4200;
+  cov.site_keys = {0xdeadbeefULL, 0x1ULL, 0xffffffffffffffffULL};
+
+  Frame entry;
+  entry.type = FrameType::kEntry;
+  entry.payload = {1, 2, 3, 254};
+
+  Frame bug;
+  bug.type = FrameType::kBug;
+  bug.query_index = 17;
+  bug.is_crash = true;
+  bug.canonical_only = false;
+  bug.elapsed = 0.5;
+  bug.detail = "count 3 vs 4, with spaces\tand tabs";
+  bug.payload = {9, 9, 9};
+
+  Frame done;
+  done.type = FrameType::kDone;
+  done.iterations = 10;
+  done.queries = 1000;
+  done.checks = 1000;
+  done.busy_seconds = 2.5;
+  done.engine_seconds = 1.25;
+  done.statements = 7;
+  done.pairs = 8;
+  done.index_scans = 9;
+  done.prepared = 10;
+
+  Frame stop;
+  stop.type = FrameType::kStop;
+
+  for (const Frame& frame :
+       {hello, inflight, slice_done, cov, entry, bug, done, stop}) {
+    const std::string line = EncodeFrame(frame);
+    EXPECT_EQ(line.back(), '\n');
+    EXPECT_EQ(line.find('\n'), line.size() - 1) << "one line per frame";
+    auto decoded = DecodeFrame(line);
+    ASSERT_TRUE(decoded.ok()) << line;
+    const Frame& out = decoded.value();
+    EXPECT_EQ(out.type, frame.type);
+    EXPECT_EQ(out.worker, frame.worker);
+    EXPECT_EQ(out.slice_offset, frame.slice_offset);
+    EXPECT_EQ(out.slice_count, frame.slice_count);
+    EXPECT_EQ(out.total_slices, frame.total_slices);
+    EXPECT_EQ(out.dialect, frame.dialect);
+    EXPECT_EQ(out.slice, frame.slice);
+    EXPECT_EQ(out.iteration, frame.iteration);
+    EXPECT_NEAR(out.elapsed, frame.elapsed, 1e-6);
+    EXPECT_EQ(out.iterations, frame.iterations);
+    EXPECT_EQ(out.queries, frame.queries);
+    EXPECT_EQ(out.checks, frame.checks);
+    EXPECT_EQ(out.site_keys, frame.site_keys);
+    EXPECT_EQ(out.payload, frame.payload);
+    EXPECT_EQ(out.query_index, frame.query_index);
+    EXPECT_EQ(out.is_crash, frame.is_crash);
+    EXPECT_EQ(out.canonical_only, frame.canonical_only);
+    EXPECT_EQ(out.detail, frame.detail);
+    EXPECT_NEAR(out.busy_seconds, frame.busy_seconds, 1e-6);
+    EXPECT_NEAR(out.engine_seconds, frame.engine_seconds, 1e-6);
+    EXPECT_EQ(out.statements, frame.statements);
+    EXPECT_EQ(out.pairs, frame.pairs);
+    EXPECT_EQ(out.index_scans, frame.index_scans);
+    EXPECT_EQ(out.prepared, frame.prepared);
+  }
+}
+
+TEST(Wire, RejectsCorruptFrames) {
+  // Every rejection is a Status, never a partial frame or a crash.
+  const char* corrupt[] = {
+      "",                                   // empty line
+      "SPTW1",                              // magic only
+      "BADMAGIC HELLO 1 2 3 4 5",           // wrong magic
+      "SPTW1 NOSUCH 1 2",                   // unknown type
+      "SPTW1 HELLO 1 2 3 4",                // missing field
+      "SPTW1 HELLO 1 2 3 4 5 6",            // extra field
+      "SPTW1 HELLO 1 2 x 4 5",              // non-numeric
+      "SPTW1 HELLO 1 2  4 5",               // torn double space
+      "SPTW1 INFLIGHT 9 0 0",               // dialect out of range
+      "SPTW1 SLICEDONE 0",                  // missing slice
+      "SPTW1 SLICEDONE 9 0",                // dialect out of range
+      "SPTW1 COV 1.0 2 3 xyz",              // malformed key list
+      "SPTW1 COV 1.0 2 3 12345",            // key not 16 hex digits
+      "SPTW1 ENTRY 0g",                     // bad hex payload
+      "SPTW1 ENTRY abc",                    // odd hex payload
+      "SPTW1 BUG 1 2 0 0.5 aa bb",          // is_crash not 0/1
+      "SPTW1 BUG 1 0 0 0.5 aa",             // missing payload
+      "SPTW1 DONE 1 2 3 4.0 5.0 6 7 8",     // missing counter
+      "SPTW1 STOP 1",                       // STOP takes no fields
+      "SPTW1 HELLO 99999999999999999999999999 2 3 4 5",  // overflow
+  };
+  for (const char* line : corrupt) {
+    EXPECT_FALSE(DecodeFrame(line).ok()) << "should reject: " << line;
+  }
+}
+
+TEST(Wire, TruncatedFramePrefixesRejected) {
+  // A torn write (worker killed mid-line) is some strict prefix of a
+  // valid frame: every prefix must be rejected, not misparsed.
+  Frame cov;
+  cov.type = FrameType::kCov;
+  cov.elapsed = 3.25;
+  cov.iterations = 17;
+  cov.queries = 1700;
+  cov.site_keys = {0xabcdef0123456789ULL};
+  std::string line = EncodeFrame(cov);
+  line.pop_back();  // drop '\n'
+  for (size_t len = 0; len < line.size(); ++len) {
+    auto result = DecodeFrame(line.substr(0, len));
+    EXPECT_FALSE(result.ok()) << "prefix length " << len;
+  }
+  EXPECT_TRUE(DecodeFrame(line).ok());
+}
+
+TEST(Wire, CodecRoundTripsThroughRealPipe) {
+  // ENTRY frames carry TestCaseCodec records; the bytes must survive the
+  // pipe + hex framing byte-identically.
+  const corpus::TestCaseRecord rec = SampleRecord();
+  auto encoded = corpus::TestCaseCodec::Encode(rec);
+  ASSERT_TRUE(encoded.ok());
+
+  Frame entry;
+  entry.type = FrameType::kEntry;
+  entry.payload = encoded.value();
+
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  const std::string line = EncodeFrame(entry);
+  WriteLine(fds[1], line);
+  ::close(fds[1]);
+  std::string received;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fds[0], buf, sizeof(buf))) > 0) {
+    received.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fds[0]);
+
+  auto frame = DecodeFrame(received);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame.value().payload, encoded.value());
+  auto decoded = corpus::TestCaseCodec::Decode(frame.value().payload);
+  ASSERT_TRUE(decoded.ok());
+  auto reencoded = corpus::TestCaseCodec::Encode(decoded.value());
+  ASSERT_TRUE(reencoded.ok());
+  EXPECT_EQ(reencoded.value(), encoded.value());
+}
+
+TEST(Wire, BugFrameCarriesDiscrepancy) {
+  fuzz::Discrepancy d;
+  d.iteration = 11;
+  d.query_index = 4;
+  d.is_crash = false;
+  d.oracle = fuzz::OracleKind::kCanonicalOnly;
+  d.dialect = Dialect::kMysql;
+  d.query.table1 = "t0";
+  d.query.table2 = "t1";
+  d.query.predicate = "ST_Overlaps";
+  d.sdb1.tables.push_back({"t0", {"POINT(5 6)"}});
+  d.sdb1.tables.push_back({"t1", {"POINT(6 5)"}});
+  d.detail = "count 1 vs 0";
+  d.fault_hits = {faults::FaultId::kMysqlOverlapsSwappedAxes};
+  d.elapsed_seconds = 1.5;
+
+  auto frame = MakeBugFrame(d, /*master_seed=*/42);
+  ASSERT_TRUE(frame.ok());
+  auto line_trip = DecodeFrame(EncodeFrame(frame.value()));
+  ASSERT_TRUE(line_trip.ok());
+  auto out = BugFrameToDiscrepancy(line_trip.value());
+  ASSERT_TRUE(out.ok());
+  const fuzz::Discrepancy& got = out.value();
+  EXPECT_EQ(got.iteration, d.iteration);
+  EXPECT_EQ(got.query_index, d.query_index);
+  EXPECT_EQ(got.is_crash, d.is_crash);
+  EXPECT_EQ(got.oracle, d.oracle);
+  EXPECT_EQ(got.dialect, d.dialect);
+  EXPECT_EQ(got.detail, d.detail);
+  EXPECT_EQ(got.fault_hits, d.fault_hits);
+  EXPECT_EQ(got.query.ToSql(), d.query.ToSql());
+  EXPECT_EQ(got.sdb1.ToSql(), d.sdb1.ToSql());
+  EXPECT_NEAR(got.elapsed_seconds, d.elapsed_seconds, 1e-6);
+}
+
+// --- Curve recorder ---------------------------------------------------------
+
+TEST(CurveRecorder, ThrottlesAndSerializes) {
+  CurveRecorder curve(/*min_interval_seconds=*/1.0);
+  curve.Add(0.0, 10, 0, 1);
+  curve.Add(0.1, 10, 0, 2);  // unchanged counters within interval: dropped
+  curve.Add(0.2, 12, 0, 3);  // coverage moved: kept
+  curve.Add(5.0, 12, 0, 9);  // interval passed: kept
+  ASSERT_EQ(curve.samples().size(), 3u);
+  EXPECT_EQ(curve.samples()[1].covered_sites, 12u);
+
+  CurveInfo info;
+  info.label = "test";
+  info.seed = 7;
+  info.fleet = 2;
+  info.jobs = 3;
+  info.duration_seconds = 5.0;
+  const std::string json = curve.ToJson(info);
+  EXPECT_NE(json.find("\"schema\": \"spatter-fig8-curve-v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"fleet\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"sites\": 12"), std::string::npos);
+}
+
+// --- In-flight reconstruction ----------------------------------------------
+
+TEST(GenerateDatabaseFor, MatchesCampaignIteration) {
+  // The coordinator reconstructs a dead worker's in-flight database from
+  // (seed, iteration); that is only sound if the helper's draw order
+  // matches RunIteration exactly. Pin them together via a discrepancy's
+  // recorded database.
+  CampaignConfig config = SmallConfig(/*seed=*/555, /*iterations=*/6);
+  Campaign campaign(config);
+  const CampaignResult result = campaign.Run();
+  ASSERT_FALSE(result.discrepancies.empty());
+  for (const fuzz::Discrepancy& d : result.discrepancies) {
+    const fuzz::DatabaseSpec rebuilt =
+        Campaign::GenerateDatabaseFor(config, d.iteration);
+    EXPECT_EQ(rebuilt.ToSql(), d.sdb1.ToSql())
+        << "iteration " << d.iteration;
+  }
+}
+
+// --- Fleet determinism ------------------------------------------------------
+
+FleetConfig FleetBatchConfig(size_t processes, size_t jobs) {
+  FleetConfig config;
+  config.base = SmallConfig(/*seed=*/321, /*iterations=*/12);
+  config.processes = processes;
+  config.jobs = jobs;
+  config.max_respawns = 2;
+  return config;
+}
+
+TEST(FleetCoordinator, FactorizationInvariantBugSets) {
+  // --fleet=P --jobs=J must reproduce the same unique-bug FaultId set for
+  // any P x J factorization of the same total slice count (pure-generate
+  // mode), and match the in-process sharded runtime over the same
+  // universe.
+  runtime::ShardedCampaignConfig sharded;
+  sharded.base = SmallConfig(/*seed=*/321, /*iterations=*/12);
+  sharded.jobs = 4;
+  runtime::ShardedCampaign reference(sharded);
+  const std::set<faults::FaultId> expected = BugKeys(reference.Run());
+  ASSERT_FALSE(expected.empty());
+
+  for (const auto& [p, j] :
+       std::vector<std::pair<size_t, size_t>>{{1, 4}, {2, 2}, {4, 1}}) {
+    FleetCoordinator coordinator(FleetBatchConfig(p, j));
+    const CampaignResult result = coordinator.Run();
+    EXPECT_EQ(BugKeys(result), expected) << "fleet=" << p << " jobs=" << j;
+    EXPECT_EQ(result.iterations_run, 12u) << "fleet=" << p << " jobs=" << j;
+    EXPECT_EQ(coordinator.respawns(), 0u);
+    EXPECT_EQ(coordinator.protocol_errors(), 0u);
+    EXPECT_GT(coordinator.fleet_covered_sites(), 0u);
+    EXPECT_FALSE(coordinator.curve().samples().empty());
+  }
+}
+
+TEST(FleetCoordinator, SelfExecWorkerMatchesForkMode) {
+#ifndef SPATTER_BINARY_PATH
+  GTEST_SKIP() << "spatter binary path not configured";
+#else
+  if (!fs::exists(SPATTER_BINARY_PATH)) {
+    GTEST_SKIP() << "spatter binary not built";
+  }
+  FleetConfig fork_mode = FleetBatchConfig(2, 1);
+  FleetCoordinator fork_coordinator(fork_mode);
+  const std::set<faults::FaultId> expected =
+      BugKeys(fork_coordinator.Run());
+
+  FleetConfig exec_mode = FleetBatchConfig(2, 1);
+  exec_mode.exe_path = SPATTER_BINARY_PATH;
+  FleetCoordinator exec_coordinator(exec_mode);
+  const CampaignResult result = exec_coordinator.Run();
+  EXPECT_EQ(BugKeys(result), expected);
+  EXPECT_EQ(exec_coordinator.respawns(), 0u);
+  EXPECT_EQ(exec_coordinator.protocol_errors(), 0u);
+#endif
+}
+
+// --- Crash isolation --------------------------------------------------------
+
+TEST(FleetCoordinator, ScriptedCrashPersistsInflightAndResumes) {
+  const std::string repro_dir = TempDir("inflight");
+  FleetConfig config;
+  config.base = SmallConfig(/*seed=*/11, /*iterations=*/3);
+  config.processes = 1;
+  config.jobs = 1;
+  config.reproducer_dir = repro_dir;
+  config.max_respawns = 2;
+
+  // First incarnation: report one bug, announce iteration 0 in flight,
+  // die without DONE. The respawn (recognizable by its non-empty resume
+  // state) must start at iteration 1 — the crasher is skipped, not
+  // re-run forever — and finish cleanly.
+  config.worker_body_for_test = [](const WorkerOptions& options, int in_fd,
+                                   int out_fd) {
+    (void)in_fd;
+    if (options.completed.empty()) {
+      Frame inflight;
+      inflight.type = FrameType::kInflight;
+      inflight.dialect = 0;
+      inflight.slice = 0;
+      inflight.iteration = 0;
+      WriteLine(out_fd, EncodeFrame(inflight));
+      fuzz::Discrepancy d;
+      d.iteration = 0;
+      d.query_index = 2;
+      d.dialect = Dialect::kPostgis;
+      d.query.table1 = "t0";
+      d.query.table2 = "t1";
+      d.query.predicate = "ST_Covers";
+      d.sdb1.tables.push_back({"t0", {"POINT(1 1)"}});
+      d.sdb1.tables.push_back({"t1", {"POINT(1 1)"}});
+      d.detail = "pre-crash bug";
+      d.fault_hits = {faults::FaultId::kPostgisCoversDisplacementPrecision};
+      auto bug = MakeBugFrame(d, options.base.seed);
+      if (bug.ok()) WriteLine(out_fd, EncodeFrame(bug.value()));
+      return 1;  // die abnormally, no DONE
+    }
+    // Respawned incarnation: resume state must skip the crashed
+    // iteration 0.
+    const auto it = options.completed.find({0, 0});
+    if (it == options.completed.end() || it->second != 1) return 3;
+    return RunWorker(options, in_fd, out_fd);
+  };
+
+  FleetCoordinator coordinator(config);
+  const CampaignResult result = coordinator.Run();
+
+  EXPECT_EQ(coordinator.respawns(), 1u);
+  // The pre-crash bug survived the worker's death.
+  EXPECT_TRUE(result.unique_bugs.count(
+      faults::FaultId::kPostgisCoversDisplacementPrecision));
+  // The respawned incarnation ran iterations 1 and 2 (0 was skipped).
+  EXPECT_EQ(result.iterations_run, 2u);
+
+  // The in-flight case was persisted and reconstructs iteration 0's
+  // database exactly.
+  EXPECT_EQ(coordinator.crash_reproducers_persisted(), 1u);
+  std::vector<fs::path> repros;
+  for (const auto& item : fs::directory_iterator(repro_dir)) {
+    repros.push_back(item.path());
+  }
+  ASSERT_EQ(repros.size(), 1u);
+  std::ifstream in(repros[0], std::ios::binary);
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  auto decoded = corpus::TestCaseCodec::Decode(bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().kind, corpus::RecordKind::kReproducer);
+  EXPECT_EQ(decoded.value().iteration, 0u);
+  EXPECT_EQ(
+      decoded.value().sdb.ToSql(),
+      Campaign::GenerateDatabaseFor(config.base, /*iteration=*/0).ToSql());
+  fs::remove_all(repro_dir);
+}
+
+TEST(FleetCoordinator, FinishedSlicesAreNotPersistedAsInflight) {
+  const std::string repro_dir = TempDir("slicedone");
+  FleetConfig config;
+  config.base = SmallConfig(/*seed=*/19, /*iterations=*/4);
+  config.processes = 1;
+  config.jobs = 2;
+  config.reproducer_dir = repro_dir;
+  config.max_respawns = 0;  // die once, no resume needed for this check
+  // Slice 0 announces iteration 0 and finishes cleanly (SLICEDONE);
+  // slice 1 announces iteration 1 and the worker dies inside it. Only
+  // slice 1's case is genuinely in flight.
+  config.worker_body_for_test = [](const WorkerOptions&, int, int out_fd) {
+    Frame inflight0;
+    inflight0.type = FrameType::kInflight;
+    inflight0.slice = 0;
+    inflight0.iteration = 0;
+    WriteLine(out_fd, EncodeFrame(inflight0));
+    Frame done0;
+    done0.type = FrameType::kSliceDone;
+    done0.slice = 0;
+    WriteLine(out_fd, EncodeFrame(done0));
+    Frame inflight1;
+    inflight1.type = FrameType::kInflight;
+    inflight1.slice = 1;
+    inflight1.iteration = 1;
+    WriteLine(out_fd, EncodeFrame(inflight1));
+    return 1;  // crash without DONE
+  };
+  FleetCoordinator coordinator(config);
+  coordinator.Run();
+  EXPECT_EQ(coordinator.crash_reproducers_persisted(), 1u);
+  std::vector<std::string> files;
+  for (const auto& item : fs::directory_iterator(repro_dir)) {
+    files.push_back(item.path().filename().string());
+  }
+  ASSERT_EQ(files.size(), 1u);
+  EXPECT_NE(files[0].find("i1.sptc"), std::string::npos)
+      << "persisted " << files[0] << ", want slice 1's iteration 1";
+  fs::remove_all(repro_dir);
+}
+
+TEST(FleetCoordinator, SkipsGarbageFramesWithoutDesync) {
+  FleetConfig config;
+  config.base = SmallConfig(/*seed=*/13, /*iterations=*/2);
+  config.processes = 1;
+  config.jobs = 1;
+  config.worker_body_for_test = [](const WorkerOptions& options, int in_fd,
+                                   int out_fd) {
+    (void)in_fd;
+    WriteLine(out_fd, "complete garbage, not a frame at all\n");
+    fuzz::Discrepancy d;
+    d.iteration = 1;
+    d.dialect = Dialect::kMysql;
+    d.query.table1 = "t0";
+    d.query.table2 = "t0";
+    d.query.predicate = "ST_Touches";
+    d.sdb1.tables.push_back({"t0", {"POINT(0 0)"}});
+    d.detail = "bug between garbage";
+    d.fault_hits = {faults::FaultId::kMysqlTouchesEmptyCollection};
+    auto bug = MakeBugFrame(d, options.base.seed);
+    if (bug.ok()) WriteLine(out_fd, EncodeFrame(bug.value()));
+    WriteLine(out_fd, "SPTW1 HELLO half a frame\n");
+    Frame done;
+    done.type = FrameType::kDone;
+    done.iterations = 2;
+    WriteLine(out_fd, EncodeFrame(done));
+    return 0;
+  };
+
+  FleetCoordinator coordinator(config);
+  const CampaignResult result = coordinator.Run();
+  EXPECT_EQ(coordinator.protocol_errors(), 2u);
+  EXPECT_EQ(coordinator.respawns(), 0u) << "clean DONE: no respawn";
+  EXPECT_TRUE(result.unique_bugs.count(
+      faults::FaultId::kMysqlTouchesEmptyCollection))
+      << "valid frames around garbage still land";
+  EXPECT_EQ(result.iterations_run, 2u);
+}
+
+TEST(FleetCoordinator, SigkilledWorkerLosesNoReportedBugs) {
+  // Baseline: the same fleet configuration, unharmed.
+  FleetConfig config;
+  config.base = SmallConfig(/*seed=*/77, /*iterations=*/24);
+  config.base.queries_per_iteration = 40;
+  config.processes = 2;
+  config.jobs = 2;
+  config.max_respawns = 4;
+  config.reproducer_dir = TempDir("sigkill");
+  config.cov_interval_seconds = 0.02;
+  FleetCoordinator baseline(config);
+  const std::set<faults::FaultId> full = BugKeys(baseline.Run());
+  ASSERT_FALSE(full.empty());
+
+  FleetCoordinator coordinator(config);
+  std::atomic<bool> killed{false};
+  std::thread killer([&coordinator, &killed] {
+    for (int spin = 0; spin < 2000; ++spin) {
+      const std::vector<int> pids = coordinator.live_worker_pids();
+      if (!pids.empty()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        const std::vector<int> again = coordinator.live_worker_pids();
+        if (!again.empty() && ::kill(again[0], SIGKILL) == 0) {
+          killed = true;
+        }
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  const CampaignResult result = coordinator.Run();
+  killer.join();
+
+  const std::set<faults::FaultId> got = BugKeys(result);
+  for (faults::FaultId id : got) {
+    EXPECT_TRUE(full.count(id))
+        << "killed run found a bug outside the universe";
+  }
+  if (killed && coordinator.respawns() > 0) {
+    // The kill landed mid-run: the slice was resumed, so at most the
+    // in-flight iterations (one per slice of the dead worker) are lost.
+    EXPECT_GE(result.iterations_run,
+              24u - config.jobs * coordinator.respawns());
+  } else {
+    // The worker finished before the kill: the run must be untouched.
+    EXPECT_EQ(got, full);
+  }
+  fs::remove_all(config.reproducer_dir);
+}
+
+// --- Cross-dialect transfer -------------------------------------------------
+
+TEST(CrossDialectTransfer, ReplaysEveryEntryAgainstOtherDialects) {
+  CampaignConfig config = SmallConfig(/*seed=*/99, /*iterations=*/18);
+  config.corpus.enabled = true;
+  Campaign campaign(config);
+  campaign.Run();
+  std::unique_ptr<corpus::Corpus> corpus = campaign.TakeCorpus();
+  ASSERT_TRUE(corpus != nullptr);
+  const size_t before = corpus->size();
+  ASSERT_GT(before, 0u);
+
+  const fuzz::TransferStats stats =
+      fuzz::CrossDialectCorpusTransfer(corpus.get(), /*enable_faults=*/true);
+  EXPECT_EQ(stats.entries, before);
+  EXPECT_EQ(stats.replays, before * 3) << "three other dialects per entry";
+  EXPECT_EQ(corpus->size(), before + stats.admitted);
+  // Transferred copies are retagged, never duplicated in place.
+  size_t postgis = 0;
+  for (const auto& entry : corpus->Entries()) {
+    if (entry.dialect == Dialect::kPostgis) postgis++;
+  }
+  EXPECT_EQ(postgis, before) << "original entries stay untouched";
+}
+
+// --- Offline minification ---------------------------------------------------
+
+TEST(Minify, ReducesAndDedupsOnDisk) {
+  const std::string dir = TempDir("minify");
+  CampaignConfig config = SmallConfig(/*seed=*/123, /*iterations=*/15);
+  config.corpus.enabled = true;
+  Campaign campaign(config);
+  campaign.Run();
+  std::unique_ptr<corpus::Corpus> corpus = campaign.TakeCorpus();
+  ASSERT_TRUE(corpus != nullptr);
+  ASSERT_GT(corpus->size(), 0u);
+  ASSERT_TRUE(corpus->SaveTo(dir).ok());
+  const size_t saved = corpus->size();
+
+  corpus::CorpusOptions options;
+  options.enabled = true;
+  auto stats = fuzz::MinifyCorpusDir(dir, options, /*enable_faults=*/true);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats.value().loaded, saved);
+  EXPECT_EQ(stats.value().kept + stats.value().duplicates_dropped, saved);
+  EXPECT_GT(stats.value().kept, 0u);
+  EXPECT_GT(stats.value().replays, saved) << "reduction actually replayed";
+
+  // The rewritten directory holds exactly the kept entries and still
+  // round-trips through the loader.
+  corpus::Corpus reloaded(options);
+  auto loaded = reloaded.LoadFrom(dir);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value(), stats.value().kept);
+  // Minification is idempotent once signatures are grounded: a second
+  // pass must not drop anything further.
+  auto again = fuzz::MinifyCorpusDir(dir, options, /*enable_faults=*/true);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().kept, stats.value().kept);
+  EXPECT_EQ(again.value().duplicates_dropped, 0u);
+  fs::remove_all(dir);
+}
+
+// --- Corpus admission log ---------------------------------------------------
+
+TEST(CorpusAdmissionLog, DrainsGenuineAdmitsOnly) {
+  corpus::CorpusOptions options;
+  options.enabled = true;
+  options.log_admissions = true;
+  corpus::Corpus corpus(options);
+
+  corpus::TestCaseRecord fresh = SampleRecord();
+  EXPECT_TRUE(corpus.Admit(fresh));
+
+  corpus::TestCaseRecord restored = SampleRecord();
+  restored.sites = {0x9999};  // new signature, but via Restore
+  EXPECT_TRUE(corpus.Restore(restored));
+
+  const auto drained = corpus.TakeNewlyAdmitted();
+  ASSERT_EQ(drained.size(), 1u) << "Restores are never echoed";
+  EXPECT_EQ(drained[0].sites, fresh.sites);
+  EXPECT_TRUE(corpus.TakeNewlyAdmitted().empty()) << "drain empties the log";
+}
+
+}  // namespace
+}  // namespace spatter::fleet
