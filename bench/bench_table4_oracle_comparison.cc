@@ -1,24 +1,30 @@
 // Reproduces Table 4: "Logic bugs detection comparison" — which of the
-// confirmed/fixed logic bugs each oracle can detect.
+// confirmed/fixed logic bugs each oracle can detect — rebuilt on the
+// campaign-wide oracle-suite API: every oracle column is a real
+// `fuzz::Campaign` whose CampaignConfig selects exactly one oracle, so
+// each baseline gets the full generator/scheduler machinery, the same
+// budget, and the same per-iteration seed universe as AEI.
 //
-// For every oracle we run the same generation budget and record which
-// injected logic faults its mismatches exercised:
-//   AEI      : affine-equivalent-input comparison on each faulty dialect,
-//   P. vs M. : differential PostGIS-sim vs MySQL-sim,
-//   P. vs D. : differential PostGIS-sim vs DuckDB-Spatial-sim (both embed
-//              the shared "GEOS" layer, so shared bugs stay invisible),
-//   Index    : index on/off differential,
-//   TLP      : ternary logic partitioning.
-// Differential mismatches with no fired fault are counted as false alarms
-// (the "expected discrepancies" of §5.2).
+// Columns:
+//   AEI      : the paper's oracle (suite {aei}),
+//   Diff X   : cross-family differential (postgis<->mysql, duckdb->mysql),
+//   Diff G   : the GEOS pair (postgis<->duckdb; both embed the shared
+//              "GEOS" layer, so shared bugs stay invisible — the paper's
+//              core motivation),
+//   Index    : index on/off differential (suite {index}),
+//   TLP      : ternary logic partitioning (suite {tlp}).
+// Differential mismatches with no fired confirmed-logic fault count as
+// false alarms (the "expected discrepancies" of §5.2).
+//
+// GATE (CI): AEI's unique confirmed-logic-bug yield must be >= every
+// baseline's at equal per-campaign budget; exits 1 otherwise.
 #include <cstdio>
 
 #include "bench_common.h"
-#include "fuzz/aei.h"
-#include "fuzz/generator.h"
-#include "fuzz/oracles.h"
+#include "fuzz/campaign.h"
+#include "fuzz/oracle_suite.h"
 
-using namespace spatter;        // NOLINT
+using namespace spatter;         // NOLINT
 using namespace spatter::bench;  // NOLINT
 using engine::Dialect;
 
@@ -37,83 +43,81 @@ struct OracleScore {
   size_t checks = 0;
 };
 
-void Record(OracleScore* score, const fuzz::OracleOutcome& outcome) {
-  score->checks++;
-  if (!outcome.applicable || !outcome.mismatch) return;
-  // Ground-truth attribution: every confirmed logic fault that fired while
-  // producing the mismatch (the analogue of the paper's fix-commit
-  // bisection on reduced cases). Mismatches with no fired fault are the
-  // baselines' false alarms — the "expected discrepancies" of §5.2 that
-  // make raw cross-SDBMS differential campaigns impractical.
-  std::vector<faults::FaultId> fired;
-  for (auto id : outcome.fault_hits) {
-    if (IsConfirmedLogic(id)) fired.push_back(id);
-  }
-  if (fired.empty()) {
-    score->false_alarms++;
-  } else {
-    score->logic_bugs.insert(fired.begin(), fired.end());
+constexpr size_t kIterations = 50;
+constexpr size_t kQueries = 40;
+
+/// One campaign with a single-oracle suite; folds confirmed logic bugs
+/// and false alarms into `score`.
+void RunCampaign(Dialect primary, uint64_t seed, fuzz::OracleKind oracle,
+                 Dialect diff_secondary, OracleScore* score) {
+  fuzz::CampaignConfig config;
+  config.dialect = primary;
+  config.seed = seed;
+  config.iterations = kIterations;
+  config.queries_per_iteration = kQueries;
+  config.generator.num_geometries = 10;
+  config.oracles.oracles = {oracle};
+  config.oracles.diff_secondary = diff_secondary;
+  fuzz::Campaign campaign(config);
+  const fuzz::CampaignResult result = campaign.Run();
+  score->checks += result.checks_run;
+  for (const auto& d : result.discrepancies) {
+    if (d.is_crash) continue;
+    // Ground-truth attribution: every confirmed logic fault that fired
+    // while producing the mismatch (the analogue of the paper's
+    // fix-commit bisection on reduced cases). Mismatches with no fired
+    // confirmed-logic fault are the baselines' false alarms.
+    bool any = false;
+    for (auto id : d.fault_hits) {
+      if (IsConfirmedLogic(id)) {
+        score->logic_bugs.insert(id);
+        any = true;
+      }
+    }
+    if (!any) score->false_alarms++;
   }
 }
 
 }  // namespace
 
 int main() {
-  const size_t kIterations = 50;
-  const size_t kQueries = 40;
+  const std::map<Dialect, uint64_t> primaries = {
+      {Dialect::kPostgis, 3001},
+      {Dialect::kDuckdbSpatial, 3002},
+      {Dialect::kMysql, 3003},
+  };
 
-  // --- AEI across all faulty dialects --------------------------------------
   OracleScore aei;
-  for (const auto& [dialect, seed] :
-       std::map<Dialect, uint64_t>{{Dialect::kPostgis, 3001},
-                                   {Dialect::kDuckdbSpatial, 3002},
-                                   {Dialect::kMysql, 3003}}) {
-    const auto result =
-        RunDialectCampaign(dialect, seed, 2 * kIterations, kQueries);
-    aei.checks += result.checks_run;
-    for (const auto& [id, _] : result.unique_bugs) {
-      if (IsConfirmedLogic(id)) aei.logic_bugs.insert(id);
-    }
-  }
-
-  // --- Baselines over a shared workload -------------------------------------
-  engine::Engine pg(Dialect::kPostgis, true);
-  engine::Engine duck(Dialect::kDuckdbSpatial, true);
-  engine::Engine my(Dialect::kMysql, true);
-  OracleScore p_vs_m;
-  OracleScore p_vs_d;
+  OracleScore diff_cross;  // cross-family differential
+  OracleScore diff_geos;   // the blind GEOS pair
   OracleScore index_oracle;
   OracleScore tlp;
 
-  Rng rng(4242);
-  fuzz::GeneratorConfig gen_config;
-  gen_config.num_geometries = 10;
-  fuzz::GeometryAwareGenerator gen(gen_config, &rng, &pg);
-  fuzz::GeometryAwareGenerator gen_my(gen_config, &rng, &my);
-
-  for (size_t iter = 0; iter < kIterations; ++iter) {
-    const fuzz::DatabaseSpec sdb = gen.Generate(nullptr);
-    const fuzz::DatabaseSpec sdb_my = gen_my.Generate(nullptr);
-    for (size_t q = 0; q < kQueries; ++q) {
-      const fuzz::QuerySpec query = gen.RandomQuery(sdb);
-      Record(&p_vs_m, fuzz::RunDifferentialCheck(&pg, &my, sdb, query));
-      Record(&p_vs_d, fuzz::RunDifferentialCheck(&pg, &duck, sdb, query));
-      Record(&index_oracle, fuzz::RunIndexCheck(&pg, sdb, query));
-      Record(&tlp, fuzz::RunTlpCheck(&pg, sdb, query));
-      // MySQL-side baselines for MySQL-specific bugs.
-      const fuzz::QuerySpec query_my = gen_my.RandomQuery(sdb_my);
-      Record(&p_vs_m,
-             fuzz::RunDifferentialCheck(&my, &pg, sdb_my, query_my));
-      Record(&index_oracle, fuzz::RunIndexCheck(&my, sdb_my, query_my));
-      Record(&tlp, fuzz::RunTlpCheck(&my, sdb_my, query_my));
-    }
+  for (const auto& [dialect, seed] : primaries) {
+    RunCampaign(dialect, seed, fuzz::OracleKind::kAei, Dialect::kMysql,
+                &aei);
+    // Cross-family: postgis->mysql, duckdb->mysql, mysql->postgis (the
+    // spec's degenerate-pair fallback).
+    RunCampaign(dialect, seed, fuzz::OracleKind::kDifferential,
+                Dialect::kMysql, &diff_cross);
+    RunCampaign(dialect, seed, fuzz::OracleKind::kIndex, Dialect::kMysql,
+                &index_oracle);
+    RunCampaign(dialect, seed, fuzz::OracleKind::kTlp, Dialect::kMysql,
+                &tlp);
   }
+  // The GEOS pair, both directions (smaller budget: two campaigns).
+  RunCampaign(Dialect::kPostgis, 3001, fuzz::OracleKind::kDifferential,
+              Dialect::kDuckdbSpatial, &diff_geos);
+  RunCampaign(Dialect::kDuckdbSpatial, 3002,
+              fuzz::OracleKind::kDifferential, Dialect::kPostgis,
+              &diff_geos);
 
-  // --- Report -----------------------------------------------------------------
-  std::printf("Table 4: logic-bug detection by oracle (measured)\n");
+  std::printf("Table 4: logic-bug detection by oracle (measured, "
+              "oracle-suite campaigns, %zu x %zu checks per campaign)\n",
+              kIterations, kQueries);
   Rule('=');
-  std::printf("%-10s | %4s | %8s | %8s | %6s | %4s\n", "component", "AEI",
-              "P. vs M.", "P. vs D.", "Index", "TLP");
+  std::printf("%-10s | %4s | %6s | %6s | %6s | %4s\n", "component", "AEI",
+              "Diff X", "Diff G", "Index", "TLP");
   Rule();
   auto count_by = [](const OracleScore& s, faults::Component c) {
     int n = 0;
@@ -125,31 +129,55 @@ int main() {
   int totals[5] = {0, 0, 0, 0, 0};
   for (faults::Component comp :
        {faults::Component::kGeos, faults::Component::kPostgis,
-        faults::Component::kMysql}) {
-    const int row[5] = {count_by(aei, comp), count_by(p_vs_m, comp),
-                        count_by(p_vs_d, comp), count_by(index_oracle, comp),
-                        count_by(tlp, comp)};
+        faults::Component::kDuckdb, faults::Component::kMysql}) {
+    const int row[5] = {count_by(aei, comp), count_by(diff_cross, comp),
+                        count_by(diff_geos, comp),
+                        count_by(index_oracle, comp), count_by(tlp, comp)};
     for (int i = 0; i < 5; ++i) totals[i] += row[i];
-    std::printf("%-10s | %4d | %8d | %8d | %6d | %4d\n",
+    std::printf("%-10s | %4d | %6d | %6d | %6d | %4d\n",
                 faults::ComponentName(comp), row[0], row[1], row[2], row[3],
                 row[4]);
   }
   Rule();
-  std::printf("%-10s | %4d | %8d | %8d | %6d | %4d\n", "Sum", totals[0],
+  std::printf("%-10s | %4d | %6d | %6d | %6d | %4d\n", "Sum", totals[0],
               totals[1], totals[2], totals[3], totals[4]);
-  std::printf("\noverlooked by every baseline, found by AEI: ");
+
   int only_aei = 0;
   for (auto id : aei.logic_bugs) {
-    if (!p_vs_m.logic_bugs.count(id) && !p_vs_d.logic_bugs.count(id) &&
+    if (!diff_cross.logic_bugs.count(id) && !diff_geos.logic_bugs.count(id) &&
         !index_oracle.logic_bugs.count(id) && !tlp.logic_bugs.count(id)) {
       only_aei++;
     }
   }
-  std::printf("%d bugs\n", only_aei);
+  std::printf("\noverlooked by every baseline, found by AEI: %d bugs\n",
+              only_aei);
   std::printf("differential false alarms (expected discrepancies): "
-              "P.vs.M. %zu, P.vs.D. %zu\n",
-              p_vs_m.false_alarms, p_vs_d.false_alarms);
+              "cross-family %zu, GEOS pair %zu\n",
+              diff_cross.false_alarms, diff_geos.false_alarms);
   std::printf("\npaper reference: AEI 20, P.vs.M. 4, P.vs.D. 1, Index 2, "
               "TLP 1; 14 bugs overlooked by all baselines\n");
-  return 0;
+
+  // --- Gate ------------------------------------------------------------------
+  bool ok = true;
+  const struct {
+    const char* name;
+    const OracleScore* score;
+  } baselines[] = {{"Diff X", &diff_cross},
+                   {"Diff G", &diff_geos},
+                   {"Index", &index_oracle},
+                   {"TLP", &tlp}};
+  for (const auto& b : baselines) {
+    if (aei.logic_bugs.size() < b.score->logic_bugs.size()) {
+      std::printf("GATE FAIL: AEI found %zu confirmed logic bugs < %s's "
+                  "%zu at equal budget\n",
+                  aei.logic_bugs.size(), b.name, b.score->logic_bugs.size());
+      ok = false;
+    }
+  }
+  std::printf("%s: AEI %zu >= baselines (Diff X %zu, Diff G %zu, Index "
+              "%zu, TLP %zu)\n",
+              ok ? "GATE OK" : "GATE FAIL", aei.logic_bugs.size(),
+              diff_cross.logic_bugs.size(), diff_geos.logic_bugs.size(),
+              index_oracle.logic_bugs.size(), tlp.logic_bugs.size());
+  return ok ? 0 : 1;
 }

@@ -13,8 +13,12 @@ namespace {
 // Format: "SPTC" magic, u16 version, then the fields of TestCaseRecord in
 // declaration order. All integers little-endian; doubles as IEEE-754 bit
 // patterns. Strings and byte blobs are u32 length + payload.
+//
+// Version 2 appends two u8 fields after the v1 payload — the detecting
+// oracle kind and the differential secondary dialect — so v1 records
+// remain decodable (the fields default to what canonical_only implies).
 constexpr char kMagic[4] = {'S', 'P', 'T', 'C'};
-constexpr uint16_t kVersion = 1;
+constexpr uint16_t kVersion = 2;
 
 void PutU8(std::vector<uint8_t>* out, uint8_t v) { out->push_back(v); }
 
@@ -146,12 +150,17 @@ Result<std::vector<uint8_t>> TestCaseCodec::Encode(
   for (double v : {t.a11(), t.a12(), t.a21(), t.a22(), t.b1(), t.b2()}) {
     PutF64(&out, v);
   }
-  PutU8(&out, record.canonical_only ? 1 : 0);
+  // Derived, not copied: the oracle field is authoritative and the legacy
+  // flag must never disagree with it on disk.
+  PutU8(&out,
+        record.oracle == fuzz::OracleKind::kCanonicalOnly ? 1 : 0);
 
   PutU32(&out, static_cast<uint32_t>(record.sites.size()));
   for (uint64_t key : record.sites) PutU64(&out, key);
   PutU32(&out, static_cast<uint32_t>(record.fault_ids.size()));
   for (uint32_t id : record.fault_ids) PutU32(&out, id);
+  PutU8(&out, static_cast<uint8_t>(record.oracle));
+  PutU8(&out, static_cast<uint8_t>(record.diff_secondary));
   return out;
 }
 
@@ -167,7 +176,7 @@ Result<TestCaseRecord> TestCaseCodec::Decode(
   }
   uint16_t version;
   if (!r.U16(&version)) return Truncated();
-  if (version != kVersion) {
+  if (version < 1 || version > kVersion) {
     return Status::InvalidArgument("unsupported record version " +
                                    std::to_string(version));
   }
@@ -242,6 +251,21 @@ Result<TestCaseRecord> TestCaseCodec::Decode(
                                      std::to_string(id));
     }
     rec.fault_ids.push_back(id);
+  }
+  if (version >= 2) {
+    uint8_t oracle, secondary;
+    if (!r.U8(&oracle) || !r.U8(&secondary)) return Truncated();
+    if (oracle >= fuzz::kNumOracleKinds || secondary >= engine::kNumDialects) {
+      return Status::InvalidArgument(
+          "record has invalid oracle kind or secondary dialect");
+    }
+    rec.oracle = static_cast<fuzz::OracleKind>(oracle);
+    rec.diff_secondary = static_cast<engine::Dialect>(secondary);
+    rec.canonical_only = rec.oracle == fuzz::OracleKind::kCanonicalOnly;
+  } else {
+    // v1: the canonicalization flag is all the oracle identity there was.
+    rec.oracle = rec.canonical_only ? fuzz::OracleKind::kCanonicalOnly
+                                    : fuzz::OracleKind::kAei;
   }
   if (!r.AtEnd()) {
     return Status::InvalidArgument("trailing bytes after test-case record");

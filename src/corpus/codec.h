@@ -39,7 +39,14 @@ struct TestCaseRecord {
   bool has_query = false;
   fuzz::QuerySpec query;
   algo::AffineTransform transform;  ///< identity unless a reproducer
-  bool canonical_only = false;      ///< reproducer used the identity oracle
+  /// Legacy v1 flag, kept in sync with `oracle == kCanonicalOnly` so old
+  /// readers of re-encoded records stay correct.
+  bool canonical_only = false;
+  /// The oracle that detected a reproducer's discrepancy; `--replay`
+  /// re-runs THIS check. v1 records decode to kAei/kCanonicalOnly.
+  fuzz::OracleKind oracle = fuzz::OracleKind::kAei;
+  /// Differential reproducers: the secondary dialect of the pair.
+  engine::Dialect diff_secondary = engine::Dialect::kMysql;
   /// Stable coverage-site keys this entry's iteration hit (corpus entries).
   std::vector<uint64_t> sites;
   /// FaultIds the reproducer is expected to fire, as raw catalog values.

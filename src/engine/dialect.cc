@@ -31,6 +31,28 @@ const DialectTraits& GetDialectTraits(Dialect d) {
 
 const char* DialectName(Dialect d) { return GetDialectTraits(d).name; }
 
+const char* DialectCliToken(Dialect d) {
+  switch (d) {
+    case Dialect::kPostgis:
+      return "postgis";
+    case Dialect::kDuckdbSpatial:
+      return "duckdb";
+    case Dialect::kMysql:
+      return "mysql";
+    case Dialect::kSqlserver:
+      return "sqlserver";
+  }
+  return "postgis";
+}
+
+Result<Dialect> ParseDialectCliToken(const std::string& token) {
+  for (int d = 0; d < kNumDialects; ++d) {
+    const auto dialect = static_cast<Dialect>(d);
+    if (token == DialectCliToken(dialect)) return dialect;
+  }
+  return Status::InvalidArgument("unknown dialect '" + token + "'");
+}
+
 faults::FaultState DefaultFaultStateFor(Dialect d, bool enable_faults) {
   faults::FaultState state;
   if (!enable_faults) return state;

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/status.h"
 #include "faults/fault.h"
 
 namespace spatter::engine {
@@ -49,6 +50,15 @@ struct DialectTraits {
 
 const DialectTraits& GetDialectTraits(Dialect d);
 const char* DialectName(Dialect d);
+
+/// The CLI flag token for a dialect ("postgis", "duckdb", "mysql",
+/// "sqlserver") — DialectName is a display string like "DuckDB Spatial"
+/// and is not parseable. The single source of truth for every flag that
+/// names a dialect (`--dialect=`, `--oracles=diff:<token>`, the fleet's
+/// worker spawn args).
+const char* DialectCliToken(Dialect d);
+/// Inverse of DialectCliToken; kInvalidArgument for unknown tokens.
+Result<Dialect> ParseDialectCliToken(const std::string& token);
 
 /// Fault set a freshly provisioned engine of this dialect ships with: its
 /// own component's faults plus GEOS faults when it embeds the library.

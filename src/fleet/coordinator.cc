@@ -26,22 +26,6 @@ namespace {
 using fuzz::Campaign;
 using fuzz::CampaignResult;
 
-/// The CLI flag token for a dialect (DialectName is a display name like
-/// "DuckDB Spatial"; --dialect wants the parseable token).
-const char* DialectCliToken(engine::Dialect dialect) {
-  switch (dialect) {
-    case engine::Dialect::kPostgis:
-      return "postgis";
-    case engine::Dialect::kDuckdbSpatial:
-      return "duckdb";
-    case engine::Dialect::kMysql:
-      return "mysql";
-    case engine::Dialect::kSqlserver:
-      return "sqlserver";
-  }
-  return "postgis";
-}
-
 std::string InflightFileName(size_t worker, engine::Dialect dialect,
                              uint64_t iteration) {
   char buf[128];
@@ -159,12 +143,15 @@ void FleetCoordinator::Spawn(size_t index) {
         args.push_back("--dialect=all");
       } else {
         args.push_back(std::string("--dialect=") +
-                       DialectCliToken(dialects_[0]));
+                       engine::DialectCliToken(dialects_[0]));
       }
       if (!o.base.generator.derivative_enabled) {
         args.push_back("--no-derivative");
       }
       if (!o.base.enable_faults) args.push_back("--fixed");
+      // Always explicit: a worker must judge with the coordinator's exact
+      // oracle suite, not its own default.
+      args.push_back("--oracles=" + fuzz::FormatOracleSuite(o.base.oracles));
       if (o.base.corpus.enabled && !o.corpus_dir.empty()) {
         args.push_back("--corpus=" + o.corpus_dir);
         add("--mutate-pct", static_cast<uint64_t>(o.base.corpus.mutate_pct));
@@ -370,6 +357,8 @@ void FleetCoordinator::PersistInflight(const Worker& worker) {
     rec.seed = Rng::SplitSeed(cfg.seed, iteration);
     rec.sdb = Campaign::GenerateDatabaseFor(cfg, iteration);
     rec.has_query = false;
+    // A reconstructed in-flight database is input, not an oracle finding.
+    rec.oracle = fuzz::OracleKind::kGeneration;
     auto encoded = corpus::TestCaseCodec::Encode(rec);
     if (!encoded.ok()) continue;
     const std::filesystem::path path =

@@ -190,7 +190,7 @@ std::string EncodeFrame(const Frame& frame) {
     case FrameType::kBug:
       put_u(frame.query_index);
       put_u(frame.is_crash ? 1 : 0);
-      put_u(frame.canonical_only ? 1 : 0);
+      put_u(frame.oracle);
       put_f(frame.elapsed);
       line += ' ' + HexEncode(std::vector<uint8_t>(frame.detail.begin(),
                                                    frame.detail.end()));
@@ -294,9 +294,12 @@ Result<Frame> DecodeFrame(const std::string& line) {
       if (args != want) return Malformed("BUG field count");
       if (!ParseU64(arg(0), &frame.query_index) ||
           !ParseBool01(arg(1), &frame.is_crash) ||
-          !ParseBool01(arg(2), &frame.canonical_only) ||
+          !ParseU64(arg(2), &frame.oracle) ||
           !ParseF64(arg(3), &frame.elapsed)) {
         return Malformed("BUG fields");
+      }
+      if (frame.oracle >= fuzz::kNumOracleKinds) {
+        return Malformed("BUG oracle out of range");
       }
       auto detail = HexDecode(arg(4));
       if (!detail.ok()) return detail.status();
@@ -340,6 +343,8 @@ Result<Frame> MakeBugFrame(const fuzz::Discrepancy& d, uint64_t master_seed) {
   rec.has_query = !d.query.predicate.empty();
   rec.query = d.query;
   rec.transform = d.transform;
+  rec.oracle = d.oracle;
+  rec.diff_secondary = d.diff_secondary;
   rec.canonical_only = d.oracle == fuzz::OracleKind::kCanonicalOnly;
   for (faults::FaultId id : d.fault_hits) {
     rec.fault_ids.push_back(static_cast<uint32_t>(id));
@@ -351,7 +356,7 @@ Result<Frame> MakeBugFrame(const fuzz::Discrepancy& d, uint64_t master_seed) {
   frame.type = FrameType::kBug;
   frame.query_index = d.query_index;
   frame.is_crash = d.is_crash;
-  frame.canonical_only = rec.canonical_only;
+  frame.oracle = static_cast<uint64_t>(d.oracle);
   frame.elapsed = d.elapsed_seconds;
   frame.detail = d.detail;
   frame.payload = encoded.Take();
@@ -367,8 +372,10 @@ Result<fuzz::Discrepancy> BugFrameToDiscrepancy(const Frame& frame) {
   d.iteration = rec.iteration;
   d.query_index = frame.query_index;
   d.is_crash = frame.is_crash;
-  d.oracle = frame.canonical_only ? fuzz::OracleKind::kCanonicalOnly
-                                  : fuzz::OracleKind::kAei;
+  // The payload record is authoritative for the oracle identity (the
+  // frame-level field exists for stream debuggability).
+  d.oracle = rec.oracle;
+  d.diff_secondary = rec.diff_secondary;
   d.dialect = rec.dialect;
   if (rec.has_query) d.query = rec.query;
   d.sdb1 = rec.sdb;

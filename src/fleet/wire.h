@@ -20,8 +20,11 @@
 //              announced iteration completed; nothing is in flight)
 //     COV      <elapsed> <iterations> <queries> <key,key,...|->
 //     ENTRY    <hex(TestCaseCodec record)>
-//     BUG      <query_index> <is_crash> <canonical_only> <elapsed>
+//     BUG      <query_index> <is_crash> <oracle> <elapsed>
 //              <hex(detail)> <hex(TestCaseCodec record)>
+//              (<oracle> is the detecting OracleKind value, kept at frame
+//              level for stream debuggability; the payload record carries
+//              it authoritatively alongside the differential secondary)
 //     DONE     <iterations> <queries> <checks> <busy_s> <engine_s>
 //              <statements> <pairs> <index_scans> <prepared>
 //   coordinator -> worker
@@ -83,7 +86,7 @@ struct Frame {
   // BUG
   uint64_t query_index = 0;
   bool is_crash = false;
-  bool canonical_only = false;
+  uint64_t oracle = 0;  ///< detecting fuzz::OracleKind, range-validated
   std::string detail;
 
   // DONE timing + engine counters

@@ -17,10 +17,19 @@ std::string Discrepancy::Signature() const {
   return sig;
 }
 
+std::map<OracleKind, std::set<faults::FaultId>>
+CampaignResult::UniqueBugsByOracle() const {
+  std::map<OracleKind, std::set<faults::FaultId>> by_oracle;
+  for (const auto& [id, d] : unique_bugs) by_oracle[d.oracle].insert(id);
+  return by_oracle;
+}
+
 Campaign::Campaign(const CampaignConfig& config)
     : config_(config), rng_(config.seed) {
   engine_ = std::make_unique<engine::Engine>(config.dialect,
                                              config.enable_faults);
+  suite_ = std::make_unique<OracleSuite>(config.oracles, config.dialect,
+                                         config.enable_faults);
   generator_ = std::make_unique<GeometryAwareGenerator>(config.generator,
                                                         &rng_, engine_.get());
   if (config.corpus.enabled) {
@@ -134,7 +143,10 @@ void Campaign::RunIteration(size_t iteration, CampaignResult* result,
     Discrepancy d;
     d.iteration = iteration;
     d.is_crash = true;
-    d.oracle = OracleKind::kAei;
+    // Input-construction crashes precede any oracle: attributing them to
+    // an oracle (even AEI) would corrupt the per-oracle comparison in
+    // suites that don't contain it.
+    d.oracle = OracleKind::kGeneration;
     d.dialect = config_.dialect;
     d.sdb1 = sdb1;
     d.detail = crash.function + ": " + crash.message;
@@ -174,34 +186,55 @@ void Campaign::RunIteration(size_t iteration, CampaignResult* result,
       // keeps distance predicates affine-invariant.
       transform = mutator_->MutateTransform(transform, &rng_);
     }
-    const OracleOutcome outcome =
-        RunAeiCheck(engine_.get(), sdb1, query, transform,
-                    /*canonicalize=*/true);
+    // Judge the query with every configured oracle, in suite order. The
+    // transform draws above happen whether or not AEI is in the suite, so
+    // the input stream — and therefore the pure-generate factorization
+    // invariance — is oracle-independent.
+    OracleCtx ctx;
+    ctx.transform = transform;
+    ctx.canonical_only = canonical_only;
     result->queries_run++;
-    result->checks_run++;
-    if (!outcome.applicable) continue;
-    if (!outcome.mismatch && !outcome.crash) continue;
+    for (OracleFinding& finding :
+         suite_->CheckAll(engine_.get(), sdb1, query, ctx)) {
+      result->checks_run++;
+      const OracleOutcome& outcome = finding.outcome;
+      if (!outcome.applicable) continue;
+      if (!outcome.mismatch && !outcome.crash) continue;
 
-    Discrepancy d;
-    d.iteration = iteration;
-    d.query_index = q;
-    d.is_crash = outcome.crash;
-    d.oracle =
-        canonical_only ? OracleKind::kCanonicalOnly : OracleKind::kAei;
-    d.dialect = config_.dialect;
-    d.query = query;
-    d.sdb1 = sdb1;
-    d.transform = transform;
-    d.detail = outcome.detail;
-    d.fault_hits = outcome.fault_hits;
-    d.elapsed_seconds = NowSeconds() - started_at;
-    for (auto id : d.fault_hits) {
-      if (result->unique_bugs.find(id) == result->unique_bugs.end()) {
-        result->unique_bugs.emplace(id, d);
+      Discrepancy d;
+      d.iteration = iteration;
+      d.query_index = q;
+      d.is_crash = outcome.crash;
+      d.oracle = finding.oracle->AttributedKind(ctx);
+      d.dialect = config_.dialect;
+      if (const auto secondary = finding.oracle->SecondaryDialect()) {
+        d.diff_secondary = *secondary;
       }
+      d.query = query;
+      d.sdb1 = sdb1;
+      // Only the AEI oracle re-checks under the drawn transform; every
+      // other attribution — including standalone canon findings, whose
+      // check pinned the identity matrix whatever was drawn — records the
+      // transform actually applied, so reproducers never claim a matrix
+      // their check ignored. (AEI-family coin findings are unaffected:
+      // their drawn transform IS the identity.)
+      d.transform = d.oracle == OracleKind::kAei
+                        ? transform
+                        : algo::AffineTransform::Identity();
+      d.detail = outcome.detail;
+      d.fault_hits = outcome.fault_hits;
+      d.elapsed_seconds = NowSeconds() - started_at;
+      // First detection per fault within this shard; on a same-position
+      // tie across oracles the earlier suite member wins, matching the
+      // fleet path's first-arrival rule (aggregator.cc).
+      for (auto id : d.fault_hits) {
+        if (result->unique_bugs.find(id) == result->unique_bugs.end()) {
+          result->unique_bugs.emplace(id, d);
+        }
+      }
+      SPATTER_COV("campaign", d.is_crash ? "crash_found" : "logic_found");
+      result->discrepancies.push_back(std::move(d));
     }
-    SPATTER_COV("campaign", d.is_crash ? "crash_found" : "logic_found");
-    result->discrepancies.push_back(std::move(d));
   }
   if (corpus_) {
     // Feedback: keep the iteration's database when it bought coverage

@@ -35,6 +35,7 @@
 #include "corpus/scheduler.h"
 #include "engine/engine.h"
 #include "fuzz/generator.h"
+#include "fuzz/oracle_suite.h"
 #include "fuzz/oracles.h"
 #include "fuzz/testcase.h"
 
@@ -58,6 +59,12 @@ struct CampaignConfig {
   /// contract). Disabled by default: pure-generate campaigns draw an
   /// identical RNG stream to pre-corpus builds.
   corpus::CorpusOptions corpus;
+  /// Oracles run per query, in order (CLI `--oracles=`). Input
+  /// construction draws the SAME random stream whatever this holds — the
+  /// suite only decides which judges run — so the default, AEI alone, is
+  /// bit-identical to the pre-suite campaign, and any suite keeps the
+  /// pure-generate factorization invariance.
+  OracleSuiteSpec oracles;
 };
 
 /// One recorded discrepancy (logic or crash).
@@ -65,11 +72,16 @@ struct Discrepancy {
   size_t iteration = 0;
   size_t query_index = 0;
   bool is_crash = false;
+  /// The oracle that detected this discrepancy: reduction, replay, and
+  /// reproducer files all re-run THIS check, not unconditionally AEI.
   OracleKind oracle = OracleKind::kAei;
   /// Dialect of the engine that produced the discrepancy; lets fleet-mode
   /// consumers (aggregated multi-dialect runs) rebuild a matching engine
   /// for reduction and reporting.
   engine::Dialect dialect = engine::Dialect::kPostgis;
+  /// Secondary dialect of the detecting check; meaningful only when
+  /// `oracle == kDifferential` (MakeDetectingOracle rebuilds the pair).
+  engine::Dialect diff_secondary = engine::Dialect::kMysql;
   QuerySpec query;
   DatabaseSpec sdb1;
   algo::AffineTransform transform;
@@ -98,6 +110,11 @@ struct CampaignResult {
   /// Engine counters (statements, join pairs, index scans, ...); summed
   /// across shards by the aggregator.
   engine::EngineStats engine_stats;
+
+  /// Per-oracle attribution of the deduplicated unique bugs: which oracle
+  /// won the earliest-detection race for each fault (Table 4's comparison,
+  /// live). Keys appear only for oracles that detected something.
+  std::map<OracleKind, std::set<faults::FaultId>> UniqueBugsByOracle() const;
 };
 
 class Campaign {
@@ -172,6 +189,7 @@ class Campaign {
   CampaignConfig config_;
   Rng rng_;
   std::unique_ptr<engine::Engine> engine_;
+  std::unique_ptr<OracleSuite> suite_;
   std::unique_ptr<GeometryAwareGenerator> generator_;
   std::unique_ptr<corpus::Corpus> corpus_;            // corpus mode only
   std::unique_ptr<corpus::MutationEngine> mutator_;   // corpus mode only

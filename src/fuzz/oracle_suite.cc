@@ -1,0 +1,250 @@
+#include "fuzz/oracle_suite.h"
+
+#include <algorithm>
+
+#include "engine/functions.h"
+
+namespace spatter::fuzz {
+
+bool Oracle::AppliesTo(const engine::Engine& engine,
+                       const QuerySpec& query) const {
+  (void)engine;
+  (void)query;
+  return true;
+}
+
+OracleKind Oracle::AttributedKind(const OracleCtx& ctx) const {
+  (void)ctx;
+  return Kind();
+}
+
+std::optional<engine::Dialect> Oracle::SecondaryDialect() const {
+  return std::nullopt;
+}
+
+// --- AEI family --------------------------------------------------------------
+
+OracleKind AeiOracle::AttributedKind(const OracleCtx& ctx) const {
+  return ctx.canonical_only ? OracleKind::kCanonicalOnly : OracleKind::kAei;
+}
+
+OracleOutcome AeiOracle::Check(engine::Engine* engine,
+                               const DatabaseSpec& sdb1,
+                               const QuerySpec& query, const OracleCtx& ctx) {
+  return RunAeiCheck(engine, sdb1, query, ctx.transform,
+                     /*canonicalize=*/true);
+}
+
+OracleOutcome CanonicalOnlyOracle::Check(engine::Engine* engine,
+                                         const DatabaseSpec& sdb1,
+                                         const QuerySpec& query,
+                                         const OracleCtx& ctx) {
+  (void)ctx;  // always the identity matrix, whatever the campaign drew
+  return RunAeiCheck(engine, sdb1, query, algo::AffineTransform::Identity(),
+                     /*canonicalize=*/true);
+}
+
+// --- Differential ------------------------------------------------------------
+
+DifferentialOracle::DifferentialOracle(engine::Dialect secondary,
+                                       bool enable_faults)
+    : secondary_(std::make_unique<engine::Engine>(secondary, enable_faults)) {}
+
+bool DifferentialOracle::AppliesTo(const engine::Engine& engine,
+                                   const QuerySpec& query) const {
+  if (query.predicate == "~=") {
+    return engine.traits().has_same_as_operator &&
+           secondary_->traits().has_same_as_operator;
+  }
+  return engine::ResolveFunction(query.predicate, engine.dialect()).ok() &&
+         engine::ResolveFunction(query.predicate, secondary_->dialect()).ok();
+}
+
+std::optional<engine::Dialect> DifferentialOracle::SecondaryDialect() const {
+  return secondary_->dialect();
+}
+
+OracleOutcome DifferentialOracle::Check(engine::Engine* engine,
+                                        const DatabaseSpec& sdb1,
+                                        const QuerySpec& query,
+                                        const OracleCtx& ctx) {
+  (void)ctx;
+  return RunDifferentialCheck(engine, secondary_.get(), sdb1, query);
+}
+
+// --- Index / TLP -------------------------------------------------------------
+
+OracleOutcome IndexOracle::Check(engine::Engine* engine,
+                                 const DatabaseSpec& sdb1,
+                                 const QuerySpec& query,
+                                 const OracleCtx& ctx) {
+  (void)ctx;
+  return RunIndexCheck(engine, sdb1, query);
+}
+
+OracleOutcome TlpOracle::Check(engine::Engine* engine,
+                               const DatabaseSpec& sdb1,
+                               const QuerySpec& query, const OracleCtx& ctx) {
+  (void)ctx;
+  return RunTlpCheck(engine, sdb1, query);
+}
+
+// --- Spec / factory ----------------------------------------------------------
+
+engine::Dialect EffectiveDiffSecondary(const OracleSuiteSpec& spec,
+                                       engine::Dialect primary) {
+  if (spec.diff_secondary != primary) return spec.diff_secondary;
+  return primary == engine::Dialect::kMysql ? engine::Dialect::kPostgis
+                                            : engine::Dialect::kMysql;
+}
+
+const char* OracleCliToken(OracleKind kind) {
+  switch (kind) {
+    case OracleKind::kAei:
+      return "aei";
+    case OracleKind::kCanonicalOnly:
+      return "canon";
+    case OracleKind::kDifferential:
+      return "diff";
+    case OracleKind::kIndex:
+      return "index";
+    case OracleKind::kTlp:
+      return "tlp";
+    case OracleKind::kGeneration:
+      return "gen";  // attribution-only; ParseOracleSuite rejects it
+  }
+  return "aei";
+}
+
+bool OracleKindIsDeterministic(OracleKind kind) {
+  // Every built-in oracle is deterministic; a backend wrapping a live
+  // external SDBMS would be registered here as the exception.
+  (void)kind;
+  return true;
+}
+
+Result<OracleSuiteSpec> ParseOracleSuite(const std::string& csv) {
+  OracleSuiteSpec spec;
+  spec.oracles.clear();
+  auto add = [&spec](OracleKind kind) -> Status {
+    if (std::find(spec.oracles.begin(), spec.oracles.end(), kind) !=
+        spec.oracles.end()) {
+      return Status::InvalidArgument(std::string("duplicate oracle '") +
+                                     OracleCliToken(kind) + "'");
+    }
+    spec.oracles.push_back(kind);
+    return Status::OK();
+  };
+  size_t start = 0;
+  while (start <= csv.size()) {
+    const size_t comma = csv.find(',', start);
+    const std::string token = csv.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (token == "aei") {
+      SPATTER_RETURN_NOT_OK(add(OracleKind::kAei));
+    } else if (token == "canon") {
+      SPATTER_RETURN_NOT_OK(add(OracleKind::kCanonicalOnly));
+    } else if (token == "index") {
+      SPATTER_RETURN_NOT_OK(add(OracleKind::kIndex));
+    } else if (token == "tlp") {
+      SPATTER_RETURN_NOT_OK(add(OracleKind::kTlp));
+    } else if (token == "diff") {
+      SPATTER_RETURN_NOT_OK(add(OracleKind::kDifferential));
+    } else if (token.rfind("diff:", 0) == 0) {
+      SPATTER_RETURN_NOT_OK(add(OracleKind::kDifferential));
+      // "diff:" with nothing after the colon must be an error, not a
+      // silent fall-through to the default secondary.
+      auto dialect = engine::ParseDialectCliToken(token.substr(5));
+      SPATTER_RETURN_NOT_OK(dialect.status());
+      spec.diff_secondary = dialect.value();
+    } else if (token == "all") {
+      for (OracleKind kind :
+           {OracleKind::kAei, OracleKind::kDifferential, OracleKind::kIndex,
+            OracleKind::kTlp}) {
+        SPATTER_RETURN_NOT_OK(add(kind));
+      }
+    } else {
+      return Status::InvalidArgument("unknown oracle '" + token +
+                                     "' (expected aei, canon, diff[:dialect], "
+                                     "index, tlp, or all)");
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (spec.oracles.empty()) {
+    return Status::InvalidArgument("--oracles needs at least one oracle");
+  }
+  return spec;
+}
+
+std::string FormatOracleSuite(const OracleSuiteSpec& spec) {
+  std::string out;
+  for (OracleKind kind : spec.oracles) {
+    if (!out.empty()) out += ",";
+    if (kind == OracleKind::kDifferential &&
+        spec.diff_secondary != OracleSuiteSpec().diff_secondary) {
+      out += "diff:";
+      out += engine::DialectCliToken(spec.diff_secondary);
+    } else {
+      out += OracleCliToken(kind);
+    }
+  }
+  return out;
+}
+
+std::unique_ptr<Oracle> MakeOracle(OracleKind kind, engine::Dialect primary,
+                                   bool enable_faults,
+                                   const OracleSuiteSpec& spec) {
+  switch (kind) {
+    case OracleKind::kAei:
+      return std::make_unique<AeiOracle>();
+    case OracleKind::kCanonicalOnly:
+      return std::make_unique<CanonicalOnlyOracle>();
+    case OracleKind::kDifferential:
+      return std::make_unique<DifferentialOracle>(
+          EffectiveDiffSecondary(spec, primary), enable_faults);
+    case OracleKind::kIndex:
+      return std::make_unique<IndexOracle>();
+    case OracleKind::kTlp:
+      return std::make_unique<TlpOracle>();
+    case OracleKind::kGeneration:
+      break;  // not a runnable oracle; fall through to the default
+  }
+  return std::make_unique<AeiOracle>();
+}
+
+std::unique_ptr<Oracle> MakeDetectingOracle(OracleKind kind,
+                                            engine::Dialect primary,
+                                            engine::Dialect diff_secondary,
+                                            bool enable_faults) {
+  OracleSuiteSpec spec;
+  spec.diff_secondary = diff_secondary;
+  // MakeOracle resolves diff_secondary == primary to a non-degenerate pair,
+  // so a corrupt record still yields a runnable (if different) check.
+  return MakeOracle(kind, primary, enable_faults, spec);
+}
+
+OracleSuite::OracleSuite(const OracleSuiteSpec& spec, engine::Dialect primary,
+                         bool enable_faults)
+    : spec_(spec) {
+  for (OracleKind kind : spec_.oracles) {
+    oracles_.push_back(MakeOracle(kind, primary, enable_faults, spec_));
+  }
+}
+
+std::vector<OracleFinding> OracleSuite::CheckAll(engine::Engine* engine,
+                                                 const DatabaseSpec& sdb1,
+                                                 const QuerySpec& query,
+                                                 const OracleCtx& ctx) const {
+  std::vector<OracleFinding> findings;
+  findings.reserve(oracles_.size());
+  for (const auto& oracle : oracles_) {
+    OracleFinding finding;
+    finding.oracle = oracle.get();
+    finding.outcome = oracle->Check(engine, sdb1, query, ctx);
+    findings.push_back(std::move(finding));
+  }
+  return findings;
+}
+
+}  // namespace spatter::fuzz

@@ -1,0 +1,231 @@
+// The pluggable oracle-suite API: every test oracle of the paper's Table 4
+// — AEI (the contribution), canonicalization-only, cross-dialect
+// differential, index on/off, and TLP — behind one `Oracle` interface, so
+// the campaign loop, the reducer, replay, and the fleet tier treat "which
+// oracle judged this query" as configuration instead of hard-wiring AEI.
+//
+// Contracts an implementation declares:
+//   - Kind()/Name(): stable identity; Name() doubles as the CLI token for
+//     `--oracles=aei,diff,index,tlp`.
+//   - AppliesTo(): cheap static applicability (e.g. differential requires
+//     the predicate to exist in both dialects). Check() may still return
+//     an inapplicable outcome for input-dependent reasons.
+//   - IsDeterministic(): Check() is a pure function of (engine state, sdb,
+//     query, ctx). Every built-in oracle is deterministic — this is what
+//     makes reduction and replay trustworthy; a future backend wrapping a
+//     real external SDBMS would return false and opt out of both.
+//   - Check() must not draw from the campaign RNG: input construction owns
+//     the random stream, oracles only judge. This is the property that
+//     keeps multi-oracle campaigns bug-set-invariant across any
+//     processes x jobs factorization of the sharded runtime.
+//
+// Engine-time accounting: a Check() runs on the campaign's primary engine,
+// so its cost lands in the Figure-7 SDBMS split as before. The
+// DifferentialOracle's secondary engine is owned by the oracle and its
+// execution time is NOT folded into the primary's EngineStats — the
+// Figure-7 split stays a property of the system under test.
+#ifndef SPATTER_FUZZ_ORACLE_SUITE_H_
+#define SPATTER_FUZZ_ORACLE_SUITE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "fuzz/oracles.h"
+
+namespace spatter::fuzz {
+
+/// Per-query context the campaign hands every oracle. Only the AEI family
+/// reads it today (the transform is drawn by input construction so the
+/// random stream is oracle-independent), but it is the extension point for
+/// future oracles that need campaign-side state.
+struct OracleCtx {
+  algo::AffineTransform transform = algo::AffineTransform::Identity();
+  /// The campaign's canonicalization-only coin for this query (paper §4.3:
+  /// canonicalization is AEI with the identity matrix). When set,
+  /// `transform` is the identity and AEI findings are attributed to
+  /// OracleKind::kCanonicalOnly.
+  bool canonical_only = false;
+};
+
+class Oracle {
+ public:
+  virtual ~Oracle() = default;
+
+  /// Stable CLI token ("aei", "canon", "diff", "index", "tlp").
+  virtual const char* Name() const = 0;
+  virtual OracleKind Kind() const = 0;
+
+  /// Static applicability: can this oracle pose `query` at all against
+  /// `engine`'s dialect? Default: yes.
+  virtual bool AppliesTo(const engine::Engine& engine,
+                         const QuerySpec& query) const;
+
+  /// Whether Check() is a pure function of its inputs. Reduction and
+  /// replay only trust deterministic oracles.
+  virtual bool IsDeterministic() const { return true; }
+
+  /// Oracle kind a discrepancy from this check is attributed to. The AEI
+  /// oracle splits itself into kAei / kCanonicalOnly on ctx.
+  virtual OracleKind AttributedKind(const OracleCtx& ctx) const;
+
+  /// Second system under test, when the oracle compares two (differential
+  /// only); lets reproducers and the reducer rebuild the exact check.
+  virtual std::optional<engine::Dialect> SecondaryDialect() const;
+
+  /// Judges one (database, query) pair on `engine`. Must not mutate any
+  /// state other than the engine(s) it loads, and must not consume
+  /// campaign randomness.
+  virtual OracleOutcome Check(engine::Engine* engine, const DatabaseSpec& sdb1,
+                              const QuerySpec& query,
+                              const OracleCtx& ctx) = 0;
+};
+
+/// AEI (paper Figure 5): SDB2 = transform(canonicalize(SDB1)), counts must
+/// match. Attributes to kCanonicalOnly when ctx says the transform is the
+/// campaign's identity-matrix special case.
+class AeiOracle : public Oracle {
+ public:
+  const char* Name() const override { return "aei"; }
+  OracleKind Kind() const override { return OracleKind::kAei; }
+  OracleKind AttributedKind(const OracleCtx& ctx) const override;
+  OracleOutcome Check(engine::Engine* engine, const DatabaseSpec& sdb1,
+                      const QuerySpec& query, const OracleCtx& ctx) override;
+};
+
+/// Canonicalization as a standalone oracle: AEI pinned to the identity
+/// matrix on every query (no coin). Useful for isolating representation
+/// bugs from transform bugs.
+class CanonicalOnlyOracle : public Oracle {
+ public:
+  const char* Name() const override { return "canon"; }
+  OracleKind Kind() const override { return OracleKind::kCanonicalOnly; }
+  OracleOutcome Check(engine::Engine* engine, const DatabaseSpec& sdb1,
+                      const QuerySpec& query, const OracleCtx& ctx) override;
+};
+
+/// Cross-dialect differential testing. Owns its secondary engine (the
+/// second SDBMS of the comparison), so a campaign shard can run it without
+/// any engine plumbing — and a future real-SDBMS backend would subclass
+/// this shape.
+class DifferentialOracle : public Oracle {
+ public:
+  DifferentialOracle(engine::Dialect secondary, bool enable_faults);
+  const char* Name() const override { return "diff"; }
+  OracleKind Kind() const override { return OracleKind::kDifferential; }
+  bool AppliesTo(const engine::Engine& engine,
+                 const QuerySpec& query) const override;
+  std::optional<engine::Dialect> SecondaryDialect() const override;
+  OracleOutcome Check(engine::Engine* engine, const DatabaseSpec& sdb1,
+                      const QuerySpec& query, const OracleCtx& ctx) override;
+
+  engine::Engine& secondary_engine() { return *secondary_; }
+
+ private:
+  std::unique_ptr<engine::Engine> secondary_;
+};
+
+/// Index on/off differential on one engine.
+class IndexOracle : public Oracle {
+ public:
+  const char* Name() const override { return "index"; }
+  OracleKind Kind() const override { return OracleKind::kIndex; }
+  OracleOutcome Check(engine::Engine* engine, const DatabaseSpec& sdb1,
+                      const QuerySpec& query, const OracleCtx& ctx) override;
+};
+
+/// Ternary Logic Partitioning.
+class TlpOracle : public Oracle {
+ public:
+  const char* Name() const override { return "tlp"; }
+  OracleKind Kind() const override { return OracleKind::kTlp; }
+  OracleOutcome Check(engine::Engine* engine, const DatabaseSpec& sdb1,
+                      const QuerySpec& query, const OracleCtx& ctx) override;
+};
+
+/// Which oracles a campaign runs, in order. The default — AEI alone — is
+/// the pre-suite campaign bit-for-bit: same RNG stream, same bug set.
+struct OracleSuiteSpec {
+  std::vector<OracleKind> oracles{OracleKind::kAei};
+  /// Secondary dialect for the differential oracle. When it equals the
+  /// campaign's primary dialect, EffectiveDiffSecondary falls back (mysql,
+  /// or postgis when the primary IS mysql) so the comparison never
+  /// degenerates to an engine against itself.
+  engine::Dialect diff_secondary = engine::Dialect::kMysql;
+};
+
+/// Secondary dialect the differential oracle actually compares `primary`
+/// against under `spec` (resolves the primary==secondary degenerate case).
+engine::Dialect EffectiveDiffSecondary(const OracleSuiteSpec& spec,
+                                       engine::Dialect primary);
+
+/// Parses a `--oracles=` list: comma-separated tokens among
+/// aei, canon, diff, index, tlp, plus "all" (= aei,diff,index,tlp) and
+/// "diff:<dialect>" to pick the differential secondary. Duplicates and
+/// unknown tokens are errors.
+Result<OracleSuiteSpec> ParseOracleSuite(const std::string& csv);
+
+/// Inverse of ParseOracleSuite (round-trips through the fleet's worker
+/// spawn args).
+std::string FormatOracleSuite(const OracleSuiteSpec& spec);
+
+/// The CLI token for one kind ("aei", "canon", ...).
+const char* OracleCliToken(OracleKind kind);
+
+/// Whether `kind`'s built-in oracle is deterministic (see
+/// Oracle::IsDeterministic) without constructing one.
+bool OracleKindIsDeterministic(OracleKind kind);
+
+/// Builds one oracle for a campaign on `primary`. The differential oracle
+/// gets EffectiveDiffSecondary(spec, primary) and `enable_faults` for its
+/// secondary engine.
+std::unique_ptr<Oracle> MakeOracle(OracleKind kind, engine::Dialect primary,
+                                   bool enable_faults,
+                                   const OracleSuiteSpec& spec);
+
+/// Rebuilds the oracle that detected a recorded discrepancy/reproducer so
+/// reduction and replay re-run the SAME check: kCanonicalOnly maps to the
+/// standalone canonicalization oracle, kDifferential to a differential
+/// oracle against the recorded secondary dialect.
+std::unique_ptr<Oracle> MakeDetectingOracle(OracleKind kind,
+                                            engine::Dialect primary,
+                                            engine::Dialect diff_secondary,
+                                            bool enable_faults);
+
+/// One Check() invocation's result, tagged with the oracle that ran it.
+struct OracleFinding {
+  const Oracle* oracle = nullptr;
+  OracleOutcome outcome;
+};
+
+/// A configured set of oracles bound to one campaign shard (primary
+/// dialect + faultiness). Owns the oracle instances — and through the
+/// differential oracle, its secondary engine.
+class OracleSuite {
+ public:
+  OracleSuite(const OracleSuiteSpec& spec, engine::Dialect primary,
+              bool enable_faults);
+
+  const OracleSuiteSpec& spec() const { return spec_; }
+  const std::vector<std::unique_ptr<Oracle>>& oracles() const {
+    return oracles_;
+  }
+
+  /// Runs every configured oracle on (sdb1, query) in spec order and
+  /// returns one finding per Check() invocation (including inapplicable
+  /// outcomes, so callers can count checks the way the legacy loop did).
+  std::vector<OracleFinding> CheckAll(engine::Engine* engine,
+                                      const DatabaseSpec& sdb1,
+                                      const QuerySpec& query,
+                                      const OracleCtx& ctx) const;
+
+ private:
+  OracleSuiteSpec spec_;
+  std::vector<std::unique_ptr<Oracle>> oracles_;
+};
+
+}  // namespace spatter::fuzz
+
+#endif  // SPATTER_FUZZ_ORACLE_SUITE_H_

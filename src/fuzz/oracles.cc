@@ -6,22 +6,6 @@
 
 namespace spatter::fuzz {
 
-const char* OracleKindName(OracleKind k) {
-  switch (k) {
-    case OracleKind::kAei:
-      return "AEI";
-    case OracleKind::kCanonicalOnly:
-      return "Canonicalization";
-    case OracleKind::kDifferential:
-      return "Differential";
-    case OracleKind::kIndex:
-      return "Index";
-    case OracleKind::kTlp:
-      return "TLP";
-  }
-  return "Unknown";
-}
-
 Status LoadDatabase(engine::Engine* engine, const DatabaseSpec& sdb,
                     std::vector<std::vector<bool>>* accepted) {
   engine->Reset();

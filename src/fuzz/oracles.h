@@ -14,15 +14,9 @@
 
 namespace spatter::fuzz {
 
-enum class OracleKind {
-  kAei,            ///< canonicalize + affine transform, compare counts
-  kCanonicalOnly,  ///< identity matrix: canonicalization as the only change
-  kDifferential,   ///< same inputs on two SDBMS dialects
-  kIndex,          ///< same engine with and without a GiST index
-  kTlp,            ///< P + NOT P + P IS UNKNOWN must cover the cross join
-};
-
-const char* OracleKindName(OracleKind k);
+// OracleKind / OracleKindName live in fuzz/testcase.h (the data model);
+// the class-based campaign-facing API wrapping these free checks lives in
+// fuzz/oracle_suite.h.
 
 struct OracleOutcome {
   bool applicable = true;  ///< false: oracle cannot judge this input

@@ -136,9 +136,23 @@ DatabaseSpec ReduceDatabase(const DatabaseSpec& sdb,
 Discrepancy ReduceDiscrepancy(engine::Engine* engine, const Discrepancy& d,
                               ReductionStats* stats,
                               std::optional<faults::FaultId> preserve_fault) {
+  // Rebuild the DETECTING oracle (differential finds get their recorded
+  // secondary dialect, matching the primary's faultiness): a candidate is
+  // only "smaller" if it still fails the check that found the bug. A
+  // non-deterministic oracle's check cannot anchor a reduction — return
+  // the original input rather than minimize against noise.
+  if (!OracleKindIsDeterministic(d.oracle)) return d;
+  const std::unique_ptr<Oracle> oracle = MakeDetectingOracle(
+      d.oracle, engine->dialect(), d.diff_secondary,
+      /*enable_faults=*/!engine->fault_state().Enabled().empty());
+  OracleCtx ctx;
+  ctx.transform = d.transform;
+  ctx.canonical_only = d.oracle == OracleKind::kCanonicalOnly;
+  const auto check = [&](const DatabaseSpec& candidate) {
+    return oracle->Check(engine, candidate, d.query, ctx);
+  };
   const StillFailsFn still_fails = [&](const DatabaseSpec& candidate) {
-    const OracleOutcome o = RunAeiCheck(engine, candidate, d.query,
-                                        d.transform, /*canonicalize=*/true);
+    const OracleOutcome o = check(candidate);
     if (preserve_fault && o.fault_hits.count(*preserve_fault) == 0) {
       return false;
     }
@@ -148,8 +162,7 @@ Discrepancy ReduceDiscrepancy(engine::Engine* engine, const Discrepancy& d,
   if (still_fails(d.sdb1)) {
     reduced.sdb1 = ReduceDatabase(d.sdb1, still_fails, stats);
     // Refresh the observation and ground truth for the reduced case.
-    const OracleOutcome final_check = RunAeiCheck(
-        engine, reduced.sdb1, d.query, d.transform, /*canonicalize=*/true);
+    const OracleOutcome final_check = check(reduced.sdb1);
     if (final_check.mismatch || final_check.crash) {
       reduced.detail = final_check.detail;
       reduced.fault_hits = final_check.fault_hits;

@@ -31,13 +31,16 @@ DatabaseSpec ReduceDatabase(const DatabaseSpec& sdb,
                             const StillFailsFn& still_fails,
                             ReductionStats* stats = nullptr);
 
-/// Convenience wrapper that reduces a recorded AEI discrepancy: rebuilds
-/// the oracle check for each candidate. Returns the reduced discrepancy
-/// (query and transform unchanged). When `preserve_fault` is set, a
-/// candidate only counts as "still failing" if that fault fires — without
-/// it, reduction can drift to a smaller input whose mismatch has a
-/// DIFFERENT root cause, and the reproducer saved under this bug's name
-/// would replay some other bug.
+/// Convenience wrapper that reduces a recorded discrepancy: rebuilds the
+/// DETECTING oracle's check (d.oracle — AEI, canonicalization,
+/// differential against d.diff_secondary, index, or TLP) for each
+/// candidate, so minimized repros stay faithful for non-AEI finds.
+/// Returns the reduced discrepancy (query and transform unchanged). When
+/// `preserve_fault` is set, a candidate only counts as "still failing" if
+/// that fault fires — without it, reduction can drift to a smaller input
+/// whose mismatch has a DIFFERENT root cause, and the reproducer saved
+/// under this bug's name would replay some other bug. Non-deterministic
+/// oracles (none built-in) are not reduced: the input is returned as-is.
 Discrepancy ReduceDiscrepancy(
     engine::Engine* engine, const Discrepancy& d,
     ReductionStats* stats = nullptr,

@@ -4,6 +4,24 @@
 
 namespace spatter::fuzz {
 
+const char* OracleKindName(OracleKind k) {
+  switch (k) {
+    case OracleKind::kAei:
+      return "AEI";
+    case OracleKind::kCanonicalOnly:
+      return "Canonicalization";
+    case OracleKind::kDifferential:
+      return "Differential";
+    case OracleKind::kIndex:
+      return "Index";
+    case OracleKind::kTlp:
+      return "TLP";
+    case OracleKind::kGeneration:
+      return "Generation";
+  }
+  return "Unknown";
+}
+
 std::vector<std::string> DatabaseSpec::ToSql() const {
   std::vector<std::string> out;
   for (const auto& table : tables) {

@@ -11,6 +11,26 @@
 
 namespace spatter::fuzz {
 
+/// Which test oracle judged (or should judge) a test case. Lives in the
+/// data model rather than oracles.h so layers that only carry the value —
+/// the corpus codec, the wire protocol — need no oracle machinery.
+enum class OracleKind : uint8_t {
+  kAei,            ///< canonicalize + affine transform, compare counts
+  kCanonicalOnly,  ///< identity matrix: canonicalization as the only change
+  kDifferential,   ///< same inputs on two SDBMS dialects
+  kIndex,          ///< same engine with and without a GiST index
+  kTlp,            ///< P + NOT P + P IS UNKNOWN must cover the cross join
+  /// Not a configurable oracle: attribution for crashes hit during input
+  /// construction (generator/derivation), which belong to no judge. Keeps
+  /// per-oracle accounting honest when AEI is not even in the suite.
+  kGeneration,
+};
+
+/// Number of OracleKind values (for range validation on decode paths).
+inline constexpr uint8_t kNumOracleKinds = 6;
+
+const char* OracleKindName(OracleKind k);
+
 /// One generated table: a name and the WKT of each row's geometry.
 struct TableSpec {
   std::string name;

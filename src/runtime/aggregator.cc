@@ -22,6 +22,16 @@ namespace {
 // universe, so a shared-library fault can fire at the identical position
 // in two dialects — without this the winner would be merge-arrival
 // order, which in fleet mode is racy pipe order.
+//
+// Multi-oracle campaigns can tie on ALL of these: two oracles judging the
+// same (iteration, query) on the same dialect can hit the same fault.
+// That tie is deliberately NOT broken here — a full tie keeps the
+// incumbent, and in every merge path (in-shard first-wins, whole-shard
+// merge, fleet per-BUG stream) the incumbent is the earlier SUITE-ORDER
+// oracle, because one (dialect, iteration) pair runs on exactly one shard
+// and its findings arrive in suite order. Breaking the tie on OracleKind
+// instead would disagree with the in-shard rule whenever the configured
+// suite order differs from the enum order.
 bool DetectedEarlier(const fuzz::Discrepancy& a, const fuzz::Discrepancy& b) {
   if (a.iteration != b.iteration) return a.iteration < b.iteration;
   if (a.is_crash != b.is_crash) return a.is_crash;

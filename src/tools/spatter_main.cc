@@ -2,13 +2,17 @@
 // would run it:
 //
 //   spatter --dialect=postgis --seed=42 --iterations=100 --queries=100
-//           --geometries=10 --jobs=4 [--no-derivative] [--fixed] [--reduce]
+//           --geometries=10 --jobs=4 [--oracles=aei,diff,index,tlp]
+//           [--no-derivative] [--fixed] [--reduce]
 //           [--corpus=dir --mutate-pct=N] [--replay=file]
 //           [--fleet=P --duration=S --curve-out=curve.json]
 //           [--corpus-minify=dir]
 //
-// Runs an AEI campaign against the chosen (faulty by default) dialect and
+// Runs a campaign against the chosen (faulty by default) dialect and
 // prints each deduplicated unique bug with a minimal SQL reproducer.
+// --oracles picks the test-oracle suite run on every query (default: AEI
+// alone, the paper's contribution — bit-identical to the pre-suite
+// campaign); each bug is attributed to the oracle that detected it first.
 // --jobs=N shards the campaign across N worker threads; the unique-bug set
 // is identical for any N at a fixed seed (deterministic seed-splitting).
 // --dialect=all runs a fleet campaign over all four dialects at once,
@@ -66,6 +70,7 @@ struct Options {
   bool derivative = true;
   bool enable_faults = true;
   bool reduce = true;
+  fuzz::OracleSuiteSpec oracles;  // default: AEI alone
   std::string corpus_dir;   // empty = corpus mode off
   int mutate_pct = 50;
   bool transfer = true;     // cross-dialect corpus transfer on merge
@@ -100,6 +105,11 @@ void Usage() {
       "  --geometries=N    geometries per database (default 10)\n"
       "  --jobs=N          worker threads / shards (default 1); the\n"
       "                    unique-bug set is identical for any N\n"
+      "  --oracles=LIST    comma-separated test oracles run on every query:\n"
+      "                    aei, canon (canonicalization-only), diff[:dialect]\n"
+      "                    (cross-dialect differential), index (on/off),\n"
+      "                    tlp, or all (default aei; bugs are attributed to\n"
+      "                    the detecting oracle)\n"
       "  --fleet=P         spawn P worker processes x --jobs slices each;\n"
       "                    pure-generate bug sets are identical for any\n"
       "                    P x J factorization of the same P*J\n"
@@ -150,19 +160,15 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
   for (int i = 1; i < argc; ++i) {
     std::string value;
     if (ParseFlag(argv[i], "--dialect", &value)) {
-      if (value == "postgis") {
-        opts->dialect = engine::Dialect::kPostgis;
-      } else if (value == "duckdb") {
-        opts->dialect = engine::Dialect::kDuckdbSpatial;
-      } else if (value == "mysql") {
-        opts->dialect = engine::Dialect::kMysql;
-      } else if (value == "sqlserver") {
-        opts->dialect = engine::Dialect::kSqlserver;
-      } else if (value == "all") {
+      if (value == "all") {
         opts->all_dialects = true;
       } else {
-        std::fprintf(stderr, "unknown dialect '%s'\n", value.c_str());
-        return false;
+        auto dialect = engine::ParseDialectCliToken(value);
+        if (!dialect.ok()) {
+          std::fprintf(stderr, "unknown dialect '%s'\n", value.c_str());
+          return false;
+        }
+        opts->dialect = dialect.value();
       }
     } else if (ParseFlag(argv[i], "--seed", &value)) {
       opts->seed = std::strtoull(value.c_str(), nullptr, 10);
@@ -175,6 +181,14 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
     } else if (ParseFlag(argv[i], "--jobs", &value)) {
       if (!ParseSize(value, "--jobs", 1024, &opts->jobs)) return false;
       if (opts->jobs == 0) opts->jobs = 1;
+    } else if (ParseFlag(argv[i], "--oracles", &value)) {
+      auto spec = fuzz::ParseOracleSuite(value);
+      if (!spec.ok()) {
+        std::fprintf(stderr, "--oracles: %s\n",
+                     spec.status().ToString().c_str());
+        return false;
+      }
+      opts->oracles = spec.Take();
     } else if (ParseFlag(argv[i], "--fleet", &value)) {
       if (!ParseSize(value, "--fleet", 256, &opts->fleet)) return false;
     } else if (ParseFlag(argv[i], "--duration", &value)) {
@@ -267,6 +281,7 @@ fuzz::CampaignConfig BaseConfig(const Options& opts) {
   base.generator.num_geometries = opts.geometries;
   base.generator.derivative_enabled = opts.derivative;
   base.enable_faults = opts.enable_faults;
+  base.oracles = opts.oracles;
   if (!opts.corpus_dir.empty()) {
     base.corpus.enabled = true;
     base.corpus.mutate_pct = opts.mutate_pct;
@@ -309,9 +324,11 @@ int RunWorkerMode(const Options& opts) {
 // --- Replay mode ------------------------------------------------------------
 
 /// Re-executes a saved record: loads the database and, when a query was
-/// recorded, re-runs the exact AEI check. Returns 0 when the record's
-/// expected faults fire again (or, lacking expectations, when any
-/// discrepancy reproduces), 1 when it does not reproduce, 2 on bad input.
+/// recorded, re-runs the exact check of the oracle that detected it
+/// (recorded in the file; index/TLP/differential reproducers re-fire
+/// their own oracle, not AEI). Returns 0 when the record's expected
+/// faults fire again (or, lacking expectations, when any discrepancy
+/// reproduces), 1 when it does not reproduce, 2 on bad input.
 int RunReplay(const Options& opts) {
   std::ifstream in(opts.replay_file, std::ios::binary);
   if (!in) {
@@ -344,12 +361,21 @@ int RunReplay(const Options& opts) {
                 st.ToString().c_str());
     return st.ok() ? 0 : 1;
   }
+  std::string oracle_desc = fuzz::OracleKindName(rec.oracle);
+  if (rec.oracle == fuzz::OracleKind::kDifferential) {
+    oracle_desc += std::string(" vs ") +
+                   engine::DialectName(rec.diff_secondary);
+  }
   std::printf("  %s\n  -- %s oracle, transform %s\n",
-              rec.query.ToSql().c_str(),
-              rec.canonical_only ? "canonicalization-only" : "AEI",
+              rec.query.ToSql().c_str(), oracle_desc.c_str(),
               rec.transform.ToString().c_str());
-  const fuzz::OracleOutcome outcome = fuzz::RunAeiCheck(
-      &engine, rec.sdb, rec.query, rec.transform, /*canonicalize=*/true);
+  const std::unique_ptr<fuzz::Oracle> oracle = fuzz::MakeDetectingOracle(
+      rec.oracle, rec.dialect, rec.diff_secondary, opts.enable_faults);
+  fuzz::OracleCtx ctx;
+  ctx.transform = rec.transform;
+  ctx.canonical_only = rec.oracle == fuzz::OracleKind::kCanonicalOnly;
+  const fuzz::OracleOutcome outcome =
+      oracle->Check(&engine, rec.sdb, rec.query, ctx);
   std::printf("replay: %s%s\n",
               outcome.crash      ? "crash reproduced"
               : outcome.mismatch ? "mismatch reproduced"
@@ -403,6 +429,8 @@ void WriteReproducer(const std::string& dir, const faults::FaultInfo& info,
   rec.has_query = true;
   rec.query = d.query;
   rec.transform = d.transform;
+  rec.oracle = d.oracle;
+  rec.diff_secondary = d.diff_secondary;
   rec.canonical_only = d.oracle == fuzz::OracleKind::kCanonicalOnly;
   rec.fault_ids.push_back(static_cast<uint32_t>(info.id));
   auto encoded = corpus::TestCaseCodec::Encode(rec);
@@ -469,6 +497,8 @@ int main(int argc, char** argv) {
     std::printf("corpus: %s (mutate %d%%)\n", opts.corpus_dir.c_str(),
                 opts.mutate_pct);
   }
+  std::printf("oracles: %s\n",
+              fuzz::FormatOracleSuite(opts.oracles).c_str());
 
   fuzz::CampaignResult result;
   corpus::Corpus* merged_corpus = nullptr;
@@ -599,6 +629,28 @@ int main(int argc, char** argv) {
     std::printf("bug-set: %s\n", bug_set.empty() ? "(none)" : bug_set.c_str());
   }
 
+  // Per-oracle attribution of the deduplicated bugs (Table 4, live). The
+  // winning oracle per fault is factorization-invariant in pure-generate
+  // mode, so CI diffs this line across --jobs/--fleet splits too.
+  {
+    std::string by_oracle;
+    for (const auto& [kind, ids] : result.UniqueBugsByOracle()) {
+      if (!by_oracle.empty()) by_oracle += " ";
+      by_oracle += fuzz::OracleCliToken(kind);
+      by_oracle += "=" + std::to_string(ids.size());
+      by_oracle += "{";
+      bool first = true;
+      for (faults::FaultId id : ids) {
+        if (!first) by_oracle += ",";
+        by_oracle += faults::GetFaultInfo(id).name;
+        first = false;
+      }
+      by_oracle += "}";
+    }
+    std::printf("bug-set-by-oracle: %s\n",
+                by_oracle.empty() ? "(none)" : by_oracle.c_str());
+  }
+
   // Reduction is embarrassingly parallel — each bug gets its own fresh
   // engine of the dialect that found it (in fleet/sharded mode the
   // original shard engine is gone) — so batch it onto the same pool the
@@ -611,7 +663,11 @@ int main(int argc, char** argv) {
   std::vector<fuzz::Discrepancy> reduced(firsts.size());
   std::vector<size_t> to_reduce;
   for (size_t i = 0; i < firsts.size(); ++i) {
-    if (opts.reduce && !firsts[i].second->is_crash) {
+    // Only deterministic detecting oracles can anchor a delta reduction
+    // (every built-in oracle is; the declaration exists for future
+    // external-SDBMS backends).
+    if (opts.reduce && !firsts[i].second->is_crash &&
+        fuzz::OracleKindIsDeterministic(firsts[i].second->oracle)) {
       to_reduce.push_back(i);
     } else {
       reduced[i] = *firsts[i].second;
@@ -639,11 +695,12 @@ int main(int argc, char** argv) {
   for (const auto& [id, first] : result.unique_bugs) {
     const auto& info = faults::GetFaultInfo(id);
     const fuzz::Discrepancy& repro = reduced[repro_idx++];
-    std::printf("\n=== bug %d: %s [%s, %s, %s] (found by %s) ===\n", ++bug_no,
-                info.name, faults::ComponentName(info.component),
+    std::printf("\n=== bug %d: %s [%s, %s, %s] (found by %s via %s) ===\n",
+                ++bug_no, info.name, faults::ComponentName(info.component),
                 faults::BugKindName(info.kind),
                 faults::BugStatusName(info.status),
-                engine::DialectName(first.dialect));
+                engine::DialectName(first.dialect),
+                fuzz::OracleKindName(first.oracle));
     std::printf("%s\n", info.description);
     for (const auto& stmt : repro.sdb1.ToSql()) {
       std::printf("  %s\n", stmt.c_str());

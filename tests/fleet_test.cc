@@ -137,7 +137,7 @@ TEST(Wire, EveryFrameTypeRoundTrips) {
   bug.type = FrameType::kBug;
   bug.query_index = 17;
   bug.is_crash = true;
-  bug.canonical_only = false;
+  bug.oracle = static_cast<uint64_t>(fuzz::OracleKind::kIndex);
   bug.elapsed = 0.5;
   bug.detail = "count 3 vs 4, with spaces\tand tabs";
   bug.payload = {9, 9, 9};
@@ -181,7 +181,7 @@ TEST(Wire, EveryFrameTypeRoundTrips) {
     EXPECT_EQ(out.payload, frame.payload);
     EXPECT_EQ(out.query_index, frame.query_index);
     EXPECT_EQ(out.is_crash, frame.is_crash);
-    EXPECT_EQ(out.canonical_only, frame.canonical_only);
+    EXPECT_EQ(out.oracle, frame.oracle);
     EXPECT_EQ(out.detail, frame.detail);
     EXPECT_NEAR(out.busy_seconds, frame.busy_seconds, 1e-6);
     EXPECT_NEAR(out.engine_seconds, frame.engine_seconds, 1e-6);
@@ -211,6 +211,7 @@ TEST(Wire, RejectsCorruptFrames) {
       "SPTW1 ENTRY 0g",                     // bad hex payload
       "SPTW1 ENTRY abc",                    // odd hex payload
       "SPTW1 BUG 1 2 0 0.5 aa bb",          // is_crash not 0/1
+      "SPTW1 BUG 1 0 9 0.5 aa bb",          // oracle kind out of range
       "SPTW1 BUG 1 0 0 0.5 aa",             // missing payload
       "SPTW1 DONE 1 2 3 4.0 5.0 6 7 8",     // missing counter
       "SPTW1 STOP 1",                       // STOP takes no fields

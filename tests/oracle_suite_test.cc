@@ -1,0 +1,360 @@
+// Oracle-suite tests: the pluggable Oracle interface, campaign-level
+// index/TLP/differential runs, per-oracle bug attribution, the
+// bit-identical-default regression (the AEI-only suite must reproduce the
+// pre-redesign campaign exactly), oracle-aware reduction, and the
+// codec/wire plumbing that carries the detecting oracle to reproducers.
+#include <gtest/gtest.h>
+
+#include "corpus/codec.h"
+#include "fleet/wire.h"
+#include "fuzz/campaign.h"
+#include "fuzz/oracle_suite.h"
+#include "fuzz/reducer.h"
+#include "runtime/sharded_campaign.h"
+
+namespace spatter::fuzz {
+namespace {
+
+using engine::Dialect;
+
+CampaignConfig BaseCampaign(uint64_t seed) {
+  CampaignConfig config;
+  config.dialect = Dialect::kPostgis;
+  config.seed = seed;
+  config.iterations = 10;
+  config.queries_per_iteration = 50;
+  config.generator.num_geometries = 10;
+  return config;
+}
+
+std::set<std::string> BugNames(const CampaignResult& result) {
+  std::set<std::string> names;
+  for (const auto& [id, d] : result.unique_bugs) {
+    names.insert(faults::GetFaultInfo(id).name);
+  }
+  return names;
+}
+
+TEST(OracleSuiteDefault, BitIdenticalToPreRedesignCampaign) {
+  // Regression pin captured from the pre-suite build (commit c279641) at
+  // seed 4242, 10 x 50 checks on faulty PostGIS: the default --oracles=aei
+  // configuration must reproduce the exact discrepancy count and
+  // unique-bug set — same RNG stream, same bug universe, bit for bit.
+  Campaign campaign(BaseCampaign(4242));
+  const CampaignResult result = campaign.Run();
+  EXPECT_EQ(result.discrepancies.size(), 22u);
+  EXPECT_EQ(BugNames(result),
+            (std::set<std::string>{
+                "geos_gc_boundary_last_one_wins",
+                "geos_mixed_dimension_first_element",
+                "geos_gc_empty_element_intersects",
+                "geos_crash_convex_hull_collinear",
+                "postgis_distance_empty_recursion",
+                "postgis_dfullywithin_definition",
+                "postgis_dwithin_negative_coords",
+            }));
+  // The legacy loop ran exactly one check per query.
+  EXPECT_EQ(result.checks_run, result.queries_run);
+  // Every oracle finding is attributed to the AEI family; crashes hit
+  // during input construction belong to no oracle and say so.
+  for (const auto& d : result.discrepancies) {
+    if (d.query.predicate.empty()) {
+      EXPECT_EQ(d.oracle, OracleKind::kGeneration);
+    } else {
+      EXPECT_TRUE(d.oracle == OracleKind::kAei ||
+                  d.oracle == OracleKind::kCanonicalOnly)
+          << OracleKindName(d.oracle);
+    }
+  }
+}
+
+TEST(OracleSuite, SpecParsingAndFormatting) {
+  auto spec = ParseOracleSuite("aei,diff,index,tlp");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec.value().oracles,
+            (std::vector<OracleKind>{OracleKind::kAei,
+                                     OracleKind::kDifferential,
+                                     OracleKind::kIndex, OracleKind::kTlp}));
+  EXPECT_EQ(FormatOracleSuite(spec.value()), "aei,diff,index,tlp");
+
+  auto all = ParseOracleSuite("all");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all.value().oracles.size(), 4u);
+
+  auto with_secondary = ParseOracleSuite("diff:duckdb");
+  ASSERT_TRUE(with_secondary.ok());
+  EXPECT_EQ(with_secondary.value().diff_secondary,
+            Dialect::kDuckdbSpatial);
+  EXPECT_EQ(FormatOracleSuite(with_secondary.value()), "diff:duckdb");
+
+  EXPECT_FALSE(ParseOracleSuite("").ok());
+  EXPECT_FALSE(ParseOracleSuite("aei,aei").ok());
+  EXPECT_FALSE(ParseOracleSuite("nosuch").ok());
+  EXPECT_FALSE(ParseOracleSuite("diff:nosuch").ok());
+  EXPECT_FALSE(ParseOracleSuite("diff:").ok())
+      << "an empty dialect must not silently mean the default";
+  EXPECT_FALSE(ParseOracleSuite("gen").ok())
+      << "generation attribution is not a configurable oracle";
+}
+
+TEST(OracleSuite, EffectiveDiffSecondaryNeverDegenerates) {
+  OracleSuiteSpec spec;  // diff_secondary = mysql
+  EXPECT_EQ(EffectiveDiffSecondary(spec, Dialect::kPostgis),
+            Dialect::kMysql);
+  EXPECT_EQ(EffectiveDiffSecondary(spec, Dialect::kMysql),
+            Dialect::kPostgis);
+  spec.diff_secondary = Dialect::kDuckdbSpatial;
+  EXPECT_EQ(EffectiveDiffSecondary(spec, Dialect::kDuckdbSpatial),
+            Dialect::kMysql);
+}
+
+TEST(OracleSuite, DifferentialOracleOwnsItsSecondaryEngine) {
+  // MySQL's swapped-axes overlap bug: a postgis-primary differential
+  // oracle against mysql sees the disagreement with no external engine
+  // plumbing.
+  OracleSuiteSpec spec;
+  const auto oracle =
+      MakeOracle(OracleKind::kDifferential, Dialect::kPostgis,
+                 /*enable_faults=*/true, spec);
+  ASSERT_TRUE(oracle->SecondaryDialect().has_value());
+  EXPECT_EQ(*oracle->SecondaryDialect(), Dialect::kMysql);
+  EXPECT_TRUE(oracle->IsDeterministic());
+
+  engine::Engine pg(Dialect::kPostgis, true);
+  DatabaseSpec gc_db;
+  gc_db.tables.push_back(TableSpec{"t1", {"POINT(0 0)"}});
+  gc_db.tables.push_back(TableSpec{
+      "t2", {"GEOMETRYCOLLECTION(POINT(0 0),LINESTRING(0 0,1 0))"}});
+  QuerySpec within;
+  within.table1 = "t1";
+  within.table2 = "t2";
+  within.predicate = "ST_Within";
+  ASSERT_TRUE(oracle->AppliesTo(pg, within));
+  const OracleOutcome o = oracle->Check(&pg, gc_db, within, OracleCtx{});
+  EXPECT_TRUE(o.applicable);
+  EXPECT_TRUE(o.mismatch) << o.detail;
+
+  // ST_Covers is missing in MySQL: the static applicability declaration
+  // says so before any engine work happens.
+  QuerySpec covers = within;
+  covers.predicate = "ST_Covers";
+  EXPECT_FALSE(oracle->AppliesTo(pg, covers));
+}
+
+TEST(OracleSuite, IndexOracleCampaignFindsAndAttributesIndexBugs) {
+  CampaignConfig config = BaseCampaign(7);
+  config.iterations = 12;
+  config.queries_per_iteration = 30;
+  config.oracles.oracles = {OracleKind::kIndex};
+  Campaign campaign(config);
+  const CampaignResult result = campaign.Run();
+  EXPECT_EQ(result.checks_run, result.queries_run);
+  ASSERT_GT(result.discrepancies.size(), 0u)
+      << "the index on/off oracle should catch index-path faults";
+  for (const auto& d : result.discrepancies) {
+    // Generation crashes are attributed to no oracle — NOT to AEI, which
+    // is not even in this suite.
+    EXPECT_EQ(d.oracle, d.query.predicate.empty() ? OracleKind::kGeneration
+                                                  : OracleKind::kIndex);
+  }
+  const auto by_oracle = result.UniqueBugsByOracle();
+  EXPECT_TRUE(by_oracle.count(OracleKind::kIndex));
+}
+
+TEST(OracleSuite, TlpOracleCampaignRunsAndStaysQuietOnCleanEngine) {
+  CampaignConfig config = BaseCampaign(11);
+  config.iterations = 6;
+  config.queries_per_iteration = 30;
+  config.enable_faults = false;
+  config.oracles.oracles = {OracleKind::kTlp};
+  Campaign clean(config);
+  const CampaignResult clean_result = clean.Run();
+  EXPECT_EQ(clean_result.discrepancies.size(), 0u)
+      << "TLP must hold on our own (fixed) semantics";
+
+  config.enable_faults = true;
+  config.iterations = 12;
+  Campaign faulty(config);
+  const CampaignResult faulty_result = faulty.Run();
+  for (const auto& d : faulty_result.discrepancies) {
+    if (d.query.predicate.empty()) continue;
+    EXPECT_EQ(d.oracle, OracleKind::kTlp);
+  }
+}
+
+TEST(OracleSuite, MultiOracleCampaignAttributesPerOracle) {
+  CampaignConfig config = BaseCampaign(7);
+  config.iterations = 12;
+  config.queries_per_iteration = 30;
+  auto spec = ParseOracleSuite("aei,diff,index,tlp");
+  ASSERT_TRUE(spec.ok());
+  config.oracles = spec.Take();
+  Campaign campaign(config);
+  const CampaignResult result = campaign.Run();
+  // Four checks per query (one per configured oracle).
+  EXPECT_EQ(result.checks_run, 4 * result.queries_run);
+  const auto by_oracle = result.UniqueBugsByOracle();
+  // Observed at this pinned seed: every oracle family wins at least one
+  // fault (AEI/canon share the aei family's stream).
+  EXPECT_GE(by_oracle.size(), 3u);
+  EXPECT_TRUE(by_oracle.count(OracleKind::kDifferential));
+  size_t attributed = 0;
+  for (const auto& [kind, ids] : by_oracle) attributed += ids.size();
+  EXPECT_EQ(attributed, result.unique_bugs.size());
+}
+
+TEST(OracleSuite, MultiOracleBugSetInvariantAcrossJobs) {
+  runtime::ShardedCampaignConfig config;
+  config.base = BaseCampaign(21);
+  config.base.iterations = 9;
+  config.base.queries_per_iteration = 20;
+  auto spec = ParseOracleSuite("aei,diff,index,tlp");
+  ASSERT_TRUE(spec.ok());
+  config.base.oracles = spec.Take();
+
+  config.jobs = 1;
+  runtime::ShardedCampaign serial(config);
+  const CampaignResult r1 = serial.Run();
+
+  config.jobs = 3;
+  runtime::ShardedCampaign sharded(config);
+  const CampaignResult r3 = sharded.Run();
+
+  EXPECT_EQ(BugNames(r1), BugNames(r3));
+  // The winning oracle per fault is part of the determinism contract.
+  for (const auto& [id, d] : r1.unique_bugs) {
+    const auto it = r3.unique_bugs.find(id);
+    ASSERT_NE(it, r3.unique_bugs.end());
+    EXPECT_EQ(d.oracle, it->second.oracle)
+        << faults::GetFaultInfo(id).name;
+    EXPECT_EQ(d.iteration, it->second.iteration);
+  }
+}
+
+TEST(OracleSuite, ReducerReChecksWithDetectingOracle) {
+  // An index-oracle find (the GiST EMPTY bug) padded with junk rows: the
+  // reducer must shrink it while re-checking with the INDEX oracle — the
+  // AEI check never sees this mismatch (both sides load identically), so
+  // a non-oracle-aware reducer would refuse to reduce at all.
+  engine::Engine faulty(Dialect::kPostgis, true);
+  Discrepancy d;
+  d.oracle = OracleKind::kIndex;
+  d.dialect = Dialect::kPostgis;
+  d.query.table1 = "t1";
+  d.query.table2 = "t2";
+  d.query.predicate = "~=";
+  d.transform = algo::AffineTransform::Identity();
+  d.sdb1.tables.push_back(TableSpec{
+      "t1", {"POINT EMPTY", "POINT(5 5)", "LINESTRING(0 0,2 2)"}});
+  d.sdb1.tables.push_back(TableSpec{
+      "t2", {"POINT EMPTY", "POLYGON((0 0,4 0,4 4,0 4,0 0))"}});
+  const auto check = RunIndexCheck(&faulty, d.sdb1, d.query);
+  ASSERT_TRUE(check.mismatch) << check.detail;
+
+  ReductionStats stats;
+  const Discrepancy reduced = ReduceDiscrepancy(
+      &faulty, d, &stats, faults::FaultId::kPostgisGistEmptySameAs);
+  EXPECT_LT(reduced.sdb1.TotalRows(), d.sdb1.TotalRows());
+  EXPECT_GT(stats.checks, 0u);
+  const auto again = RunIndexCheck(&faulty, reduced.sdb1, d.query);
+  EXPECT_TRUE(again.mismatch) << "minimized repro must still fail the "
+                                 "detecting oracle";
+  EXPECT_TRUE(again.fault_hits.count(faults::FaultId::kPostgisGistEmptySameAs));
+}
+
+TEST(OracleSuite, CodecRoundTripsDetectingOracle) {
+  corpus::TestCaseRecord rec;
+  rec.kind = corpus::RecordKind::kReproducer;
+  rec.dialect = Dialect::kPostgis;
+  rec.seed = 99;
+  rec.iteration = 3;
+  rec.sdb.tables.push_back(TableSpec{"t1", {"POINT(1 2)"}});
+  rec.sdb.tables.push_back(TableSpec{"t2", {"POINT(1 2)"}});
+  rec.has_query = true;
+  rec.query.table1 = "t1";
+  rec.query.table2 = "t2";
+  rec.query.predicate = "ST_Within";
+  rec.oracle = OracleKind::kDifferential;
+  rec.diff_secondary = Dialect::kDuckdbSpatial;
+
+  auto encoded = corpus::TestCaseCodec::Encode(rec);
+  ASSERT_TRUE(encoded.ok());
+  auto decoded = corpus::TestCaseCodec::Decode(encoded.value());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().oracle, OracleKind::kDifferential);
+  EXPECT_EQ(decoded.value().diff_secondary, Dialect::kDuckdbSpatial);
+  EXPECT_FALSE(decoded.value().canonical_only);
+
+  // Byte-identical re-encode (the codec's core contract, now with the
+  // oracle fields in the payload).
+  auto re = corpus::TestCaseCodec::Encode(decoded.value());
+  ASSERT_TRUE(re.ok());
+  EXPECT_EQ(re.value(), encoded.value());
+}
+
+TEST(OracleSuite, CodecDecodesLegacyV1RecordsAsAeiFamily) {
+  corpus::TestCaseRecord rec;
+  rec.kind = corpus::RecordKind::kReproducer;
+  rec.dialect = Dialect::kPostgis;
+  rec.sdb.tables.push_back(TableSpec{"t1", {"POINT(0 0)"}});
+  rec.oracle = OracleKind::kCanonicalOnly;
+  auto encoded = corpus::TestCaseCodec::Encode(rec);
+  ASSERT_TRUE(encoded.ok());
+
+  // Rewrite as a v1 record: patch the version word and strip the two
+  // appended oracle bytes (v2 = v1 payload + oracle + diff_secondary).
+  std::vector<uint8_t> v1 = encoded.value();
+  ASSERT_EQ(v1[4], 2u);  // version lives after the 4-byte magic
+  v1[4] = 1;
+  v1.resize(v1.size() - 2);
+  auto decoded = corpus::TestCaseCodec::Decode(v1);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().oracle, OracleKind::kCanonicalOnly)
+      << "v1 records carry oracle identity in the canonical_only flag";
+  EXPECT_TRUE(decoded.value().canonical_only);
+}
+
+TEST(OracleSuite, BugFrameCarriesDetectingOracle) {
+  Discrepancy d;
+  d.iteration = 5;
+  d.query_index = 2;
+  d.oracle = OracleKind::kTlp;
+  d.dialect = Dialect::kMysql;
+  d.sdb1.tables.push_back(TableSpec{"t1", {"POINT(1 1)"}});
+  d.query.table1 = "t1";
+  d.query.table2 = "t1";
+  d.query.predicate = "ST_Intersects";
+  d.detail = "partitions {1+0+0} != cross join {2}";
+  auto frame = fleet::MakeBugFrame(d, /*master_seed=*/42);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame.value().oracle, static_cast<uint64_t>(OracleKind::kTlp));
+  auto line = fleet::EncodeFrame(frame.value());
+  auto decoded = fleet::DecodeFrame(line);
+  ASSERT_TRUE(decoded.ok());
+  auto back = fleet::BugFrameToDiscrepancy(decoded.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().oracle, OracleKind::kTlp);
+  EXPECT_EQ(back.value().dialect, Dialect::kMysql);
+}
+
+TEST(OracleSuite, CanonicalOnlyOracleIgnoresDrawnTransform) {
+  // The standalone canonicalization oracle must pin the identity matrix
+  // even when the campaign drew a transform for the AEI member.
+  engine::Engine clean(Dialect::kPostgis, false);
+  DatabaseSpec sdb;
+  sdb.tables.push_back(TableSpec{"t1", {"POINT(1 1)"}});
+  sdb.tables.push_back(TableSpec{"t2", {"POINT(1 1)"}});
+  QuerySpec q;
+  q.table1 = "t1";
+  q.table2 = "t2";
+  q.predicate = "ST_Equals";
+  OracleCtx ctx;
+  ctx.transform = algo::AffineTransform::Translation(1000, 1000);
+  CanonicalOnlyOracle canon;
+  const OracleOutcome o = canon.Check(&clean, sdb, q, ctx);
+  EXPECT_TRUE(o.applicable);
+  EXPECT_FALSE(o.mismatch) << o.detail;
+}
+
+}  // namespace
+}  // namespace spatter::fuzz
