@@ -12,14 +12,27 @@
 // construction, which would make the gate self-congratulatory.
 //
 // Also emits the machine-readable curve JSON (fleet/curve.h) that
-// `spatter --duration=S --curve-out=FILE` produces, as a format example.
+// `spatter --duration=S --curve-out=FILE` produces, as a format example,
+// and gates checkpoint-resume curve fidelity: a campaign SIGKILLed at a
+// checkpoint and resumed must re-emit the checkpointed curve prefix
+// sample-for-sample and converge to the identical final coverage, bug
+// count, and iteration total as the uninterrupted reference at equal
+// total budget. (The equal-budget comparison runs on an iteration budget
+// — wall-time sample INSTANTS are never reproducible across runs, so the
+// reference pin is the restored prefix plus the final totals.)
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <cstdio>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
 #include "common/coverage.h"
+#include "fleet/checkpoint.h"
+#include "fleet/coordinator.h"
 #include "fleet/curve.h"
 #include "runtime/sharded_campaign.h"
 
@@ -82,6 +95,109 @@ void PrintCurve(const char* name, const CurveRun& run) {
               samples.size());
 }
 
+/// Gate 2: a resumed campaign's curve is the checkpointed prefix,
+/// sample-for-sample, and its final totals equal the uninterrupted
+/// reference's at equal total budget. Returns false on any mismatch.
+bool CheckResumeCurveFidelity() {
+  namespace fs = std::filesystem;
+  std::printf("\nCheckpoint-resume curve fidelity (iteration budget, "
+              "per-iteration COV)\n");
+
+  fleet::FleetConfig base;
+  base.base.dialect = engine::Dialect::kPostgis;
+  base.base.seed = 3104;
+  base.base.iterations = 16;
+  base.base.queries_per_iteration = 40;
+  base.base.generator.num_geometries = 10;
+  base.processes = 1;
+  base.jobs = 2;
+  base.cov_interval_seconds = 0.0;  // exact coverage restoration
+
+  fleet::FleetCoordinator reference(base);
+  const fuzz::CampaignResult ref = reference.Run();
+  const size_t ref_sites = reference.fleet_covered_sites();
+
+  const std::string dir = "fig8_resume_ckpt";
+  fs::remove_all(dir);
+  fleet::FleetConfig killed = base;
+  killed.checkpoint_dir = dir;
+  killed.checkpoint_interval_seconds = 0.0;
+  killed.die_after_frames = 30;  // < 1 + 16 * 2 minimum stream length
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    fleet::FleetCoordinator coordinator(killed);
+    coordinator.Run();
+    ::_exit(0);
+  }
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  if (!WIFSIGNALED(status) || WTERMSIG(status) != SIGKILL) {
+    std::printf("FAIL: seamed coordinator was not SIGKILLed mid-run\n");
+    return false;
+  }
+
+  auto loaded = fleet::LoadCheckpoint(dir);
+  if (!loaded.ok()) {
+    std::printf("FAIL: %s\n", loaded.status().ToString().c_str());
+    return false;
+  }
+  const std::vector<fleet::CurveSample> prefix = loaded.value().curve;
+  fleet::FleetConfig resumed_config = base;
+  resumed_config.resume = loaded.Take();
+  fleet::FleetCoordinator resumed(resumed_config);
+  const fuzz::CampaignResult result = resumed.Run();
+  const std::vector<fleet::CurveSample> samples = resumed.curve().samples();
+
+  if (samples.size() < prefix.size()) {
+    std::printf("FAIL: resumed curve dropped restored samples\n");
+    return false;
+  }
+  for (size_t i = 0; i < prefix.size(); ++i) {
+    if (samples[i].elapsed_seconds != prefix[i].elapsed_seconds ||
+        samples[i].covered_sites != prefix[i].covered_sites ||
+        samples[i].unique_bugs != prefix[i].unique_bugs ||
+        samples[i].iterations != prefix[i].iterations) {
+      std::printf("FAIL: restored curve sample %zu is not identical\n", i);
+      return false;
+    }
+  }
+  // The restored prefix renders into the resumed JSON byte-identically
+  // (the checkpoint codec round-trips doubles exactly).
+  if (!prefix.empty()) {
+    fleet::CurveInfo info;
+    info.label = "resume";
+    const std::string json = resumed.curve().ToJson(info);
+    char line[256];
+    const fleet::CurveSample& last = prefix.back();
+    std::snprintf(line, sizeof(line),
+                  "{\"t\": %.3f, \"sites\": %llu, \"unique_bugs\": %llu, "
+                  "\"iterations\": %llu}",
+                  last.elapsed_seconds,
+                  static_cast<unsigned long long>(last.covered_sites),
+                  static_cast<unsigned long long>(last.unique_bugs),
+                  static_cast<unsigned long long>(last.iterations));
+    if (json.find(line) == std::string::npos) {
+      std::printf("FAIL: restored sample missing from resumed JSON\n");
+      return false;
+    }
+  }
+  if (resumed.fleet_covered_sites() != ref_sites ||
+      result.unique_bugs.size() != ref.unique_bugs.size() ||
+      result.iterations_run != ref.iterations_run) {
+    std::printf("FAIL: resumed totals diverge (sites %zu vs %zu, bugs %zu "
+                "vs %zu, iterations %zu vs %zu)\n",
+                resumed.fleet_covered_sites(), ref_sites,
+                result.unique_bugs.size(), ref.unique_bugs.size(),
+                result.iterations_run, ref.iterations_run);
+    return false;
+  }
+  std::printf("OK: resumed curve = %zu restored + %zu new samples, final "
+              "sites/bugs/iterations identical to uninterrupted\n",
+              prefix.size(), samples.size() - prefix.size());
+  fs::remove_all(dir);
+  return true;
+}
+
 }  // namespace
 
 int main() {
@@ -127,5 +243,7 @@ int main() {
     return 1;
   }
   std::printf("OK: corpus-guided >= pure-random at equal duration\n");
+
+  if (!CheckResumeCurveFidelity()) return 1;
   return 0;
 }

@@ -1,0 +1,38 @@
+// Crash-consistent file persistence, shared by every subsystem that
+// writes state another run will read back (corpus entries, Figure-8 curve
+// JSON, fleet checkpoints, crash reproducers).
+//
+// The invariant AtomicWriteFile provides: a reader opening `path` sees
+// either the complete previous contents or the complete new contents,
+// never a torn mix — a process killed mid-persist (OOM, SIGKILL,
+// preemption) leaves at most an orphaned temp file behind. That is the
+// foundation the checkpoint/resume contract stands on: `--resume` must be
+// able to trust whatever checkpoint file it finds.
+#ifndef SPATTER_COMMON_FSIO_H_
+#define SPATTER_COMMON_FSIO_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/status.h"
+
+namespace spatter {
+
+/// Writes `size` bytes to `path` atomically: the bytes land in a
+/// same-directory temp file (`<path>.tmp.<pid>` — same filesystem, so the
+/// final rename(2) is atomic) which is then renamed over `path`. On any
+/// failure the temp file is removed and `path` is untouched.
+Status AtomicWriteFile(const std::string& path, const void* data,
+                       size_t size);
+Status AtomicWriteFile(const std::string& path, const std::string& text);
+
+/// Test-only fault injection: when armed, the NEXT AtomicWriteFile call
+/// writes its temp file completely and then _exit(3)s the process before
+/// the rename — the observable state of a writer killed mid-persist.
+/// Regression tests fork a child, arm this, and assert the parent still
+/// reads the previous contents. Never set outside tests.
+void ArmAtomicWriteKillForTest();
+
+}  // namespace spatter
+
+#endif  // SPATTER_COMMON_FSIO_H_

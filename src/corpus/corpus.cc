@@ -5,6 +5,8 @@
 #include <filesystem>
 #include <fstream>
 
+#include "common/fsio.h"
+
 namespace spatter::corpus {
 
 namespace fs = std::filesystem;
@@ -210,20 +212,25 @@ Status Corpus::SaveTo(const std::string& dir) const {
     live.insert(name);
     auto encoded = TestCaseCodec::Encode(slot.record);
     if (!encoded.ok()) return encoded.status();
-    std::ofstream out(fs::path(dir) / name, std::ios::binary);
-    out.write(reinterpret_cast<const char*>(encoded.value().data()),
-              static_cast<std::streamsize>(encoded.value().size()));
-    if (!out) {
-      return Status::Internal("cannot write corpus entry '" + name + "'");
-    }
+    // Atomic write-rename: the fleet checkpoint path re-saves the corpus
+    // mid-campaign, so a coordinator killed here must leave every entry
+    // file whole — a torn .sptc would be silently skipped on the next
+    // load and then deleted as stale by the save after that.
+    const Status written =
+        AtomicWriteFile((fs::path(dir) / name).string(),
+                        encoded.value().data(), encoded.value().size());
+    if (!written.ok()) return written;
   }
   // Drop stale entry files so the directory mirrors the corpus (evicted
-  // and merged-away entries would otherwise resurrect on the next load).
+  // and merged-away entries would otherwise resurrect on the next load),
+  // plus temp files orphaned by a writer killed mid-persist.
   for (const auto& item : fs::directory_iterator(dir, ec)) {
     const std::string name = item.path().filename().string();
-    if (IsEntryFileName(name) && live.find(name) == live.end()) {
-      fs::remove(item.path(), ec);
-    }
+    const bool stale_entry =
+        IsEntryFileName(name) && live.find(name) == live.end();
+    const bool orphan_tmp =
+        name.find(std::string(kEntrySuffix) + ".tmp.") != std::string::npos;
+    if (stale_entry || orphan_tmp) fs::remove(item.path(), ec);
   }
   return Status::OK();
 }

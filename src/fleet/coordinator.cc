@@ -14,6 +14,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "common/fsio.h"
 #include "corpus/codec.h"
 #include "engine/dialect.h"
 #include "fleet/wire.h"
@@ -50,6 +51,10 @@ struct FleetCoordinator::Worker {
   /// count is "iterations started", the value the last announced index.
   std::map<std::pair<uint64_t, uint64_t>, uint64_t> started;
   std::map<std::pair<uint64_t, uint64_t>, uint64_t> last_inflight;
+  /// Latest SLICEPROGRESS per (dialect, slice): ABSOLUTE completed count
+  /// (resume offset included), so a checkpoint copies it verbatim. Not
+  /// cleared on respawn — the marks stay valid across incarnations.
+  std::map<std::pair<uint64_t, uint64_t>, uint64_t> progress;
   /// Latest COV counters this incarnation (crash-loss accounting).
   uint64_t cov_iterations = 0;
   uint64_t cov_queries = 0;
@@ -265,6 +270,7 @@ void FleetCoordinator::HandleLine(Worker* worker, const std::string& line) {
     protocol_errors_++;
     return;  // skip the corrupt line; the stream stays line-synchronized
   }
+  frames_handled_++;
   const Frame& frame = decoded.value();
   switch (frame.type) {
     case FrameType::kHello:
@@ -279,6 +285,9 @@ void FleetCoordinator::HandleLine(Worker* worker, const std::string& line) {
       // The slice's last announced iteration completed: it must not be
       // persisted as an in-flight reproducer if the worker dies later.
       worker->last_inflight.erase({frame.dialect, frame.slice});
+      break;
+    case FrameType::kSliceProgress:
+      worker->progress[{frame.dialect, frame.slice}] = frame.completed;
       break;
     case FrameType::kCov: {
       for (uint64_t key : frame.site_keys) covered_keys_.insert(key);
@@ -330,6 +339,111 @@ void FleetCoordinator::HandleLine(Worker* worker, const std::string& line) {
     case FrameType::kStop:
       break;  // coordinator-only frame; a worker echoing it is harmless
   }
+  if (config_.die_after_frames > 0 &&
+      frames_handled_ == config_.die_after_frames) {
+    // Crash-equivalence seam: die like an OOM-killed coordinator at a
+    // reproducible point in the merged stream (after this frame took
+    // effect but before any later checkpoint could persist it).
+    ::kill(::getpid(), SIGKILL);
+  }
+}
+
+CheckpointState FleetCoordinator::GatherCheckpoint() const {
+  CheckpointState state;
+  state.seed = config_.base.seed;
+  state.iterations = config_.base.iterations;
+  state.queries_per_iteration = config_.base.queries_per_iteration;
+  state.num_geometries = config_.base.generator.num_geometries;
+  state.total_slices = total_slices_;
+  state.enable_faults = config_.base.enable_faults;
+  state.derivative_enabled = config_.base.generator.derivative_enabled;
+  state.dialects = dialects_;
+  state.oracles = config_.base.oracles;
+  state.corpus_enabled = config_.base.corpus.enabled;
+  state.mutate_pct = config_.base.corpus.mutate_pct;
+  state.duration_seconds = config_.duration_seconds;
+
+  state.elapsed_seconds = Campaign::NowSeconds() - t0_;
+  // High-water marks: a worker's options.completed is its incarnation's
+  // starting state (resume offsets, crash-skip bumps), progress the
+  // absolute SLICEPROGRESS marks since; max-merge keeps whichever is
+  // ahead. Only COMPLETED iterations land here — the in-flight one is
+  // re-run on resume, so its bugs can never be skipped past.
+  for (const auto& worker : workers_) {
+    if (!worker) continue;
+    for (const auto& [key, count] : worker->options.completed) {
+      uint64_t& mark = state.completed[key];
+      mark = std::max(mark, count);
+    }
+    for (const auto& [key, count] : worker->progress) {
+      uint64_t& mark = state.completed[key];
+      mark = std::max(mark, count);
+    }
+  }
+  for (const auto& [key, count] : state.completed) {
+    state.iterations_run += count;
+  }
+  const CampaignResult& acc = aggregator_.current();
+  state.queries_run = acc.queries_run;
+  state.checks_run = acc.checks_run;
+  for (const auto& worker : workers_) {
+    // Live incarnations' counters exist only in their COV heartbeats
+    // (merged on DONE or death); fold the latest reading in, same as
+    // AddCurveSample does.
+    if (worker && worker->pid > 0 && !worker->got_done) {
+      state.queries_run += worker->cov_queries;
+      state.checks_run += worker->cov_queries;
+    }
+  }
+  state.busy_seconds = acc.busy_seconds;
+  state.engine_seconds = acc.engine_seconds;
+  for (const auto& [id, d] : acc.unique_bugs) {
+    state.unique_bugs.emplace_back(id, d);
+  }
+  state.covered_sites = covered_keys_;
+  state.curve = curve_.samples();
+
+  if (corpus_ && !config_.corpus_dir.empty()) {
+    state.corpus_dir = config_.corpus_dir;
+    for (const corpus::TestCaseRecord& record : corpus_->Entries()) {
+      state.corpus_signatures.push_back(
+          corpus::TestCaseCodec::SiteSignature(record.sites));
+    }
+    state.corpus_entries = state.corpus_signatures.size();
+  }
+  return state;
+}
+
+void FleetCoordinator::MaybeCheckpoint(bool force) {
+  if (config_.checkpoint_dir.empty()) return;
+  const double now = Campaign::NowSeconds();
+  if (!force &&
+      now - last_checkpoint_ < config_.checkpoint_interval_seconds) {
+    return;
+  }
+  last_checkpoint_ = now;
+  if (corpus_ && !config_.corpus_dir.empty()) {
+    // The checkpoint's corpus manifest must describe what is actually on
+    // disk, so the corpus is persisted first (entry writes are atomic
+    // too: a kill inside this save tears nothing).
+    const Status saved = corpus_->SaveTo(config_.corpus_dir);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "fleet: checkpoint corpus save: %s\n",
+                   saved.ToString().c_str());
+    }
+  }
+  const Status written =
+      WriteCheckpoint(config_.checkpoint_dir, GatherCheckpoint());
+  if (!written.ok()) {
+    std::fprintf(stderr, "fleet: checkpoint: %s\n",
+                 written.ToString().c_str());
+    return;
+  }
+  checkpoints_written_++;
+  if (config_.die_after_checkpoints > 0 &&
+      checkpoints_written_ == config_.die_after_checkpoints) {
+    ::kill(::getpid(), SIGKILL);  // crash-equivalence seam, see above
+  }
 }
 
 void FleetCoordinator::PersistInflight(const Worker& worker) {
@@ -364,10 +478,9 @@ void FleetCoordinator::PersistInflight(const Worker& worker) {
     const std::filesystem::path path =
         std::filesystem::path(config_.reproducer_dir) /
         InflightFileName(worker.index, dialect, iteration);
-    std::ofstream out(path, std::ios::binary);
-    out.write(reinterpret_cast<const char*>(encoded.value().data()),
-              static_cast<std::streamsize>(encoded.value().size()));
-    if (out) inflight_persisted_++;
+    const Status written = AtomicWriteFile(
+        path.string(), encoded.value().data(), encoded.value().size());
+    if (written.ok()) inflight_persisted_++;
   }
 }
 
@@ -420,12 +533,24 @@ void FleetCoordinator::HandleExit(Worker* worker, int wait_status) {
                  worker->index,
                  WIFEXITED(wait_status) ? WEXITSTATUS(wait_status) : -1);
   }
+  // Iterations are counted exactly from SLICEPROGRESS marks (every
+  // completed iteration sends one; the absolute mark minus the
+  // incarnation's starting offset is what this incarnation finished).
+  // Queries fall back to the interval-gated COV reading — there is no
+  // per-iteration query frame, and nothing downstream needs exactness.
+  uint64_t completed_now = 0;
+  for (const auto& [key, mark] : worker->progress) {
+    const auto it = worker->options.completed.find(key);
+    const uint64_t at_spawn =
+        it == worker->options.completed.end() ? 0 : it->second;
+    if (mark > at_spawn) completed_now += mark - at_spawn;
+  }
   CampaignResult lost;
-  lost.iterations_run = worker->cov_iterations;
+  lost.iterations_run = completed_now;
   lost.queries_run = worker->cov_queries;
   lost.checks_run = worker->cov_queries;
   aggregator_.Merge(std::move(lost));
-  dead_iterations_ += worker->cov_iterations;
+  dead_iterations_ += completed_now;
   dead_queries_ += worker->cov_queries;
   PersistInflight(*worker);
   for (const auto& [key, count] : worker->started) {
@@ -434,6 +559,9 @@ void FleetCoordinator::HandleExit(Worker* worker, int wait_status) {
 
   if (respawns_ < config_.max_respawns && WorkRemains(*worker)) {
     respawns_++;
+    // The fault seam fires once: a respawned incarnation must complete,
+    // or a seamed test would churn through the whole respawn budget.
+    worker->options.die_after_frames = 0;
     if (config_.duration_seconds > 0) {
       worker->options.duration_seconds = std::max(
           0.1, config_.duration_seconds - (Campaign::NowSeconds() - t0_));
@@ -467,6 +595,26 @@ CampaignResult FleetCoordinator::Run() {
   SigHandler old_sigpipe = ::signal(SIGPIPE, SIG_IGN);
 
   t0_ = Campaign::NowSeconds();
+  last_checkpoint_ = t0_;
+  if (config_.resume) {
+    const CheckpointState& resume = *config_.resume;
+    // Shift the campaign clock back by the consumed budget: the duration
+    // deadline, straggler kill, curve samples, and the next checkpoint's
+    // elapsed all continue from where the dead run stopped.
+    t0_ -= resume.elapsed_seconds;
+    CampaignResult restored;
+    restored.iterations_run = resume.iterations_run;
+    restored.queries_run = resume.queries_run;
+    restored.checks_run = resume.checks_run;
+    restored.busy_seconds = resume.busy_seconds;
+    restored.engine_seconds = resume.engine_seconds;
+    aggregator_.Merge(std::move(restored));
+    for (const auto& [id, d] : resume.unique_bugs) {
+      aggregator_.RestoreUniqueBug(id, d);
+    }
+    covered_keys_ = resume.covered_sites;
+    curve_.Preload(resume.curve);
+  }
   if (config_.base.corpus.enabled) {
     corpus::CorpusOptions options = config_.base.corpus;
     corpus_ = std::make_unique<corpus::Corpus>(options);
@@ -477,6 +625,28 @@ CampaignResult FleetCoordinator::Run() {
       if (!loaded.ok()) {
         std::fprintf(stderr, "fleet: corpus load: %s\n",
                      loaded.status().ToString().c_str());
+      }
+    }
+    if (config_.resume && config_.resume->corpus_enabled) {
+      // Verify the reloaded directory against the checkpoint's manifest:
+      // a pruned or swapped corpus dir silently changes the resumed
+      // universe, which the operator should know about (it is legal —
+      // corpus-mode determinism is per-jobs-count anyway — just loud).
+      std::set<uint64_t> on_disk;
+      for (const corpus::TestCaseRecord& record : corpus_->Entries()) {
+        on_disk.insert(corpus::TestCaseCodec::SiteSignature(record.sites));
+      }
+      size_t missing = 0;
+      for (uint64_t sig : config_.resume->corpus_signatures) {
+        if (on_disk.find(sig) == on_disk.end()) missing++;
+      }
+      if (missing > 0 ||
+          on_disk.size() != config_.resume->corpus_entries) {
+        std::fprintf(stderr,
+                     "fleet: resume corpus mismatch: manifest lists %zu "
+                     "entries, dir has %zu (%zu manifest entries missing)\n",
+                     static_cast<size_t>(config_.resume->corpus_entries),
+                     on_disk.size(), missing);
       }
     }
   }
@@ -496,6 +666,27 @@ CampaignResult FleetCoordinator::Run() {
     worker->options.duration_seconds = config_.duration_seconds;
     worker->options.corpus_dir = config_.corpus_dir;
     worker->options.cov_interval_seconds = config_.cov_interval_seconds;
+    if (worker->index == 0) {
+      worker->options.die_after_frames = config_.worker0_die_after_frames;
+    }
+    if (config_.resume) {
+      // Re-seed the worker at its slices' completed high-water marks.
+      // Marks are keyed by GLOBAL slice, so this partition is free to
+      // differ from the one that wrote the checkpoint (P x J may be
+      // re-factored as long as the product is preserved).
+      for (const auto& [key, count] : config_.resume->completed) {
+        if (key.second >= worker->options.slice_offset &&
+            key.second <
+                worker->options.slice_offset + worker->options.slice_count) {
+          worker->options.completed[key] = count;
+        }
+      }
+      if (config_.duration_seconds > 0) {
+        worker->options.duration_seconds =
+            std::max(0.1, config_.duration_seconds -
+                              config_.resume->elapsed_seconds);
+      }
+    }
     workers_.push_back(std::move(worker));
   }
   for (size_t p = 0; p < processes; ++p) Spawn(p);
@@ -526,6 +717,8 @@ CampaignResult FleetCoordinator::Run() {
 
     const int ready = ::poll(pfds.data(), pfds.size(), 100);
     if (ready < 0 && errno != EINTR) break;
+
+    MaybeCheckpoint(/*force=*/false);
 
     if (kill_after > 0 && !killed_stragglers &&
         Campaign::NowSeconds() - t0_ > kill_after) {
@@ -570,6 +763,11 @@ CampaignResult FleetCoordinator::Run() {
   }
 
   AddCurveSample();
+  // Final checkpoint with every slice at its budget: resuming a finished
+  // campaign runs zero iterations and re-reports the same result
+  // (resume is idempotent). Must happen before Finish() empties the
+  // aggregator the gather reads from.
+  MaybeCheckpoint(/*force=*/true);
   CampaignResult result = aggregator_.Finish(Campaign::NowSeconds() - t0_);
 
   // Transfer only when the fleet actually fuzzes several dialects — a

@@ -26,11 +26,13 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "corpus/corpus.h"
+#include "fleet/checkpoint.h"
 #include "fleet/curve.h"
 #include "fleet/worker.h"
 #include "fuzz/campaign.h"
@@ -67,6 +69,36 @@ struct FleetConfig {
   double grace_seconds = 30.0;
   /// Seconds between COV heartbeats (forwarded to workers).
   double cov_interval_seconds = 0.2;
+  /// Checkpoint/resume. With `checkpoint_dir` set the coordinator
+  /// persists a CheckpointState (fleet/checkpoint.h) every
+  /// `checkpoint_interval_seconds` of wall time plus once at completion,
+  /// via atomic write-rename — a coordinator killed at ANY point leaves
+  /// the last complete checkpoint behind. `resume` (normally loaded from
+  /// the same dir by LoadCheckpoint) re-seeds every worker at its
+  /// per-slice completed high-water mark in the same SplitSeed slice
+  /// space, pre-populates the aggregator with the restored unique-bug set
+  /// (re-reported bugs from re-run iterations dedup against it), restores
+  /// the covered-site set and curve prefix, and continues the duration
+  /// budget from `resume->elapsed_seconds`. The caller owns consistency
+  /// between `resume` and this config (spatter_main adopts the campaign
+  /// identity wholesale from the checkpoint); processes*jobs must equal
+  /// `resume->total_slices`, though the factorization may differ.
+  std::string checkpoint_dir;
+  double checkpoint_interval_seconds = 30.0;
+  std::optional<CheckpointState> resume;
+
+  /// Test-only deterministic fault injection for the crash-equivalence
+  /// harness: the coordinator SIGKILLs ITSELF right after handling this
+  /// many valid frames / writing this many checkpoints (0 = off). Run the
+  /// coordinator in a forked child when using these.
+  uint64_t die_after_frames = 0;
+  uint64_t die_after_checkpoints = 0;
+  /// Test-only: worker 0's first incarnation SIGKILLs itself after
+  /// writing this many frames (WorkerOptions::die_after_frames; cleared
+  /// on respawn so the retry completes). Fork mode only. Replaces the
+  /// timing-dependent external killer in the live-SIGKILL test.
+  uint64_t worker0_die_after_frames = 0;
+
   /// Fork-mode test hook: runs in the child instead of RunWorker. Lets
   /// tests exercise coordinator parsing and crash handling with scripted
   /// workers (garbage frames, abrupt exits).
@@ -92,6 +124,8 @@ class FleetCoordinator {
   size_t protocol_errors() const { return protocol_errors_; }
   /// In-flight reproducers persisted for dead workers.
   size_t crash_reproducers_persisted() const { return inflight_persisted_; }
+  /// Checkpoints successfully written (checkpoint mode only).
+  size_t checkpoints_written() const { return checkpoints_written_; }
   /// Distinct coverage-site keys reported by the whole fleet.
   size_t fleet_covered_sites() const { return covered_keys_.size(); }
 
@@ -115,6 +149,10 @@ class FleetCoordinator {
   void BroadcastEntry(const std::vector<uint8_t>& payload, size_t from);
   void WriteToWorker(Worker* worker, const std::string& line);
   void AddCurveSample();
+  /// Snapshot of the coordinator's merged state as a CheckpointState.
+  CheckpointState GatherCheckpoint() const;
+  /// Writes a checkpoint when the interval elapsed (or `force`).
+  void MaybeCheckpoint(bool force);
 
   FleetConfig config_;
   std::vector<engine::Dialect> dialects_;
@@ -130,6 +168,9 @@ class FleetCoordinator {
   size_t respawns_ = 0;
   size_t protocol_errors_ = 0;
   size_t inflight_persisted_ = 0;
+  size_t checkpoints_written_ = 0;
+  uint64_t frames_handled_ = 0;   ///< valid frames, for the fault seam
+  double last_checkpoint_ = 0.0;  ///< wall clock of the last write
   /// Iterations/queries credited to incarnations that died without DONE.
   uint64_t dead_iterations_ = 0;
   uint64_t dead_queries_ = 0;

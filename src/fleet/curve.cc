@@ -1,7 +1,8 @@
 #include "fleet/curve.h"
 
 #include <cstdio>
-#include <fstream>
+
+#include "common/fsio.h"
 
 namespace spatter::fleet {
 
@@ -24,6 +25,11 @@ void CurveRecorder::Add(double elapsed_seconds, uint64_t covered_sites,
   }
   samples_.push_back(
       CurveSample{elapsed_seconds, covered_sites, unique_bugs, iterations});
+}
+
+void CurveRecorder::Preload(std::vector<CurveSample> samples) {
+  std::lock_guard<std::mutex> lock(mu_);
+  samples_ = std::move(samples);
 }
 
 std::vector<CurveSample> CurveRecorder::samples() const {
@@ -66,15 +72,10 @@ std::string CurveRecorder::ToJson(const CurveInfo& info) const {
 
 Status CurveRecorder::WriteJson(const std::string& path,
                                 const CurveInfo& info) const {
-  std::ofstream out(path);
-  if (!out) {
-    return Status::Internal("cannot open curve file '" + path + "'");
-  }
-  out << ToJson(info);
-  if (!out) {
-    return Status::Internal("cannot write curve file '" + path + "'");
-  }
-  return Status::OK();
+  // Atomic write-rename: a curve file is re-written every checkpoint in a
+  // resumed campaign, and a plotter (or the resume smoke in CI) must never
+  // read a torn JSON document.
+  return AtomicWriteFile(path, ToJson(info));
 }
 
 }  // namespace spatter::fleet

@@ -47,6 +47,11 @@ class CurveRecorder {
   void Add(double elapsed_seconds, uint64_t covered_sites,
            uint64_t unique_bugs, uint64_t iterations);
 
+  /// Replaces the recorded samples wholesale (checkpoint resume: the
+  /// restored prefix is re-seated verbatim, and subsequent Add()s continue
+  /// through the same throttling and monotonicity rules).
+  void Preload(std::vector<CurveSample> samples);
+
   std::vector<CurveSample> samples() const;
 
   /// Writes the curve as JSON:

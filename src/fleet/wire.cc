@@ -12,13 +12,13 @@ namespace {
 
 constexpr const char kMagic[] = "SPTW1";
 
-const char* kTypeNames[] = {"HELLO", "INFLIGHT", "SLICEDONE", "COV",
-                            "ENTRY", "BUG",      "DONE",      "STOP"};
+const char* kTypeNames[] = {"HELLO", "INFLIGHT", "SLICEDONE",
+                            "SLICEPROGRESS", "COV", "ENTRY",
+                            "BUG",   "DONE",     "STOP"};
 
-/// Splits on single spaces. Empty tokens (double spaces, leading or
-/// trailing space) are preserved so malformed framing fails field checks
-/// instead of silently collapsing.
-std::vector<std::string> SplitFields(const std::string& line) {
+}  // namespace
+
+std::vector<std::string> SplitFrameFields(const std::string& line) {
   std::vector<std::string> fields;
   size_t start = 0;
   while (start <= line.size()) {
@@ -33,7 +33,7 @@ std::vector<std::string> SplitFields(const std::string& line) {
   return fields;
 }
 
-bool ParseU64(const std::string& s, uint64_t* out) {
+bool ParseFieldU64(const std::string& s, uint64_t* out) {
   if (s.empty()) return false;
   uint64_t value = 0;
   for (char c : s) {
@@ -45,18 +45,20 @@ bool ParseU64(const std::string& s, uint64_t* out) {
   return true;
 }
 
-bool ParseF64(const std::string& s, double* out) {
+bool ParseFieldF64(const std::string& s, double* out) {
   if (s.empty()) return false;
   char* end = nullptr;
   *out = std::strtod(s.c_str(), &end);
   return end == s.c_str() + s.size();
 }
 
-bool ParseBool01(const std::string& s, bool* out) {
+bool ParseFieldBool01(const std::string& s, bool* out) {
   if (s == "0") return *out = false, true;
   if (s == "1") return *out = true, true;
   return false;
 }
+
+namespace {
 
 std::string FormatF64(double v) {
   char buf[32];
@@ -64,7 +66,14 @@ std::string FormatF64(double v) {
   return buf;
 }
 
-std::string FormatKeys(const std::vector<uint64_t>& keys) {
+Status Malformed(const char* what) {
+  return Status::InvalidArgument(std::string("wire: malformed frame: ") +
+                                 what);
+}
+
+}  // namespace
+
+std::string FormatSiteKeys(const std::vector<uint64_t>& keys) {
   if (keys.empty()) return "-";
   std::string out;
   char buf[24];
@@ -76,7 +85,7 @@ std::string FormatKeys(const std::vector<uint64_t>& keys) {
   return out;
 }
 
-bool ParseKeys(const std::string& s, std::vector<uint64_t>* out) {
+bool ParseSiteKeys(const std::string& s, std::vector<uint64_t>* out) {
   out->clear();
   if (s == "-") return true;
   size_t start = 0;
@@ -103,13 +112,6 @@ bool ParseKeys(const std::string& s, std::vector<uint64_t>* out) {
   }
   return true;
 }
-
-Status Malformed(const char* what) {
-  return Status::InvalidArgument(std::string("wire: malformed frame: ") +
-                                 what);
-}
-
-}  // namespace
 
 const char* FrameTypeName(FrameType t) {
   return kTypeNames[static_cast<size_t>(t)];
@@ -178,11 +180,16 @@ std::string EncodeFrame(const Frame& frame) {
       put_u(frame.dialect);
       put_u(frame.slice);
       break;
+    case FrameType::kSliceProgress:
+      put_u(frame.dialect);
+      put_u(frame.slice);
+      put_u(frame.completed);
+      break;
     case FrameType::kCov:
       put_f(frame.elapsed);
       put_u(frame.iterations);
       put_u(frame.queries);
-      line += ' ' + FormatKeys(frame.site_keys);
+      line += ' ' + FormatSiteKeys(frame.site_keys);
       break;
     case FrameType::kEntry:
       line += ' ' + HexEncode(frame.payload);
@@ -218,7 +225,7 @@ Result<Frame> DecodeFrame(const std::string& line) {
   std::string body = line;
   if (!body.empty() && body.back() == '\n') body.pop_back();
   if (!body.empty() && body.back() == '\r') body.pop_back();
-  const std::vector<std::string> fields = SplitFields(body);
+  const std::vector<std::string> fields = SplitFrameFields(body);
   if (fields.size() < 2 || fields[0] != kMagic) return Malformed("bad magic");
 
   Frame frame;
@@ -241,19 +248,19 @@ Result<Frame> DecodeFrame(const std::string& line) {
     case FrameType::kHello:
       want = 5;
       if (args != want) return Malformed("HELLO field count");
-      if (!ParseU64(arg(0), &frame.worker) || !ParseU64(arg(1), &frame.pid) ||
-          !ParseU64(arg(2), &frame.slice_offset) ||
-          !ParseU64(arg(3), &frame.slice_count) ||
-          !ParseU64(arg(4), &frame.total_slices)) {
+      if (!ParseFieldU64(arg(0), &frame.worker) || !ParseFieldU64(arg(1), &frame.pid) ||
+          !ParseFieldU64(arg(2), &frame.slice_offset) ||
+          !ParseFieldU64(arg(3), &frame.slice_count) ||
+          !ParseFieldU64(arg(4), &frame.total_slices)) {
         return Malformed("HELLO fields");
       }
       break;
     case FrameType::kInflight:
       want = 3;
       if (args != want) return Malformed("INFLIGHT field count");
-      if (!ParseU64(arg(0), &frame.dialect) ||
-          !ParseU64(arg(1), &frame.slice) ||
-          !ParseU64(arg(2), &frame.iteration)) {
+      if (!ParseFieldU64(arg(0), &frame.dialect) ||
+          !ParseFieldU64(arg(1), &frame.slice) ||
+          !ParseFieldU64(arg(2), &frame.iteration)) {
         return Malformed("INFLIGHT fields");
       }
       if (frame.dialect >= static_cast<uint64_t>(engine::kNumDialects)) {
@@ -263,21 +270,33 @@ Result<Frame> DecodeFrame(const std::string& line) {
     case FrameType::kSliceDone:
       want = 2;
       if (args != want) return Malformed("SLICEDONE field count");
-      if (!ParseU64(arg(0), &frame.dialect) ||
-          !ParseU64(arg(1), &frame.slice)) {
+      if (!ParseFieldU64(arg(0), &frame.dialect) ||
+          !ParseFieldU64(arg(1), &frame.slice)) {
         return Malformed("SLICEDONE fields");
       }
       if (frame.dialect >= static_cast<uint64_t>(engine::kNumDialects)) {
         return Malformed("SLICEDONE dialect out of range");
       }
       break;
+    case FrameType::kSliceProgress:
+      want = 3;
+      if (args != want) return Malformed("SLICEPROGRESS field count");
+      if (!ParseFieldU64(arg(0), &frame.dialect) ||
+          !ParseFieldU64(arg(1), &frame.slice) ||
+          !ParseFieldU64(arg(2), &frame.completed)) {
+        return Malformed("SLICEPROGRESS fields");
+      }
+      if (frame.dialect >= static_cast<uint64_t>(engine::kNumDialects)) {
+        return Malformed("SLICEPROGRESS dialect out of range");
+      }
+      break;
     case FrameType::kCov:
       want = 4;
       if (args != want) return Malformed("COV field count");
-      if (!ParseF64(arg(0), &frame.elapsed) ||
-          !ParseU64(arg(1), &frame.iterations) ||
-          !ParseU64(arg(2), &frame.queries) ||
-          !ParseKeys(arg(3), &frame.site_keys)) {
+      if (!ParseFieldF64(arg(0), &frame.elapsed) ||
+          !ParseFieldU64(arg(1), &frame.iterations) ||
+          !ParseFieldU64(arg(2), &frame.queries) ||
+          !ParseSiteKeys(arg(3), &frame.site_keys)) {
         return Malformed("COV fields");
       }
       break;
@@ -292,10 +311,10 @@ Result<Frame> DecodeFrame(const std::string& line) {
     case FrameType::kBug: {
       want = 6;
       if (args != want) return Malformed("BUG field count");
-      if (!ParseU64(arg(0), &frame.query_index) ||
-          !ParseBool01(arg(1), &frame.is_crash) ||
-          !ParseU64(arg(2), &frame.oracle) ||
-          !ParseF64(arg(3), &frame.elapsed)) {
+      if (!ParseFieldU64(arg(0), &frame.query_index) ||
+          !ParseFieldBool01(arg(1), &frame.is_crash) ||
+          !ParseFieldU64(arg(2), &frame.oracle) ||
+          !ParseFieldF64(arg(3), &frame.elapsed)) {
         return Malformed("BUG fields");
       }
       if (frame.oracle >= fuzz::kNumOracleKinds) {
@@ -313,15 +332,15 @@ Result<Frame> DecodeFrame(const std::string& line) {
     case FrameType::kDone:
       want = 9;
       if (args != want) return Malformed("DONE field count");
-      if (!ParseU64(arg(0), &frame.iterations) ||
-          !ParseU64(arg(1), &frame.queries) ||
-          !ParseU64(arg(2), &frame.checks) ||
-          !ParseF64(arg(3), &frame.busy_seconds) ||
-          !ParseF64(arg(4), &frame.engine_seconds) ||
-          !ParseU64(arg(5), &frame.statements) ||
-          !ParseU64(arg(6), &frame.pairs) ||
-          !ParseU64(arg(7), &frame.index_scans) ||
-          !ParseU64(arg(8), &frame.prepared)) {
+      if (!ParseFieldU64(arg(0), &frame.iterations) ||
+          !ParseFieldU64(arg(1), &frame.queries) ||
+          !ParseFieldU64(arg(2), &frame.checks) ||
+          !ParseFieldF64(arg(3), &frame.busy_seconds) ||
+          !ParseFieldF64(arg(4), &frame.engine_seconds) ||
+          !ParseFieldU64(arg(5), &frame.statements) ||
+          !ParseFieldU64(arg(6), &frame.pairs) ||
+          !ParseFieldU64(arg(7), &frame.index_scans) ||
+          !ParseFieldU64(arg(8), &frame.prepared)) {
         return Malformed("DONE fields");
       }
       break;

@@ -18,6 +18,9 @@
 //     INFLIGHT <dialect> <slice> <iteration>
 //     SLICEDONE <dialect> <slice>   (the slice's loop exited: its last
 //              announced iteration completed; nothing is in flight)
+//     SLICEPROGRESS <dialect> <slice> <completed>   (absolute completed-
+//              iteration count for the slice, including any resume
+//              offset — the coordinator's checkpoint high-water mark)
 //     COV      <elapsed> <iterations> <queries> <key,key,...|->
 //     ENTRY    <hex(TestCaseCodec record)>
 //     BUG      <query_index> <is_crash> <oracle> <elapsed>
@@ -46,6 +49,7 @@ enum class FrameType : uint8_t {
   kHello,
   kInflight,
   kSliceDone,
+  kSliceProgress,
   kCov,
   kEntry,
   kBug,
@@ -68,10 +72,11 @@ struct Frame {
   uint64_t slice_count = 0;
   uint64_t total_slices = 0;
 
-  // INFLIGHT / SLICEDONE
+  // INFLIGHT / SLICEDONE / SLICEPROGRESS
   uint64_t dialect = 0;
   uint64_t slice = 0;
   uint64_t iteration = 0;  // INFLIGHT only
+  uint64_t completed = 0;  // SLICEPROGRESS only: absolute completed count
 
   // COV / DONE counters
   double elapsed = 0.0;  // also BUG
@@ -111,6 +116,25 @@ Result<Frame> DecodeFrame(const std::string& line);
 std::string HexEncode(const std::vector<uint8_t>& bytes);
 /// Inverse of HexEncode; rejects odd length and non-hex characters.
 Result<std::vector<uint8_t>> HexDecode(const std::string& hex);
+
+/// COV-frame key-list encoding ("-" when empty, else comma-separated
+/// 16-digit lowercase hex), shared with the checkpoint codec so persisted
+/// site sets and streamed ones can never drift apart.
+std::string FormatSiteKeys(const std::vector<uint64_t>& keys);
+/// Inverse of FormatSiteKeys; false on any malformed token.
+bool ParseSiteKeys(const std::string& s, std::vector<uint64_t>* out);
+
+/// Field-level pieces of the wire text grammar, shared with the
+/// checkpoint codec for the same no-drift reason. ParseFieldU64 rejects
+/// empty, non-digit, and overflowing tokens; ParseFieldF64 requires the
+/// whole token to parse; ParseFieldBool01 accepts exactly "0"/"1".
+/// SplitFrameFields splits on single spaces and PRESERVES empty tokens,
+/// so malformed framing fails field-count checks instead of silently
+/// collapsing.
+bool ParseFieldU64(const std::string& s, uint64_t* out);
+bool ParseFieldF64(const std::string& s, double* out);
+bool ParseFieldBool01(const std::string& s, bool* out);
+std::vector<std::string> SplitFrameFields(const std::string& line);
 
 /// Builds a BUG frame from a recorded discrepancy: frame-level position
 /// and detail plus a TestCaseCodec reproducer payload (database, query,

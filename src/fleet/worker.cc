@@ -27,7 +27,8 @@ using fuzz::CampaignResult;
 /// slice loops poll it and wind down instead of fuzzing into a dead pipe.
 class FrameWriter {
  public:
-  explicit FrameWriter(int fd) : fd_(fd) {}
+  FrameWriter(int fd, uint64_t die_after_frames)
+      : fd_(fd), die_after_frames_(die_after_frames) {}
 
   void Write(const Frame& frame) {
     const std::string line = EncodeFrame(frame);
@@ -43,6 +44,11 @@ class FrameWriter {
       }
       off += static_cast<size_t>(n);
     }
+    // Test seam: a deterministic SIGKILL right after the Nth frame lands
+    // whole on the pipe (see WorkerOptions::die_after_frames).
+    if (die_after_frames_ > 0 && ++frames_written_ == die_after_frames_) {
+      ::kill(::getpid(), SIGKILL);
+    }
   }
 
   bool failed() const {
@@ -52,6 +58,8 @@ class FrameWriter {
 
  private:
   int fd_;
+  uint64_t die_after_frames_;
+  uint64_t frames_written_ = 0;
   mutable std::mutex mu_;
   bool failed_ = false;
 };
@@ -118,7 +126,7 @@ int RunWorker(const WorkerOptions& options, int in_fd, int out_fd) {
   std::vector<engine::Dialect> dialects = options.dialects;
   if (dialects.empty()) dialects.push_back(options.base.dialect);
 
-  FrameWriter writer(out_fd);
+  FrameWriter writer(out_fd, options.die_after_frames);
   std::atomic<bool> stop{false};
   std::atomic<bool> reader_exit{false};
   IncomingEntries incoming;
@@ -172,6 +180,11 @@ int RunWorker(const WorkerOptions& options, int in_fd, int out_fd) {
         {static_cast<uint64_t>(dialect), static_cast<uint64_t>(slice)});
     if (it != options.completed.end()) completed = it->second;
 
+    // Absolute completed-iteration count for SLICEPROGRESS: it includes
+    // the resume offset, so the coordinator's checkpoint high-water mark
+    // is a plain copy of the latest value, valid across respawns and
+    // resumes alike.
+    uint64_t completed_abs = completed;
     size_t iteration = slice + completed * options.total_slices;
     size_t incoming_cursor = 0;
     while (!stop.load(std::memory_order_relaxed) && !writer.failed()) {
@@ -253,6 +266,21 @@ int RunWorker(const WorkerOptions& options, int in_fd, int out_fd) {
         }
       }
       if (send_cov) writer.Write(cov);
+
+      // SLICEPROGRESS is the LAST frame of the iteration, after its BUG,
+      // ENTRY, and COV frames: a coordinator checkpoint that includes
+      // this mark has necessarily merged everything the iteration
+      // produced (pipes preserve order), so skipping the iteration on
+      // resume loses neither bugs nor coverage. The converse tear —
+      // checkpoint sees the frames but not the mark — only re-runs the
+      // iteration, and the re-reports dedup away.
+      completed_abs++;
+      Frame progress;
+      progress.type = FrameType::kSliceProgress;
+      progress.dialect = static_cast<uint64_t>(dialect);
+      progress.slice = slice;
+      progress.completed = completed_abs;
+      writer.Write(progress);
 
       iteration += options.total_slices;
     }

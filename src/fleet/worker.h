@@ -53,6 +53,12 @@ struct WorkerOptions {
   std::map<std::pair<uint64_t, uint64_t>, uint64_t> completed;
   /// Seconds between COV heartbeats.
   double cov_interval_seconds = 0.2;
+  /// Test-only deterministic fault injection: when > 0, the worker
+  /// SIGKILLs itself immediately after writing this many frames — a real
+  /// SIGKILL death at a reproducible point in the protocol stream, so
+  /// crash-isolation tests need no timing-dependent external killer.
+  /// Fork-mode only (never forwarded through `spatter --worker` args).
+  uint64_t die_after_frames = 0;
 };
 
 /// Runs the worker loop, speaking the wire protocol on `in_fd`/`out_fd`

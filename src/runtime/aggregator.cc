@@ -74,6 +74,15 @@ void Aggregator::MergeDiscrepancy(fuzz::Discrepancy&& d) {
   acc_.discrepancies.push_back(std::move(d));
 }
 
+void Aggregator::RestoreUniqueBug(faults::FaultId id, fuzz::Discrepancy d) {
+  auto it = acc_.unique_bugs.find(id);
+  if (it == acc_.unique_bugs.end()) {
+    acc_.unique_bugs.emplace(id, std::move(d));
+  } else if (DetectedEarlier(d, it->second)) {
+    it->second = std::move(d);
+  }
+}
+
 void Aggregator::MergeCorpus(const corpus::Corpus& shard) {
   if (!corpus_) {
     // Same cap as the shards: a larger merged cap would persist more

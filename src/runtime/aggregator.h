@@ -39,6 +39,17 @@ class Aggregator {
   /// the same earliest-logical-position rule as a whole-shard merge.
   void MergeDiscrepancy(fuzz::Discrepancy&& d);
 
+  /// Re-seats a checkpoint-restored unique bug under its recorded FaultId
+  /// only (earliest-logical-position still wins against anything merged
+  /// later, so an iteration re-run after resume that re-reports the same
+  /// fault dedups against the restored winner). Unlike MergeDiscrepancy
+  /// this does NOT fan out across d.fault_hits — each checkpointed fault
+  /// carries its own winning reproducer, and re-keying it under a
+  /// co-fired fault could flip that fault's original suite-order winner —
+  /// and does not append to the discrepancy log (the checkpoint persists
+  /// winners, not the full log).
+  void RestoreUniqueBug(faults::FaultId id, fuzz::Discrepancy d);
+
   /// Running aggregate, for live sampling mid-campaign. Discrepancies are
   /// in merge order, not yet sorted.
   const fuzz::CampaignResult& current() const { return acc_; }

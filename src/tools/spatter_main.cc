@@ -40,11 +40,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/coverage.h"
+#include "common/fsio.h"
 #include "corpus/codec.h"
+#include "fleet/checkpoint.h"
 #include "fleet/coordinator.h"
 #include "fleet/curve.h"
 #include "fleet/worker.h"
@@ -82,6 +85,11 @@ struct Options {
   double duration = 0.0;    // seconds; 0 = iteration budget
   std::string curve_out;    // Figure-8 curve JSON path
 
+  // Checkpoint / resume.
+  std::string checkpoint_dir;   // non-empty = periodic checkpoints
+  double checkpoint_every = 0;  // seconds; 0 = default interval
+  std::string resume_dir;       // non-empty = resume from checkpoint
+
   // Hidden --worker mode (spawned by the fleet coordinator).
   bool worker = false;
   size_t worker_index = 0;
@@ -117,6 +125,18 @@ void Usage() {
       "                    iteration budget (Figure 8 mode)\n"
       "  --curve-out=FILE  write the time-sampled site-coverage curve as\n"
       "                    JSON (requires --duration)\n"
+      "  --checkpoint=DIR  periodically persist a resumable campaign\n"
+      "                    checkpoint to DIR (atomic write-rename; implies\n"
+      "                    --fleet=1 if no fleet was requested)\n"
+      "  --checkpoint-every=S  seconds between checkpoints (default 30;\n"
+      "                    implies --checkpoint=spatter-checkpoint)\n"
+      "  --resume=DIR      resume the campaign checkpointed in DIR: seed,\n"
+      "                    budgets, dialects, oracles and corpus settings\n"
+      "                    are adopted from the checkpoint; --fleet/--jobs\n"
+      "                    may re-factor P x J as long as the product\n"
+      "                    matches. A resumed pure-generate campaign\n"
+      "                    reports the same bug-set lines as an\n"
+      "                    uninterrupted run\n"
       "  --no-derivative   random-shape strategy only (RSG ablation)\n"
       "  --fixed           run against the fixed engine (expect 0 bugs)\n"
       "  --no-reduce       skip test-case reduction\n"
@@ -200,6 +220,26 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
       }
     } else if (ParseFlag(argv[i], "--curve-out", &value)) {
       opts->curve_out = value;
+    } else if (ParseFlag(argv[i], "--checkpoint", &value)) {
+      if (value.empty()) {
+        std::fprintf(stderr, "--checkpoint needs a directory\n");
+        return false;
+      }
+      opts->checkpoint_dir = value;
+    } else if (ParseFlag(argv[i], "--checkpoint-every", &value)) {
+      char* end = nullptr;
+      opts->checkpoint_every = std::strtod(value.c_str(), &end);
+      if (value.empty() || *end != '\0' || opts->checkpoint_every <= 0) {
+        std::fprintf(stderr,
+                     "--checkpoint-every must be a positive number\n");
+        return false;
+      }
+    } else if (ParseFlag(argv[i], "--resume", &value)) {
+      if (value.empty()) {
+        std::fprintf(stderr, "--resume needs a directory\n");
+        return false;
+      }
+      opts->resume_dir = value;
     } else if (ParseFlag(argv[i], "--corpus", &value)) {
       if (value.empty()) {
         std::fprintf(stderr, "--corpus needs a directory\n");
@@ -440,10 +480,12 @@ void WriteReproducer(const std::string& dir, const faults::FaultInfo& info,
     return;
   }
   const std::string path = dir + "/repro-" + info.name + ".sptc";
-  std::ofstream out(path, std::ios::binary);
-  out.write(reinterpret_cast<const char*>(encoded.value().data()),
-            static_cast<std::streamsize>(encoded.value().size()));
-  if (!out) std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
+  const Status written = AtomicWriteFile(path, encoded.value().data(),
+                                         encoded.value().size());
+  if (!written.ok()) {
+    std::fprintf(stderr, "cannot write '%s': %s\n", path.c_str(),
+                 written.ToString().c_str());
+  }
 }
 
 /// Resolves the running binary for fleet self-exec.
@@ -469,6 +511,79 @@ int main(int argc, char** argv) {
   if (opts.worker) return RunWorkerMode(opts);
   if (!opts.replay_file.empty()) return RunReplay(opts);
   if (!opts.minify_dir.empty()) return RunMinify(opts);
+
+  // Resume: the checkpoint is authoritative for the campaign identity
+  // (seed, budgets, dialects, oracles, corpus settings) — only the P x J
+  // factorization may be re-chosen, and only with the product preserved,
+  // so a resumed pure-generate campaign walks the identical SplitSeed
+  // slice space and reports the identical bug-set lines.
+  std::optional<fleet::CheckpointState> resume_state;
+  if (!opts.resume_dir.empty()) {
+    auto loaded = fleet::LoadCheckpoint(opts.resume_dir);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "resume: %s\n",
+                   loaded.status().ToString().c_str());
+      return 2;
+    }
+    resume_state = loaded.Take();
+    const fleet::CheckpointState& ck = *resume_state;
+    opts.seed = ck.seed;
+    opts.iterations = ck.iterations;
+    opts.queries = ck.queries_per_iteration;
+    opts.geometries = ck.num_geometries;
+    opts.enable_faults = ck.enable_faults;
+    opts.derivative = ck.derivative_enabled;
+    opts.oracles = ck.oracles;
+    opts.duration = ck.duration_seconds;
+    // Multi-dialect checkpoints can only have come from --dialect=all.
+    opts.all_dialects = ck.dialects.size() > 1;
+    if (!ck.dialects.empty()) opts.dialect = ck.dialects[0];
+    if (ck.corpus_enabled && !ck.corpus_dir.empty()) {
+      opts.corpus_dir = ck.corpus_dir;
+      opts.mutate_pct = ck.mutate_pct;
+    } else if (!opts.corpus_dir.empty()) {
+      // Every other identity field is overwritten from the checkpoint; a
+      // surviving user --corpus would silently turn the resumed run into
+      // a different (mutation-driven) universe.
+      std::fprintf(stderr,
+                   "resume: the checkpoint is pure-generate; --corpus "
+                   "would change the resumed campaign's universe (drop "
+                   "it, or start a fresh campaign)\n");
+      return 2;
+    }
+    if (opts.fleet == 0) opts.fleet = 1;
+    if (ck.total_slices % opts.fleet != 0) {
+      std::fprintf(stderr,
+                   "resume: --fleet=%zu does not divide the checkpoint's "
+                   "%llu slices\n",
+                   opts.fleet,
+                   static_cast<unsigned long long>(ck.total_slices));
+      return 2;
+    }
+    const size_t derived_jobs = ck.total_slices / opts.fleet;
+    if (opts.jobs != 1 && opts.jobs != derived_jobs) {
+      std::fprintf(stderr,
+                   "resume: --fleet=%zu x --jobs=%zu must preserve the "
+                   "checkpoint's %llu total slices\n",
+                   opts.fleet, opts.jobs,
+                   static_cast<unsigned long long>(ck.total_slices));
+      return 2;
+    }
+    opts.jobs = derived_jobs;
+    // Keep checkpointing into the same directory unless redirected.
+    if (opts.checkpoint_dir.empty()) opts.checkpoint_dir = opts.resume_dir;
+  }
+  if (opts.checkpoint_every > 0 && opts.checkpoint_dir.empty()) {
+    opts.checkpoint_dir = "spatter-checkpoint";
+  }
+  if (!opts.checkpoint_dir.empty() && opts.fleet == 0) {
+    // Checkpoint state lives in the fleet coordinator; a single-process
+    // fleet is the in-process campaign plus the supervision tier.
+    std::printf("checkpoint: enabling --fleet=1 (the coordinator owns "
+                "checkpoint state)\n");
+    opts.fleet = 1;
+  }
+
   if (!opts.curve_out.empty() && opts.duration <= 0) {
     std::fprintf(stderr, "--curve-out requires --duration\n");
     return 2;
@@ -499,6 +614,16 @@ int main(int argc, char** argv) {
   }
   std::printf("oracles: %s\n",
               fuzz::FormatOracleSuite(opts.oracles).c_str());
+  if (resume_state) {
+    std::printf("resume: %s (%llu iterations done, %.1fs elapsed, %zu "
+                "unique bugs restored, fleet=%zu x jobs=%zu over %llu "
+                "slices)\n",
+                opts.resume_dir.c_str(),
+                static_cast<unsigned long long>(resume_state->iterations_run),
+                resume_state->elapsed_seconds,
+                resume_state->unique_bugs.size(), opts.fleet, opts.jobs,
+                static_cast<unsigned long long>(resume_state->total_slices));
+  }
 
   fuzz::CampaignResult result;
   corpus::Corpus* merged_corpus = nullptr;
@@ -526,6 +651,11 @@ int main(int argc, char** argv) {
     }
     config.duration_seconds = opts.duration;
     config.corpus_dir = opts.corpus_dir;
+    config.checkpoint_dir = opts.checkpoint_dir;
+    if (opts.checkpoint_every > 0) {
+      config.checkpoint_interval_seconds = opts.checkpoint_every;
+    }
+    config.resume = resume_state;
     // In-flight crash reproducers are only reconstructable in
     // pure-generate mode, which is exactly when there is no corpus dir —
     // so give them a home of their own (created only if a worker dies).
@@ -550,6 +680,11 @@ int main(int argc, char** argv) {
                   "reproducer(s) persisted\n",
                   coordinator->respawns(),
                   coordinator->crash_reproducers_persisted());
+    }
+    if (!opts.checkpoint_dir.empty()) {
+      std::printf("checkpoint: %zu written to %s\n",
+                  coordinator->checkpoints_written(),
+                  opts.checkpoint_dir.c_str());
     }
   } else {
     runtime::ShardedCampaignConfig config;

@@ -1,0 +1,617 @@
+// Checkpoint/resume tests: the v1 codec (round-trip, corruption /
+// truncation / version-skew rejection), the atomic-persist contract for
+// every state file (checkpoint, corpus entries, curve JSON) under
+// mid-write kills, and the crash-equivalence pin — a coordinator
+// SIGKILLed at deterministic fault-injection points (die after N frames /
+// N checkpoints) and resumed must report the identical unique-bug set,
+// per-oracle attribution, and final coverage as an uninterrupted run,
+// including across a different P x J factorization on resume.
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/fsio.h"
+#include "corpus/codec.h"
+#include "corpus/corpus.h"
+#include "fleet/checkpoint.h"
+#include "fleet/coordinator.h"
+#include "fleet/curve.h"
+#include "fuzz/campaign.h"
+#include "runtime/sharded_campaign.h"
+
+namespace spatter::fleet {
+namespace {
+
+namespace fs = std::filesystem;
+
+using engine::Dialect;
+using fuzz::CampaignConfig;
+using fuzz::CampaignResult;
+
+CampaignConfig SmallConfig(uint64_t seed, size_t iterations) {
+  CampaignConfig config;
+  config.dialect = Dialect::kPostgis;
+  config.seed = seed;
+  config.iterations = iterations;
+  config.queries_per_iteration = 25;
+  config.generator.num_geometries = 8;
+  return config;
+}
+
+std::string TempDir(const char* tag) {
+  std::string dir = testing::TempDir() + "spatter_ckpt_" + tag;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+/// FaultId -> detecting oracle of every unique bug: equality of this map
+/// is exactly what byte-identical `bug-set:` + `bug-set-by-oracle:`
+/// lines require (both lines are derived from it deterministically).
+std::map<faults::FaultId, fuzz::OracleKind> BugOracleMap(
+    const CampaignResult& r) {
+  std::map<faults::FaultId, fuzz::OracleKind> out;
+  for (const auto& [id, d] : r.unique_bugs) out[id] = d.oracle;
+  return out;
+}
+
+/// Runs a FleetCoordinator in a forked child (the fault seams SIGKILL the
+/// whole process, which must not be the test runner) and returns the
+/// child's wait status.
+int RunCoordinatorInChild(const FleetConfig& config) {
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    FleetCoordinator coordinator(config);
+    coordinator.Run();
+    ::_exit(0);
+  }
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  return status;
+}
+
+bool KilledBySigkill(int status) {
+  return WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL;
+}
+
+fuzz::Discrepancy SampleBug() {
+  fuzz::Discrepancy d;
+  d.iteration = 11;
+  d.query_index = 4;
+  d.is_crash = false;
+  d.oracle = fuzz::OracleKind::kIndex;
+  d.dialect = Dialect::kMysql;
+  d.query.table1 = "t0";
+  d.query.table2 = "t1";
+  d.query.predicate = "ST_Overlaps";
+  d.sdb1.tables.push_back({"t0", {"POINT(5 6)"}});
+  d.sdb1.tables.push_back({"t1", {"POINT(6 5)"}});
+  d.detail = "count 1 vs 0";
+  d.fault_hits = {faults::FaultId::kMysqlOverlapsSwappedAxes};
+  d.elapsed_seconds = 1.5;
+  return d;
+}
+
+CheckpointState SampleState() {
+  CheckpointState state;
+  state.seed = 7;
+  state.iterations = 20;
+  state.queries_per_iteration = 30;
+  state.num_geometries = 9;
+  state.total_slices = 8;
+  state.enable_faults = true;
+  state.derivative_enabled = false;
+  state.dialects = {Dialect::kPostgis, Dialect::kMysql};
+  state.oracles = fuzz::ParseOracleSuite("aei,diff:duckdb,tlp").Take();
+  state.corpus_enabled = true;
+  state.mutate_pct = 70;
+  state.duration_seconds = 12.5;
+  state.elapsed_seconds = 3.25;
+  state.iterations_run = 10;
+  state.queries_run = 300;
+  state.checks_run = 300;
+  state.busy_seconds = 1.5;
+  state.engine_seconds = 0.75;
+  state.completed[{0, 0}] = 3;
+  state.completed[{2, 5}] = 1;
+  state.unique_bugs.emplace_back(faults::FaultId::kMysqlOverlapsSwappedAxes,
+                                 SampleBug());
+  state.covered_sites = {1, 2, 0xdeadbeefULL};
+  state.curve = {{0.5, 10, 0, 2}, {1.25, 14, 1, 5}};
+  state.corpus_dir = "corpus dir/with spaces";
+  state.corpus_entries = 2;
+  state.corpus_signatures = {0xaULL, 0xbULL};
+  return state;
+}
+
+/// Builds a minimal v1 document from body lines (valid trailer included).
+std::string Doc(const std::vector<std::string>& body) {
+  std::string out = std::string(kCheckpointMagic) + "\n";
+  for (const std::string& line : body) out += line + "\n";
+  out += "end " + std::to_string(body.size()) + "\n";
+  return out;
+}
+
+constexpr const char kValidConfigLine[] =
+    "config 42 10 25 8 4 1 1 postgis aei 0 50 0";
+constexpr const char kValidCountersLine[] = "counters 0 0 0 0 0 0";
+
+// --- Codec ------------------------------------------------------------------
+
+TEST(CheckpointCodec, RoundTripsEveryField) {
+  const CheckpointState state = SampleState();
+  auto decoded = DecodeCheckpoint(EncodeCheckpoint(state));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  const CheckpointState& out = decoded.value();
+  EXPECT_EQ(out.seed, state.seed);
+  EXPECT_EQ(out.iterations, state.iterations);
+  EXPECT_EQ(out.queries_per_iteration, state.queries_per_iteration);
+  EXPECT_EQ(out.num_geometries, state.num_geometries);
+  EXPECT_EQ(out.total_slices, state.total_slices);
+  EXPECT_EQ(out.enable_faults, state.enable_faults);
+  EXPECT_EQ(out.derivative_enabled, state.derivative_enabled);
+  EXPECT_EQ(out.dialects, state.dialects);
+  EXPECT_EQ(fuzz::FormatOracleSuite(out.oracles),
+            fuzz::FormatOracleSuite(state.oracles));
+  EXPECT_EQ(out.corpus_enabled, state.corpus_enabled);
+  EXPECT_EQ(out.mutate_pct, state.mutate_pct);
+  EXPECT_EQ(out.duration_seconds, state.duration_seconds);
+  EXPECT_EQ(out.elapsed_seconds, state.elapsed_seconds);
+  EXPECT_EQ(out.iterations_run, state.iterations_run);
+  EXPECT_EQ(out.queries_run, state.queries_run);
+  EXPECT_EQ(out.checks_run, state.checks_run);
+  EXPECT_EQ(out.busy_seconds, state.busy_seconds);
+  EXPECT_EQ(out.engine_seconds, state.engine_seconds);
+  EXPECT_EQ(out.completed, state.completed);
+  EXPECT_EQ(out.covered_sites, state.covered_sites);
+  ASSERT_EQ(out.curve.size(), state.curve.size());
+  for (size_t i = 0; i < out.curve.size(); ++i) {
+    EXPECT_EQ(out.curve[i].elapsed_seconds, state.curve[i].elapsed_seconds);
+    EXPECT_EQ(out.curve[i].covered_sites, state.curve[i].covered_sites);
+    EXPECT_EQ(out.curve[i].unique_bugs, state.curve[i].unique_bugs);
+    EXPECT_EQ(out.curve[i].iterations, state.curve[i].iterations);
+  }
+  EXPECT_EQ(out.corpus_dir, state.corpus_dir);
+  EXPECT_EQ(out.corpus_entries, state.corpus_entries);
+  EXPECT_EQ(out.corpus_signatures, state.corpus_signatures);
+  ASSERT_EQ(out.unique_bugs.size(), 1u);
+  EXPECT_EQ(out.unique_bugs[0].first,
+            faults::FaultId::kMysqlOverlapsSwappedAxes);
+  const fuzz::Discrepancy& bug = out.unique_bugs[0].second;
+  const fuzz::Discrepancy want = SampleBug();
+  EXPECT_EQ(bug.iteration, want.iteration);
+  EXPECT_EQ(bug.query_index, want.query_index);
+  EXPECT_EQ(bug.oracle, want.oracle);
+  EXPECT_EQ(bug.dialect, want.dialect);
+  EXPECT_EQ(bug.detail, want.detail);
+  EXPECT_EQ(bug.query.ToSql(), want.query.ToSql());
+  EXPECT_EQ(bug.sdb1.ToSql(), want.sdb1.ToSql());
+  EXPECT_EQ(bug.fault_hits, want.fault_hits);
+  // Encode -> decode -> encode is a fixed point (stable on-disk form).
+  EXPECT_EQ(EncodeCheckpoint(out), EncodeCheckpoint(state));
+}
+
+TEST(CheckpointCodec, VersionSkewRejected) {
+  std::string doc = Doc({kValidConfigLine, kValidCountersLine});
+  auto ok = DecodeCheckpoint(doc);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  // A future format bumps the magic; v1 readers must refuse, not guess.
+  doc.replace(0, std::string(kCheckpointMagic).size(),
+              "spatter-checkpoint-v2");
+  auto skew = DecodeCheckpoint(doc);
+  ASSERT_FALSE(skew.ok());
+  EXPECT_NE(skew.status().ToString().find("version skew"),
+            std::string::npos);
+}
+
+TEST(CheckpointCodec, CorruptDocumentsRejected) {
+  const std::vector<std::vector<std::string>> corrupt_bodies = {
+      {},                                             // no config/counters
+      {kValidCountersLine},                           // missing config
+      {kValidConfigLine},                             // missing counters
+      {kValidConfigLine, kValidCountersLine, kValidCountersLine},  // dup
+      {kValidConfigLine, kValidConfigLine, kValidCountersLine},    // dup
+      {"config 42 10 25 8 4 1 1 postgis aei 0 50",    // missing field
+       kValidCountersLine},
+      {"config 42 10 25 8 0 1 1 postgis aei 0 50 0",  // zero slices
+       kValidCountersLine},
+      {"config 42 10 25 8 4 1 1 postgres aei 0 50 0",  // bad dialect
+       kValidCountersLine},
+      {"config 42 10 25 8 4 1 1 postgis nosuch 0 50 0",  // bad oracle
+       kValidCountersLine},
+      {"config 42 10 25 8 4 1 1 postgis aei 0 500 0",  // mutate > 100
+       kValidCountersLine},
+      {kValidConfigLine, kValidCountersLine, "progress 9 0 1"},  // dialect
+      {kValidConfigLine, kValidCountersLine, "progress 0 1"},    // fields
+      {kValidConfigLine, kValidCountersLine, "bug 999999 SPTW1 BUG"},
+      {kValidConfigLine, kValidCountersLine, "bug 0 not a frame"},
+      {kValidConfigLine, kValidCountersLine, "sites xyz"},
+      {kValidConfigLine, kValidCountersLine, "sites 1234"},  // short key
+      {kValidConfigLine, kValidCountersLine, "curve 1.0 2 3"},
+      {kValidConfigLine, kValidCountersLine, "frobnicate 1"},  // unknown
+      {kValidConfigLine, kValidCountersLine, "corpus 1 - "},  // empty dir
+  };
+  for (const auto& body : corrupt_bodies) {
+    const std::string doc = Doc(body);
+    EXPECT_FALSE(DecodeCheckpoint(doc).ok()) << doc;
+  }
+  // Trailer corruption on an otherwise valid document.
+  const std::string valid = Doc({kValidConfigLine, kValidCountersLine});
+  ASSERT_TRUE(DecodeCheckpoint(valid).ok());
+  EXPECT_FALSE(DecodeCheckpoint(std::string(kCheckpointMagic) + "\n" +
+                                kValidConfigLine + "\n" +
+                                kValidCountersLine + "\nend 7\n")
+                   .ok())
+      << "wrong end count";
+}
+
+TEST(CheckpointCodec, EveryTruncationRejected) {
+  // A truncated checkpoint (full disk, interrupted copy) must be refused
+  // at EVERY byte length, never resumed from partially. The one benign
+  // cut is the final newline: the document is already complete there.
+  const std::string doc = EncodeCheckpoint(SampleState());
+  for (size_t len = 0; len + 1 < doc.size(); ++len) {
+    EXPECT_FALSE(DecodeCheckpoint(doc.substr(0, len)).ok())
+        << "prefix length " << len;
+  }
+  EXPECT_TRUE(DecodeCheckpoint(doc.substr(0, doc.size() - 1)).ok());
+  EXPECT_TRUE(DecodeCheckpoint(doc).ok());
+}
+
+TEST(CheckpointCodec, MissingCheckpointIsNotFound) {
+  const std::string dir = TempDir("missing");
+  auto loaded = LoadCheckpoint(dir);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+  fs::remove_all(dir);
+}
+
+// --- Atomic persistence under mid-write kills -------------------------------
+
+TEST(AtomicPersist, MidWriteKillLeavesPreviousCheckpointIntact) {
+  const std::string dir = TempDir("midwrite");
+  CheckpointState first = SampleState();
+  ASSERT_TRUE(WriteCheckpoint(dir, first).ok());
+
+  CheckpointState second = SampleState();
+  second.iterations_run = 19;
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    // Die after the temp file is fully written but before the rename —
+    // the externally observable state of a writer SIGKILLed mid-persist.
+    ArmAtomicWriteKillForTest();
+    (void)WriteCheckpoint(dir, second);
+    ::_exit(0);  // unreachable: the armed write _exit(3)s
+  }
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  ASSERT_TRUE(WIFEXITED(status));
+  ASSERT_EQ(WEXITSTATUS(status), 3) << "armed write did not fire";
+
+  auto loaded = LoadCheckpoint(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().iterations_run, first.iterations_run)
+      << "previous checkpoint must survive a mid-write death";
+  // The orphaned temp file is inert; a clean rewrite then lands whole.
+  ASSERT_TRUE(WriteCheckpoint(dir, second).ok());
+  auto reloaded = LoadCheckpoint(dir);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(reloaded.value().iterations_run, 19u);
+  fs::remove_all(dir);
+}
+
+TEST(AtomicPersist, CorpusSaveKilledMidWriteKeepsOldEntries) {
+  const std::string dir = TempDir("corpus_midwrite");
+  corpus::CorpusOptions options;
+  options.enabled = true;
+  corpus::Corpus corpus(options);
+  corpus::TestCaseRecord rec;
+  rec.kind = corpus::RecordKind::kCorpusEntry;
+  rec.dialect = Dialect::kPostgis;
+  rec.sdb.tables.push_back({"t0", {"POINT(1 2)"}});
+  rec.sites = {0x1111};
+  ASSERT_TRUE(corpus.Admit(rec));
+  rec.sites = {0x2222};
+  ASSERT_TRUE(corpus.Admit(rec));
+  ASSERT_TRUE(corpus.SaveTo(dir).ok());
+
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    rec.sites = {0x3333};
+    corpus.Admit(rec);
+    ArmAtomicWriteKillForTest();  // dies writing the FIRST entry file
+    (void)corpus.SaveTo(dir);
+    ::_exit(0);
+  }
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 3);
+
+  corpus::Corpus reloaded(options);
+  auto loaded = reloaded.LoadFrom(dir);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value(), 2u)
+      << "every pre-kill entry file must still decode";
+  // The next clean save sweeps the orphaned temp file.
+  ASSERT_TRUE(corpus.SaveTo(dir).ok());
+  size_t tmp_files = 0;
+  for (const auto& item : fs::directory_iterator(dir)) {
+    if (item.path().filename().string().find(".tmp.") != std::string::npos) {
+      tmp_files++;
+    }
+  }
+  EXPECT_EQ(tmp_files, 0u);
+  fs::remove_all(dir);
+}
+
+TEST(AtomicPersist, CurveJsonKilledMidWriteKeepsOldFile) {
+  const std::string dir = TempDir("curve_midwrite");
+  const std::string path = dir + "/curve.json";
+  CurveRecorder curve;
+  curve.Add(0.5, 10, 1, 3);
+  CurveInfo info;
+  info.label = "test";
+  ASSERT_TRUE(curve.WriteJson(path, info).ok());
+  std::ifstream in(path);
+  const std::string before((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    curve.Add(1.0, 20, 2, 6);
+    ArmAtomicWriteKillForTest();
+    (void)curve.WriteJson(path, info);
+    ::_exit(0);
+  }
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 3);
+
+  std::ifstream again(path);
+  const std::string after((std::istreambuf_iterator<char>(again)),
+                          std::istreambuf_iterator<char>());
+  EXPECT_EQ(after, before) << "curve JSON must never be torn";
+  fs::remove_all(dir);
+}
+
+// --- Crash equivalence ------------------------------------------------------
+
+FleetConfig CheckpointedFleet(uint64_t seed, size_t iterations,
+                              size_t processes, size_t jobs) {
+  FleetConfig config;
+  config.base = SmallConfig(seed, iterations);
+  config.processes = processes;
+  config.jobs = jobs;
+  config.max_respawns = 2;
+  config.checkpoint_interval_seconds = 0.0;  // every supervision pass
+  return config;
+}
+
+TEST(CrashEquivalence, FaultSeamsKillDeterministically) {
+  const std::string dir = TempDir("seam");
+  FleetConfig config = CheckpointedFleet(/*seed=*/31, /*iterations=*/6, 1, 1);
+  config.checkpoint_dir = dir;
+  config.die_after_checkpoints = 1;
+  EXPECT_TRUE(KilledBySigkill(RunCoordinatorInChild(config)))
+      << "die_after_checkpoints must SIGKILL the coordinator";
+  EXPECT_TRUE(LoadCheckpoint(dir).ok())
+      << "the checkpoint that triggered the death is on disk and whole";
+
+  config.die_after_checkpoints = 0;
+  config.die_after_frames = 1;
+  EXPECT_TRUE(KilledBySigkill(RunCoordinatorInChild(config)))
+      << "die_after_frames must SIGKILL the coordinator";
+  fs::remove_all(dir);
+}
+
+TEST(CrashEquivalence, ResumeEqualsUninterruptedPureGenerate) {
+  FleetConfig base = CheckpointedFleet(/*seed=*/321, /*iterations=*/14, 1, 2);
+  FleetCoordinator reference(base);
+  const CampaignResult ref = reference.Run();
+  const auto want = BugOracleMap(ref);
+  ASSERT_FALSE(want.empty());
+
+  // Kill points: frame 4 (inside the first iterations) and frame 25
+  // (mid-campaign: each of 14 iterations writes at least INFLIGHT +
+  // SLICEPROGRESS, so the stream has > 29 frames before DONE).
+  for (const uint64_t kill_at : {uint64_t{4}, uint64_t{25}}) {
+    const std::string dir =
+        TempDir(("equiv" + std::to_string(kill_at)).c_str());
+    FleetConfig killed = base;
+    killed.checkpoint_dir = dir;
+    killed.die_after_frames = kill_at;
+    ASSERT_TRUE(KilledBySigkill(RunCoordinatorInChild(killed)))
+        << "kill_at " << kill_at;
+
+    auto loaded = LoadCheckpoint(dir);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    FleetConfig resumed_config = base;
+    resumed_config.checkpoint_dir = dir;
+    resumed_config.resume = loaded.Take();
+    FleetCoordinator resumed(resumed_config);
+    const CampaignResult result = resumed.Run();
+    EXPECT_EQ(BugOracleMap(result), want) << "kill_at " << kill_at;
+    EXPECT_EQ(result.iterations_run, 14u) << "kill_at " << kill_at;
+    fs::remove_all(dir);
+  }
+}
+
+TEST(CrashEquivalence, ResumeEqualsUninterruptedMultiOracle) {
+  FleetConfig base = CheckpointedFleet(/*seed=*/555, /*iterations=*/10, 1, 2);
+  base.base.oracles = fuzz::ParseOracleSuite("aei,index,tlp").Take();
+  FleetCoordinator reference(base);
+  const auto want = BugOracleMap(reference.Run());
+  ASSERT_FALSE(want.empty());
+
+  const std::string dir = TempDir("multioracle");
+  FleetConfig killed = base;
+  killed.checkpoint_dir = dir;
+  killed.die_after_frames = 30;
+  ASSERT_TRUE(KilledBySigkill(RunCoordinatorInChild(killed)));
+
+  auto loaded = LoadCheckpoint(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  FleetConfig resumed_config = base;
+  resumed_config.resume = loaded.Take();
+  FleetCoordinator resumed(resumed_config);
+  const CampaignResult result = resumed.Run();
+  // Equality of the map pins per-oracle ATTRIBUTION, not just the set:
+  // the restored winner must beat any re-reported duplicate.
+  EXPECT_EQ(BugOracleMap(result), want);
+  fs::remove_all(dir);
+}
+
+TEST(CrashEquivalence, FactorizationCrossedResume) {
+  // Checkpoint at P x J = 2 x 2, resume at 4 x 1 and 1 x 4: the marks are
+  // keyed by GLOBAL slice, so any factorization of the same 4 slices
+  // continues the identical universe.
+  FleetConfig base = CheckpointedFleet(/*seed=*/321, /*iterations=*/12, 2, 2);
+  FleetCoordinator reference(base);
+  const auto want = BugOracleMap(reference.Run());
+  ASSERT_FALSE(want.empty());
+
+  for (const auto& [p, j] :
+       std::vector<std::pair<size_t, size_t>>{{4, 1}, {1, 4}}) {
+    const std::string dir = TempDir(("cross" + std::to_string(p)).c_str());
+    FleetConfig killed = base;
+    killed.checkpoint_dir = dir;
+    killed.die_after_frames = 20;
+    ASSERT_TRUE(KilledBySigkill(RunCoordinatorInChild(killed)));
+
+    auto loaded = LoadCheckpoint(dir);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    ASSERT_EQ(loaded.value().total_slices, 4u);
+    FleetConfig resumed_config = base;
+    resumed_config.processes = p;
+    resumed_config.jobs = j;
+    resumed_config.resume = loaded.Take();
+    FleetCoordinator resumed(resumed_config);
+    const CampaignResult result = resumed.Run();
+    EXPECT_EQ(BugOracleMap(result), want) << "resume at " << p << "x" << j;
+    EXPECT_EQ(result.iterations_run, 12u);
+    fs::remove_all(dir);
+  }
+}
+
+TEST(CrashEquivalence, CurveContinuityAcrossResume) {
+  // Per-iteration COV heartbeats make coverage restoration exact: every
+  // completed iteration's sites are merged before its SLICEPROGRESS mark
+  // (worker frame order), so restored-plus-rerun coverage is the full
+  // union an uninterrupted run reports.
+  FleetConfig base = CheckpointedFleet(/*seed=*/99, /*iterations=*/12, 1, 2);
+  base.cov_interval_seconds = 0.0;
+  FleetCoordinator reference(base);
+  const CampaignResult ref = reference.Run();
+  const size_t ref_sites = reference.fleet_covered_sites();
+  ASSERT_GT(ref_sites, 0u);
+
+  const std::string dir = TempDir("curve_resume");
+  FleetConfig killed = base;
+  killed.checkpoint_dir = dir;
+  killed.die_after_frames = 40;
+  ASSERT_TRUE(KilledBySigkill(RunCoordinatorInChild(killed)));
+
+  auto loaded = LoadCheckpoint(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const std::vector<CurveSample> restored_prefix = loaded.value().curve;
+  FleetConfig resumed_config = base;
+  resumed_config.checkpoint_dir = dir;
+  resumed_config.resume = loaded.Take();
+  FleetCoordinator resumed(resumed_config);
+  const CampaignResult result = resumed.Run();
+
+  // The resumed curve is the restored prefix, bit-identical, plus samples
+  // that continue forward in time with monotone coverage.
+  const std::vector<CurveSample> samples = resumed.curve().samples();
+  ASSERT_GE(samples.size(), restored_prefix.size());
+  for (size_t i = 0; i < restored_prefix.size(); ++i) {
+    EXPECT_EQ(samples[i].elapsed_seconds, restored_prefix[i].elapsed_seconds);
+    EXPECT_EQ(samples[i].covered_sites, restored_prefix[i].covered_sites);
+    EXPECT_EQ(samples[i].unique_bugs, restored_prefix[i].unique_bugs);
+    EXPECT_EQ(samples[i].iterations, restored_prefix[i].iterations);
+  }
+  for (size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_GE(samples[i].elapsed_seconds, samples[i - 1].elapsed_seconds);
+    EXPECT_GE(samples[i].covered_sites, samples[i - 1].covered_sites);
+  }
+  // Final coverage and bug set match the uninterrupted run exactly. (The
+  // last curve SAMPLE is not asserted on: the recorder's interval
+  // throttle may legitimately drop a final sample whose counters did not
+  // move, which is timing- not correctness-dependent.)
+  EXPECT_EQ(resumed.fleet_covered_sites(), ref_sites);
+  EXPECT_EQ(BugOracleMap(result), BugOracleMap(ref));
+  EXPECT_FALSE(samples.empty());
+  EXPECT_EQ(result.iterations_run, 12u);
+  fs::remove_all(dir);
+}
+
+TEST(CrashEquivalence, ResumeOfFinishedCampaignIsIdempotent) {
+  const std::string dir = TempDir("idempotent");
+  FleetConfig config = CheckpointedFleet(/*seed=*/17, /*iterations=*/8, 1, 2);
+  config.checkpoint_dir = dir;
+  FleetCoordinator first(config);
+  const CampaignResult ref = first.Run();
+  ASSERT_GE(first.checkpoints_written(), 1u);
+
+  auto loaded = LoadCheckpoint(dir);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().iterations_run, 8u)
+      << "the final checkpoint records the completed budget";
+  FleetConfig resumed_config = config;
+  resumed_config.resume = loaded.Take();
+  FleetCoordinator resumed(resumed_config);
+  const CampaignResult result = resumed.Run();
+  EXPECT_EQ(BugOracleMap(result), BugOracleMap(ref));
+  EXPECT_EQ(result.iterations_run, 8u) << "no iteration is re-run";
+  fs::remove_all(dir);
+}
+
+// --- In-process resume (runtime tier) ---------------------------------------
+
+TEST(InProcessResume, ShardedCampaignContinuesFromOffsets) {
+  // The sharded runtime accepts the same per-(dialect, slice) completed
+  // marks as fleet workers: a prefix run's state plus offsets must
+  // reproduce the full run's bug set and budget exactly — this is what
+  // lets a fleet checkpoint resume on the in-process runtime.
+  runtime::ShardedCampaignConfig full;
+  full.base = SmallConfig(/*seed=*/444, /*iterations=*/12);
+  full.jobs = 4;
+  runtime::ShardedCampaign reference(full);
+  const CampaignResult ref = reference.Run();
+  ASSERT_FALSE(ref.unique_bugs.empty());
+
+  runtime::ShardedCampaignConfig prefix = full;
+  prefix.base.iterations = 6;
+  runtime::ShardedCampaign prefix_campaign(prefix);
+  const CampaignResult prefix_result = prefix_campaign.Run();
+
+  runtime::ShardedCampaignConfig tail = full;
+  const uint64_t dialect =
+      static_cast<uint64_t>(full.base.dialect);
+  for (uint64_t s = 0; s < 4; ++s) {
+    // Completed count on slice s after 6 iterations: |{i < 6 : i ≡ s}|.
+    tail.completed[{dialect, s}] = s < 6 ? (6 - s - 1) / 4 + 1 : 0;
+  }
+  for (const auto& [id, d] : prefix_result.unique_bugs) {
+    tail.restored_bugs.emplace_back(id, d);
+  }
+  tail.restored_counters.iterations_run = prefix_result.iterations_run;
+  tail.restored_counters.queries_run = prefix_result.queries_run;
+  tail.restored_counters.checks_run = prefix_result.checks_run;
+  runtime::ShardedCampaign tail_campaign(tail);
+  const CampaignResult result = tail_campaign.Run();
+  EXPECT_EQ(BugOracleMap(result), BugOracleMap(ref));
+  EXPECT_EQ(result.iterations_run, 12u);
+}
+
+}  // namespace
+}  // namespace spatter::fleet

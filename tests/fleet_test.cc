@@ -122,6 +122,12 @@ TEST(Wire, EveryFrameTypeRoundTrips) {
   slice_done.dialect = 1;
   slice_done.slice = 6;
 
+  Frame slice_progress;
+  slice_progress.type = FrameType::kSliceProgress;
+  slice_progress.dialect = 2;
+  slice_progress.slice = 3;
+  slice_progress.completed = 987654;
+
   Frame cov;
   cov.type = FrameType::kCov;
   cov.elapsed = 1.25;
@@ -157,8 +163,8 @@ TEST(Wire, EveryFrameTypeRoundTrips) {
   Frame stop;
   stop.type = FrameType::kStop;
 
-  for (const Frame& frame :
-       {hello, inflight, slice_done, cov, entry, bug, done, stop}) {
+  for (const Frame& frame : {hello, inflight, slice_done, slice_progress,
+                             cov, entry, bug, done, stop}) {
     const std::string line = EncodeFrame(frame);
     EXPECT_EQ(line.back(), '\n');
     EXPECT_EQ(line.find('\n'), line.size() - 1) << "one line per frame";
@@ -173,6 +179,7 @@ TEST(Wire, EveryFrameTypeRoundTrips) {
     EXPECT_EQ(out.dialect, frame.dialect);
     EXPECT_EQ(out.slice, frame.slice);
     EXPECT_EQ(out.iteration, frame.iteration);
+    EXPECT_EQ(out.completed, frame.completed);
     EXPECT_NEAR(out.elapsed, frame.elapsed, 1e-6);
     EXPECT_EQ(out.iterations, frame.iterations);
     EXPECT_EQ(out.queries, frame.queries);
@@ -206,6 +213,9 @@ TEST(Wire, RejectsCorruptFrames) {
       "SPTW1 INFLIGHT 9 0 0",               // dialect out of range
       "SPTW1 SLICEDONE 0",                  // missing slice
       "SPTW1 SLICEDONE 9 0",                // dialect out of range
+      "SPTW1 SLICEPROGRESS 0 1",            // missing completed count
+      "SPTW1 SLICEPROGRESS 9 0 1",          // dialect out of range
+      "SPTW1 SLICEPROGRESS 0 1 x",          // non-numeric count
       "SPTW1 COV 1.0 2 3 xyz",              // malformed key list
       "SPTW1 COV 1.0 2 3 12345",            // key not 16 hex digits
       "SPTW1 ENTRY 0g",                     // bad hex payload
@@ -581,39 +591,26 @@ TEST(FleetCoordinator, SigkilledWorkerLosesNoReportedBugs) {
   const std::set<faults::FaultId> full = BugKeys(baseline.Run());
   ASSERT_FALSE(full.empty());
 
+  // Deterministic live SIGKILL via the worker fault seam: worker 0's
+  // first incarnation kills itself right after its 25th frame — always
+  // mid-campaign (its 12 owned iterations write at least INFLIGHT +
+  // SLICEPROGRESS each, plus HELLO, so the clean stream runs longer) and
+  // always a real SIGKILL mid-stream, with no killer-thread timing race.
+  config.worker0_die_after_frames = 25;
   FleetCoordinator coordinator(config);
-  std::atomic<bool> killed{false};
-  std::thread killer([&coordinator, &killed] {
-    for (int spin = 0; spin < 2000; ++spin) {
-      const std::vector<int> pids = coordinator.live_worker_pids();
-      if (!pids.empty()) {
-        std::this_thread::sleep_for(std::chrono::milliseconds(20));
-        const std::vector<int> again = coordinator.live_worker_pids();
-        if (!again.empty() && ::kill(again[0], SIGKILL) == 0) {
-          killed = true;
-        }
-        return;
-      }
-      std::this_thread::sleep_for(std::chrono::milliseconds(1));
-    }
-  });
   const CampaignResult result = coordinator.Run();
-  killer.join();
 
+  EXPECT_EQ(coordinator.respawns(), 1u)
+      << "the seamed worker dies exactly once and is respawned";
   const std::set<faults::FaultId> got = BugKeys(result);
   for (faults::FaultId id : got) {
     EXPECT_TRUE(full.count(id))
         << "killed run found a bug outside the universe";
   }
-  if (killed && coordinator.respawns() > 0) {
-    // The kill landed mid-run: the slice was resumed, so at most the
-    // in-flight iterations (one per slice of the dead worker) are lost.
-    EXPECT_GE(result.iterations_run,
-              24u - config.jobs * coordinator.respawns());
-  } else {
-    // The worker finished before the kill: the run must be untouched.
-    EXPECT_EQ(got, full);
-  }
+  // The slice was resumed, so at most the in-flight iterations (one per
+  // slice of the dead worker) are lost to the crash-skip rule.
+  EXPECT_GE(result.iterations_run,
+            24u - config.jobs * coordinator.respawns());
   fs::remove_all(config.reproducer_dir);
 }
 
