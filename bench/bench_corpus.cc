@@ -15,10 +15,9 @@
 #include "fuzz/generator.h"
 
 using namespace spatter;  // NOLINT
+using spatter::bench::NowSeconds;
 
 namespace {
-
-double NowSeconds() { return fuzz::Campaign::NowSeconds(); }
 
 fuzz::CampaignConfig BudgetConfig(uint64_t seed, bool corpus_mode) {
   fuzz::CampaignConfig config;

@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "common/fsio.h"
+#include "obs/metrics.h"
 
 namespace spatter::corpus {
 
@@ -40,6 +41,7 @@ bool Corpus::AdmitLocked(TestCaseRecord record, bool require_new_site) {
   if ((require_new_site && !has_new_site) ||
       signatures_.count(signature) > 0) {
     rejected_++;
+    SPATTER_METRIC_INC("corpus.rejected");
     return false;
   }
   for (uint64_t key : record.sites) {
@@ -52,7 +54,15 @@ bool Corpus::AdmitLocked(TestCaseRecord record, bool require_new_site) {
   }
   entries_.push_back(Slot{std::move(record), signature});
   admitted_++;
+  static obs::Counter* admitted_counter =
+      obs::MetricsRegistry::Instance().GetCounter("corpus.admitted");
+  static obs::Counter* restored_counter =
+      obs::MetricsRegistry::Instance().GetCounter("corpus.restored");
+  (require_new_site ? admitted_counter : restored_counter)->Add();
+  static obs::Gauge* size_gauge =
+      obs::MetricsRegistry::Instance().GetGauge("corpus.size");
   if (entries_.size() > options_.max_entries) EvictLocked();
+  size_gauge->Set(static_cast<int64_t>(entries_.size()));
   return true;
 }
 
@@ -109,6 +119,7 @@ void Corpus::EvictLocked() {
   }
   entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(victim));
   evicted_++;
+  SPATTER_METRIC_INC("corpus.evicted");
 }
 
 size_t Corpus::size() const {

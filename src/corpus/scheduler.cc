@@ -1,8 +1,11 @@
 #include "corpus/scheduler.h"
 
+#include "obs/metrics.h"
+
 namespace spatter::corpus {
 
 size_t Scheduler::PickEntry(const Corpus& corpus, Rng* rng) const {
+  SPATTER_METRIC_INC("corpus.sched.picks");
   const std::vector<double> energies = corpus.Energies();
   if (energies.empty()) return 0;
   double total = 0.0;

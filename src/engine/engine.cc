@@ -8,6 +8,7 @@
 #include "common/coverage.h"
 #include "common/strings.h"
 #include "engine/functions.h"
+#include "obs/metrics.h"
 #include "geom/wkt_reader.h"
 #include "relate/prepared.h"
 #include "sql/parser.h"
@@ -213,7 +214,13 @@ Table* Engine::FindTable(const std::string& name) {
 }
 
 Result<ExecResult> Engine::Execute(const std::string& sql) {
-  SPATTER_ASSIGN_OR_RETURN(sql::StatementPtr stmt, sql::ParseStatement(sql));
+  static obs::LatencyHistogram* parse_hist =
+      obs::MetricsRegistry::Instance().GetHistogram("engine.parse");
+  sql::StatementPtr stmt;
+  {
+    obs::ScopedTimer t(parse_hist, obs::ScopedTimer::Clock::kThreadCpu);
+    SPATTER_ASSIGN_OR_RETURN(stmt, sql::ParseStatement(sql));
+  }
   return Execute(*stmt);
 }
 
@@ -273,6 +280,9 @@ void RegisterStatementCoverage() {
 
 Result<ExecResult> Engine::Execute(const sql::Statement& stmt) {
   ScopedTimer timer(&stats_.exec_seconds);
+  static obs::LatencyHistogram* stmt_hist =
+      obs::MetricsRegistry::Instance().GetHistogram("engine.statement");
+  obs::ScopedTimer stmt_timer(stmt_hist, obs::ScopedTimer::Clock::kThreadCpu);
   stats_.statements_executed++;
   RegisterStatementCoverage();
   CoverageRegistry::Instance().Hit(CoverageRegistry::Instance().Register(
@@ -582,26 +592,38 @@ Result<ExecResult> Engine::ExecSelectCountJoin(const sql::Statement& stmt) {
   if (t1 == nullptr || t2 == nullptr) {
     return Status::NotFound("unknown table in join");
   }
-  std::string func_name;
-  const bool simple =
-      IsSimpleColumnPredicate(*stmt.condition, stmt.table, stmt.table2,
-                              &func_name);
-  if (simple) CoverJoinBehaviour(func_name, *t1, *t2);
+  static obs::LatencyHistogram* plan_hist =
+      obs::MetricsRegistry::Instance().GetHistogram("engine.plan");
+  static obs::LatencyHistogram* index_scan_hist =
+      obs::MetricsRegistry::Instance().GetHistogram("engine.index_scan");
+  static obs::LatencyHistogram* prepared_hist =
+      obs::MetricsRegistry::Instance().GetHistogram("engine.prepared");
+  static obs::LatencyHistogram* relate_hist =
+      obs::MetricsRegistry::Instance().GetHistogram("engine.relate");
 
-  // Prepared-geometry path: PostGIS prepares the outer geometry when the
-  // same predicate is evaluated against many inner candidates.
-  const bool prepared_path =
-      simple && traits().uses_prepared && t2->rows.size() >= 2 &&
-      (func_name == "ST_Intersects" || func_name == "ST_Contains" ||
-       func_name == "ST_Covers");
-  // Index path: inner table has a GiST index and the predicate admits an
-  // envelope pre-filter.
-  const bool index_path =
-      simple && t2->has_index &&
-      (func_name == "~=" || func_name == "ST_Intersects" ||
-       func_name == "ST_Within" || func_name == "ST_Contains" ||
-       func_name == "ST_Covers" || func_name == "ST_CoveredBy" ||
-       func_name == "ST_Equals");
+  std::string func_name;
+  bool simple, prepared_path, index_path;
+  {
+    obs::ScopedTimer plan_timer(plan_hist, obs::ScopedTimer::Clock::kThreadCpu);
+    simple = IsSimpleColumnPredicate(*stmt.condition, stmt.table, stmt.table2,
+                                     &func_name);
+    if (simple) CoverJoinBehaviour(func_name, *t1, *t2);
+
+    // Prepared-geometry path: PostGIS prepares the outer geometry when the
+    // same predicate is evaluated against many inner candidates.
+    prepared_path =
+        simple && traits().uses_prepared && t2->rows.size() >= 2 &&
+        (func_name == "ST_Intersects" || func_name == "ST_Contains" ||
+         func_name == "ST_Covers");
+    // Index path: inner table has a GiST index and the predicate admits an
+    // envelope pre-filter.
+    index_path =
+        simple && t2->has_index &&
+        (func_name == "~=" || func_name == "ST_Intersects" ||
+         func_name == "ST_Within" || func_name == "ST_Contains" ||
+         func_name == "ST_Covers" || func_name == "ST_CoveredBy" ||
+         func_name == "ST_Equals");
+  }
 
   int64_t count = 0;
   for (const Row& row1 : t1->rows) {
@@ -618,6 +640,8 @@ Result<ExecResult> Engine::ExecSelectCountJoin(const sql::Statement& stmt) {
     // Candidate rows of t2, possibly via the index.
     std::vector<size_t> candidates;
     if (index_path && outer_geom) {
+      obs::ScopedTimer scan_timer(index_scan_hist,
+                                  obs::ScopedTimer::Clock::kThreadCpu);
       SPATTER_COV("engine", "join_index_scan");
       stats_.index_scans++;
       const geom::Envelope probe = outer_geom->GetEnvelope();
@@ -634,6 +658,10 @@ Result<ExecResult> Engine::ExecSelectCountJoin(const sql::Statement& stmt) {
       for (size_t r = 0; r < candidates.size(); ++r) candidates[r] = r;
     }
 
+    // One evaluation-batch observation per outer row: prepared-path rows
+    // land in engine.prepared, everything else in engine.relate.
+    obs::ScopedTimer eval_timer(prepared ? prepared_hist : relate_hist,
+                                obs::ScopedTimer::Clock::kThreadCpu);
     for (size_t r : candidates) {
       const Row& row2 = t2->rows[r];
       stats_.pairs_evaluated++;
@@ -706,6 +734,10 @@ Result<ExecResult> Engine::ExecSelectCountWhere(const sql::Statement& stmt) {
       }
     }
   }
+  static obs::LatencyHistogram* where_scan_hist =
+      obs::MetricsRegistry::Instance().GetHistogram("engine.index_scan");
+  obs::ScopedTimer scan_timer(index_scan ? where_scan_hist : nullptr,
+                              obs::ScopedTimer::Clock::kThreadCpu);
   for (const Row& row : t->rows) {
     if (cond == nullptr) {
       count++;

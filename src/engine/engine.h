@@ -94,7 +94,11 @@ class Engine {
   faults::FaultState& fault_state() { return faults_; }
   const faults::FaultState& fault_state() const { return faults_; }
 
-  EngineStats& stats() { return stats_; }
+  /// Read-only: callers wanting a before/after delta copy the snapshot by
+  /// value (`EngineStats t0 = engine.stats();`) and subtract. Mutation is
+  /// the engine's own business — external writes would corrupt the
+  /// Figure-7 accounting.
+  const EngineStats& stats() const { return stats_; }
 
   /// Parses and executes one statement.
   Result<ExecResult> Execute(const std::string& sql);

@@ -26,6 +26,7 @@ constexpr const char kBug[] = "bug";
 constexpr const char kSites[] = "sites";
 constexpr const char kCurve[] = "curve";
 constexpr const char kCorpus[] = "corpus";
+constexpr const char kMetrics[] = "metrics";
 constexpr const char kEnd[] = "end";
 
 /// Keys per `sites` line: bounds line length without bounding set size.
@@ -157,6 +158,14 @@ std::string EncodeCheckpoint(const CheckpointState& state) {
         state.corpus_dir);
   }
 
+  if (!state.metrics.empty()) {
+    // Hex of the metrics text document: keeps this codec line-oriented
+    // while the snapshot keeps its own multi-line format and validation.
+    const std::string text = state.metrics.EncodeText();
+    put(std::string(kMetrics) + ' ' +
+        HexEncode(std::vector<uint8_t>(text.begin(), text.end())));
+  }
+
   std::string out = kCheckpointMagic;
   out += '\n';
   out += body;
@@ -195,6 +204,7 @@ Result<CheckpointState> DecodeCheckpoint(const std::string& text) {
   CheckpointState state;
   bool saw_config = false;
   bool saw_counters = false;
+  bool saw_metrics = false;
   for (size_t i = 1; i + 1 < lines.size(); ++i) {
     const std::string& line = lines[i];
     const std::vector<std::string> fields = SplitFrameFields(line);
@@ -295,6 +305,16 @@ Result<CheckpointState> DecodeCheckpoint(const std::string& text) {
       }
       state.corpus_dir = line.substr(pos);
       if (state.corpus_dir.empty()) return Malformed("corpus dir");
+    } else if (kw == kMetrics) {
+      if (saw_metrics) return Malformed("duplicate metrics line");
+      if (args != 1) return Malformed("metrics field count");
+      saw_metrics = true;
+      auto bytes = HexDecode(arg(0));
+      if (!bytes.ok()) return Malformed("metrics hex");
+      auto snapshot = obs::MetricsSnapshot::DecodeText(
+          std::string(bytes.value().begin(), bytes.value().end()));
+      if (!snapshot.ok()) return Malformed("metrics snapshot");
+      state.metrics = snapshot.Take();
     } else {
       return Malformed("unknown line keyword '" + kw + "'");
     }

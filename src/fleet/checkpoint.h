@@ -44,6 +44,7 @@
 #include "fleet/curve.h"
 #include "fuzz/campaign.h"
 #include "fuzz/oracle_suite.h"
+#include "obs/metrics.h"
 
 namespace spatter::fleet {
 
@@ -93,6 +94,13 @@ struct CheckpointState {
   /// Site signatures of the persisted entries; resume warns when the
   /// reloaded directory does not match (someone pruned it between runs).
   std::vector<uint64_t> corpus_signatures;
+
+  // --- telemetry ---
+  /// Fleet-merged metrics at checkpoint time. On resume this becomes the
+  /// coordinator's baseline so counters and histograms continue from
+  /// where the dead run left off instead of restarting at zero. Optional
+  /// in the file format: pre-telemetry checkpoints decode to empty.
+  obs::MetricsSnapshot metrics;
 };
 
 /// `dir`/checkpoint.sptk.

@@ -58,6 +58,12 @@ struct FleetCoordinator::Worker {
   /// Latest COV counters this incarnation (crash-loss accounting).
   uint64_t cov_iterations = 0;
   uint64_t cov_queries = 0;
+  /// Latest STATS snapshot this incarnation (cumulative since its start).
+  obs::MetricsSnapshot latest_stats;
+  /// Wall clock of the last valid frame, for stale-worker detection.
+  double last_frame_at = 0.0;
+  /// One warning per staleness episode; re-armed by the next frame.
+  bool stale_warned = false;
 };
 
 FleetCoordinator::FleetCoordinator(const FleetConfig& config)
@@ -220,6 +226,9 @@ void FleetCoordinator::Spawn(size_t index) {
   worker->last_inflight.clear();
   worker->cov_iterations = 0;
   worker->cov_queries = 0;
+  worker->latest_stats = obs::MetricsSnapshot{};
+  worker->last_frame_at = Campaign::NowSeconds();
+  worker->stale_warned = false;
   std::lock_guard<std::mutex> lock(pids_mu_);
   worker->pid = pid;
 }
@@ -271,6 +280,8 @@ void FleetCoordinator::HandleLine(Worker* worker, const std::string& line) {
     return;  // skip the corrupt line; the stream stays line-synchronized
   }
   frames_handled_++;
+  worker->last_frame_at = Campaign::NowSeconds();
+  worker->stale_warned = false;
   const Frame& frame = decoded.value();
   switch (frame.type) {
     case FrameType::kHello:
@@ -336,6 +347,10 @@ void FleetCoordinator::HandleLine(Worker* worker, const std::string& line) {
       worker->got_done = true;
       break;
     }
+    case FrameType::kStats:
+      // Cumulative-since-start per incarnation: replace, don't merge.
+      worker->latest_stats = frame.stats;
+      break;
     case FrameType::kStop:
       break;  // coordinator-only frame; a worker echoing it is harmless
   }
@@ -345,6 +360,123 @@ void FleetCoordinator::HandleLine(Worker* worker, const std::string& line) {
     // reproducible point in the merged stream (after this frame took
     // effect but before any later checkpoint could persist it).
     ::kill(::getpid(), SIGKILL);
+  }
+}
+
+obs::MetricsSnapshot FleetCoordinator::FleetMetricsSnapshot() const {
+  obs::MetricsSnapshot snap = base_metrics_;
+  snap.Merge(dead_metrics_);
+  size_t live = 0;
+  for (const auto& worker : workers_) {
+    if (!worker) continue;
+    if (worker->pid > 0) live++;
+    snap.Merge(worker->latest_stats);
+  }
+  // Coordinator-synthesized instruments. Counters ADD onto whatever a
+  // resumed baseline carried (they are this process's deltas); gauges are
+  // instantaneous readings and overwrite.
+  snap.counters["fleet.respawns"] += respawns_;
+  snap.counters["fleet.protocol_errors"] += protocol_errors_;
+  snap.counters["fleet.stale_intervals"] += stale_intervals_;
+  snap.counters["fleet.checkpoints_written"] += checkpoints_written_;
+  snap.gauges["fleet.workers_live"] = static_cast<int64_t>(live);
+  snap.gauges["fleet.covered_sites"] =
+      static_cast<int64_t>(covered_keys_.size());
+  snap.gauges["fleet.unique_bugs"] =
+      static_cast<int64_t>(aggregator_.current().unique_bugs.size());
+  return snap;
+}
+
+void FleetCoordinator::MaybeStatus(bool force) {
+  const bool status_on = config_.status_interval_seconds > 0;
+  if (!status_on && config_.metrics_out.empty()) return;
+  const double now = Campaign::NowSeconds();
+  if (!force) {
+    if (!status_on) return;  // periodic ticks need an interval
+    if (now - last_status_ < config_.status_interval_seconds) return;
+  }
+  last_status_ = now;
+
+  // Stale-worker detection: a live incarnation silent for 3x the status
+  // interval is flagged — warned once per episode (the next frame from it
+  // re-arms the warning), counted once per stale tick.
+  size_t live = 0;
+  size_t stale = 0;
+  for (const auto& worker : workers_) {
+    if (!worker || worker->pid <= 0) continue;
+    live++;
+    if (status_on &&
+        now - worker->last_frame_at > 3 * config_.status_interval_seconds) {
+      stale++;
+      if (!worker->stale_warned) {
+        std::fprintf(stderr,
+                     "fleet: warning: worker %zu stale — no frame for %.1fs "
+                     "(> 3x the %.1fs status interval)\n",
+                     worker->index, now - worker->last_frame_at,
+                     config_.status_interval_seconds);
+        worker->stale_warned = true;
+      }
+    }
+  }
+  if (stale > 0) stale_intervals_++;
+
+  const obs::MetricsSnapshot snap = FleetMetricsSnapshot();
+  if (status_on) {
+    uint64_t iterations = aggregator_.current().iterations_run;
+    for (const auto& worker : workers_) {
+      if (worker && worker->pid > 0 && !worker->got_done) {
+        iterations += worker->cov_iterations;
+      }
+    }
+    const double elapsed = now - t0_;
+    const uint64_t queries = snap.CounterOr("campaign.queries");
+    const obs::HistogramData* stmt = snap.FindHistogram("engine.statement");
+    const double engine_us_per_query =
+        (stmt != nullptr && queries > 0)
+            ? static_cast<double>(stmt->sum_ns) * 1e-3 /
+                  static_cast<double>(queries)
+            : 0.0;
+    std::string oracle_p99;
+    for (const auto& [name, h] : snap.histograms) {
+      if (name.rfind("oracle.", 0) != 0) continue;
+      const size_t suffix = name.rfind(".check");
+      if (suffix == std::string::npos || suffix + 6 != name.size()) continue;
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "%s%s=%.0fus",
+                    oracle_p99.empty() ? "" : " ",
+                    name.substr(7, suffix - 7).c_str(),
+                    h.QuantileSeconds(0.99) * 1e6);
+      oracle_p99 += buf;
+    }
+    // Stderr, never stdout: stdout carries the bug-set report that CI
+    // diffs byte-for-byte with telemetry on and off.
+    std::fprintf(stderr,
+                 "fleet: t=%.1fs iters=%" PRIu64
+                 " (%.1f/s) engine=%.0fus/q oracle-p99[%s] bugs=%zu "
+                 "corpus=%zu workers=%zu/%zu%s\n",
+                 elapsed, iterations,
+                 elapsed > 0 ? static_cast<double>(iterations) / elapsed : 0.0,
+                 engine_us_per_query, oracle_p99.c_str(),
+                 aggregator_.current().unique_bugs.size(),
+                 corpus_ ? corpus_->size() : static_cast<size_t>(0), live,
+                 workers_.size(), stale > 0 ? " [stale]" : "");
+  }
+  if (!config_.metrics_out.empty()) {
+    obs::MetricsJsonInfo info;
+    for (const engine::Dialect d : dialects_) {
+      if (!info.label.empty()) info.label += ",";
+      info.label += engine::DialectCliToken(d);
+    }
+    info.seed = config_.base.seed;
+    info.fleet = workers_.size();
+    info.jobs = config_.jobs;
+    info.elapsed_seconds = now - t0_;
+    const Status written =
+        AtomicWriteFile(config_.metrics_out, obs::MetricsToJson(snap, info));
+    if (!written.ok()) {
+      std::fprintf(stderr, "fleet: metrics-out: %s\n",
+                   written.ToString().c_str());
+    }
   }
 }
 
@@ -402,6 +534,7 @@ CheckpointState FleetCoordinator::GatherCheckpoint() const {
   }
   state.covered_sites = covered_keys_;
   state.curve = curve_.samples();
+  state.metrics = FleetMetricsSnapshot();
 
   if (corpus_ && !config_.corpus_dir.empty()) {
     state.corpus_dir = config_.corpus_dir;
@@ -505,6 +638,11 @@ bool FleetCoordinator::WorkRemains(const Worker& worker) const {
 }
 
 void FleetCoordinator::HandleExit(Worker* worker, int wait_status) {
+  // The incarnation is over either way (DONE'd or dead): its cumulative
+  // STATS reading stops being "live" and joins the retired accumulator,
+  // so a respawned incarnation restarting from zero can't double-count.
+  dead_metrics_.Merge(worker->latest_stats);
+  worker->latest_stats = obs::MetricsSnapshot{};
   if (worker->in_fd >= 0) ::close(worker->in_fd);
   if (worker->out_fd >= 0) ::close(worker->out_fd);
   worker->in_fd = worker->out_fd = -1;
@@ -614,6 +752,7 @@ CampaignResult FleetCoordinator::Run() {
     }
     covered_keys_ = resume.covered_sites;
     curve_.Preload(resume.curve);
+    base_metrics_ = resume.metrics;
   }
   if (config_.base.corpus.enabled) {
     corpus::CorpusOptions options = config_.base.corpus;
@@ -719,6 +858,7 @@ CampaignResult FleetCoordinator::Run() {
     if (ready < 0 && errno != EINTR) break;
 
     MaybeCheckpoint(/*force=*/false);
+    MaybeStatus(/*force=*/false);
 
     if (kill_after > 0 && !killed_stragglers &&
         Campaign::NowSeconds() - t0_ > kill_after) {
@@ -768,6 +908,7 @@ CampaignResult FleetCoordinator::Run() {
   // (resume is idempotent). Must happen before Finish() empties the
   // aggregator the gather reads from.
   MaybeCheckpoint(/*force=*/true);
+  MaybeStatus(/*force=*/true);
   CampaignResult result = aggregator_.Finish(Campaign::NowSeconds() - t0_);
 
   // Transfer only when the fleet actually fuzzes several dialects — a

@@ -36,6 +36,7 @@
 #include "fleet/curve.h"
 #include "fleet/worker.h"
 #include "fuzz/campaign.h"
+#include "obs/metrics.h"
 #include "runtime/aggregator.h"
 
 namespace spatter::fleet {
@@ -69,6 +70,16 @@ struct FleetConfig {
   double grace_seconds = 30.0;
   /// Seconds between COV heartbeats (forwarded to workers).
   double cov_interval_seconds = 0.2;
+  /// > 0: print a live fleet status line to stderr every S seconds
+  /// (iters/s, engine-us/query, per-oracle p99, bugs, corpus, worker
+  /// liveness) and flag workers silent for 3x the interval as stale.
+  /// Stderr, never stdout: the bug-set report must stay byte-identical
+  /// with telemetry on.
+  double status_interval_seconds = 0.0;
+  /// Non-empty: write the merged fleet MetricsSnapshot as a
+  /// spatter-metrics-v1 JSON document here (atomic write-rename), on
+  /// every status tick and once at completion.
+  std::string metrics_out;
   /// Checkpoint/resume. With `checkpoint_dir` set the coordinator
   /// persists a CheckpointState (fleet/checkpoint.h) every
   /// `checkpoint_interval_seconds` of wall time plus once at completion,
@@ -128,6 +139,15 @@ class FleetCoordinator {
   size_t checkpoints_written() const { return checkpoints_written_; }
   /// Distinct coverage-site keys reported by the whole fleet.
   size_t fleet_covered_sites() const { return covered_keys_.size(); }
+  /// Status ticks on which at least one live worker was stale (silent for
+  /// 3x the status interval).
+  uint64_t stale_intervals() const { return stale_intervals_; }
+
+  /// The fleet-wide telemetry view: checkpoint-restored baseline + what
+  /// dead incarnations last reported + every live worker's latest STATS
+  /// frame + coordinator-synthesized fleet.* instruments. Associative
+  /// merge order makes this well-defined at any point in the run.
+  obs::MetricsSnapshot FleetMetricsSnapshot() const;
 
   /// PIDs of currently live workers (for kill-isolation tests).
   std::vector<int> live_worker_pids() const;
@@ -153,6 +173,10 @@ class FleetCoordinator {
   CheckpointState GatherCheckpoint() const;
   /// Writes a checkpoint when the interval elapsed (or `force`).
   void MaybeCheckpoint(bool force);
+  /// Status tick: stale-worker detection, the stderr status line, and the
+  /// periodic --metrics-out rewrite. No-op unless status_interval_seconds
+  /// (or metrics_out, for the final `force` write) is set.
+  void MaybeStatus(bool force);
 
   FleetConfig config_;
   std::vector<engine::Dialect> dialects_;
@@ -174,6 +198,13 @@ class FleetCoordinator {
   /// Iterations/queries credited to incarnations that died without DONE.
   uint64_t dead_iterations_ = 0;
   uint64_t dead_queries_ = 0;
+  /// Telemetry restored from a checkpoint (prior runs' merged view).
+  obs::MetricsSnapshot base_metrics_;
+  /// Telemetry folded in from incarnations that ended (DONE or death);
+  /// live incarnations are read from their Worker::latest_stats instead.
+  obs::MetricsSnapshot dead_metrics_;
+  uint64_t stale_intervals_ = 0;
+  double last_status_ = 0.0;  ///< wall clock of the last status tick
 
   mutable std::mutex pids_mu_;  ///< guards pid reads from other threads
 };

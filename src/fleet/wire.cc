@@ -14,7 +14,7 @@ constexpr const char kMagic[] = "SPTW1";
 
 const char* kTypeNames[] = {"HELLO", "INFLIGHT", "SLICEDONE",
                             "SLICEPROGRESS", "COV", "ENTRY",
-                            "BUG",   "DONE",     "STOP"};
+                            "BUG",   "DONE",     "STOP", "STATS"};
 
 }  // namespace
 
@@ -214,6 +214,12 @@ std::string EncodeFrame(const Frame& frame) {
       put_u(frame.index_scans);
       put_u(frame.prepared);
       break;
+    case FrameType::kStats: {
+      put_f(frame.elapsed);
+      const std::string text = frame.stats.EncodeText();
+      line += ' ' + HexEncode(std::vector<uint8_t>(text.begin(), text.end()));
+      break;
+    }
     case FrameType::kStop:
       break;
   }
@@ -344,6 +350,21 @@ Result<Frame> DecodeFrame(const std::string& line) {
         return Malformed("DONE fields");
       }
       break;
+    case FrameType::kStats: {
+      want = 2;
+      if (args != want) return Malformed("STATS field count");
+      if (!ParseFieldF64(arg(0), &frame.elapsed)) {
+        return Malformed("STATS fields");
+      }
+      auto payload = HexDecode(arg(1));
+      if (!payload.ok()) return payload.status();
+      const std::vector<uint8_t> bytes = payload.Take();
+      auto snapshot = obs::MetricsSnapshot::DecodeText(
+          std::string(bytes.begin(), bytes.end()));
+      if (!snapshot.ok()) return snapshot.status();
+      frame.stats = snapshot.Take();
+      break;
+    }
     case FrameType::kStop:
       want = 0;
       if (args != want) return Malformed("STOP field count");

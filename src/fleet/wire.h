@@ -30,6 +30,10 @@
 //              it authoritatively alongside the differential secondary)
 //     DONE     <iterations> <queries> <checks> <busy_s> <engine_s>
 //              <statements> <pairs> <index_scans> <prepared>
+//     STATS    <elapsed> <hex(spatter-metrics-text-v1 snapshot)>
+//              (cumulative MetricsSnapshot of the worker process since it
+//              started; the payload must decode as a valid snapshot
+//              document or the frame is rejected whole)
 //   coordinator -> worker
 //     ENTRY    <hex(record)>   (cross-process corpus rebroadcast)
 //     STOP                     (finish the current iteration and report)
@@ -42,6 +46,7 @@
 
 #include "common/status.h"
 #include "fuzz/campaign.h"
+#include "obs/metrics.h"
 
 namespace spatter::fleet {
 
@@ -55,6 +60,7 @@ enum class FrameType : uint8_t {
   kBug,
   kDone,
   kStop,
+  kStats,
 };
 
 const char* FrameTypeName(FrameType t);
@@ -93,6 +99,9 @@ struct Frame {
   bool is_crash = false;
   uint64_t oracle = 0;  ///< detecting fuzz::OracleKind, range-validated
   std::string detail;
+
+  // STATS: decoded metrics snapshot (DecodeFrame fully validates it).
+  obs::MetricsSnapshot stats;
 
   // DONE timing + engine counters
   double busy_seconds = 0.0;

@@ -12,6 +12,7 @@
 
 #include "common/coverage.h"
 #include "fleet/wire.h"
+#include "obs/metrics.h"
 #include "runtime/thread_pool.h"
 
 namespace spatter::fleet {
@@ -121,7 +122,10 @@ int RunWorker(const WorkerOptions& options, int in_fd, int out_fd) {
   ::signal(SIGPIPE, SIG_IGN);
   // Fresh-process coverage semantics even when forked from a warm parent
   // (the in-process test path): COV deltas must describe THIS worker.
+  // Same for metrics — STATS frames carry cumulative values "since this
+  // worker started", and the coordinator relies on that baseline.
   CoverageRegistry::Instance().ResetHits();
+  obs::MetricsRegistry::Instance().Reset();
 
   std::vector<engine::Dialect> dialects = options.dialects;
   if (dialects.empty()) dialects.push_back(options.base.dialect);
@@ -265,7 +269,16 @@ int RunWorker(const WorkerOptions& options, int in_fd, int out_fd) {
           send_cov = true;
         }
       }
-      if (send_cov) writer.Write(cov);
+      if (send_cov) {
+        writer.Write(cov);
+        // STATS rides the COV cadence: one registry snapshot per
+        // heartbeat, cumulative since worker start.
+        Frame stats;
+        stats.type = FrameType::kStats;
+        stats.elapsed = cov.elapsed;
+        stats.stats = obs::MetricsRegistry::Instance().Snapshot();
+        writer.Write(stats);
+      }
 
       // SLICEPROGRESS is the LAST frame of the iteration, after its BUG,
       // ENTRY, and COV frames: a coordinator checkpoint that includes
@@ -332,6 +345,14 @@ int RunWorker(const WorkerOptions& options, int in_fd, int out_fd) {
     cov_snapshot = CoverageRegistry::Instance().SnapshotHits();
     writer.Write(cov);
   }
+  // Final STATS precedes DONE so the coordinator's merged fleet view is
+  // complete before it retires this incarnation's live snapshot.
+  Frame final_stats;
+  final_stats.type = FrameType::kStats;
+  final_stats.elapsed = Campaign::NowSeconds() - t0;
+  final_stats.stats = obs::MetricsRegistry::Instance().Snapshot();
+  writer.Write(final_stats);
+
   Frame done;
   done.type = FrameType::kDone;
   done.iterations = totals.iterations_run;

@@ -4,6 +4,7 @@
 
 #include "common/coverage.h"
 #include "fuzz/aei.h"
+#include "obs/metrics.h"
 
 namespace spatter::fuzz {
 
@@ -105,9 +106,17 @@ void Campaign::RunIteration(size_t iteration, CampaignResult* result,
   DatabaseSpec sdb1;
   corpus::TestCaseRecord parent;
   bool mutated = false;
+  static obs::LatencyHistogram* mutate_hist =
+      obs::MetricsRegistry::Instance().GetHistogram("campaign.mutate");
+  static obs::LatencyHistogram* generate_hist =
+      obs::MetricsRegistry::Instance().GetHistogram("campaign.generate");
+  static obs::LatencyHistogram* check_hist =
+      obs::MetricsRegistry::Instance().GetHistogram("campaign.check");
   if (corpus_ &&
       scheduler_->ShouldMutate(*corpus_, shard_iterations_run_,
                                iterations_since_admit_, &rng_)) {
+    obs::ScopedTimer mutate_timer(mutate_hist);
+    SPATTER_METRIC_INC("campaign.mutate_iterations");
     SPATTER_COV("campaign", "corpus_mutate_iteration");
     const size_t pick = scheduler_->PickEntry(*corpus_, &rng_);
     corpus_->NoteFuzzed(pick);
@@ -131,6 +140,8 @@ void Campaign::RunIteration(size_t iteration, CampaignResult* result,
     }
     mutated = true;
   } else {
+    obs::ScopedTimer generate_timer(generate_hist);
+    SPATTER_METRIC_INC("campaign.generate_iterations");
     sdb1 = generator_->Generate(&crashes);
   }
   // Mutants keep the parent's index configuration half the time: several
@@ -194,8 +205,13 @@ void Campaign::RunIteration(size_t iteration, CampaignResult* result,
     ctx.transform = transform;
     ctx.canonical_only = canonical_only;
     result->queries_run++;
-    for (OracleFinding& finding :
-         suite_->CheckAll(engine_.get(), sdb1, query, ctx)) {
+    SPATTER_METRIC_INC("campaign.queries");
+    std::vector<OracleFinding> findings;
+    {
+      obs::ScopedTimer check_timer(check_hist);
+      findings = suite_->CheckAll(engine_.get(), sdb1, query, ctx);
+    }
+    for (OracleFinding& finding : findings) {
       result->checks_run++;
       const OracleOutcome& outcome = finding.outcome;
       if (!outcome.applicable) continue;
@@ -233,6 +249,7 @@ void Campaign::RunIteration(size_t iteration, CampaignResult* result,
         }
       }
       SPATTER_COV("campaign", d.is_crash ? "crash_found" : "logic_found");
+      SPATTER_METRIC_INC("campaign.discrepancies");
       result->discrepancies.push_back(std::move(d));
     }
   }
@@ -264,6 +281,7 @@ void Campaign::RunIteration(size_t iteration, CampaignResult* result,
   }
   result->iterations_run++;
   shard_iterations_run_++;
+  SPATTER_METRIC_INC("campaign.iterations");
 }
 
 CampaignResult Campaign::Run() {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "engine/functions.h"
+#include "obs/metrics.h"
 
 namespace spatter::fuzz {
 
@@ -241,7 +242,24 @@ std::vector<OracleFinding> OracleSuite::CheckAll(engine::Engine* engine,
   for (const auto& oracle : oracles_) {
     OracleFinding finding;
     finding.oracle = oracle.get();
-    finding.outcome = oracle->Check(engine, sdb1, query, ctx);
+    // Per-oracle telemetry keyed by the stable CLI token ("oracle.aei.*",
+    // "oracle.tlp.*", ...). The registry lookup is a mutex-guarded map
+    // hit, acceptable at once-per-oracle-check granularity (the lock-free
+    // cached-pointer idiom needs a compile-time name, and the name here
+    // depends on the oracle).
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Instance();
+    const std::string prefix = std::string("oracle.") + oracle->Name();
+    {
+      obs::ScopedTimer check_timer(reg.GetHistogram(prefix + ".check"),
+                                   obs::ScopedTimer::Clock::kThreadCpu);
+      finding.outcome = oracle->Check(engine, sdb1, query, ctx);
+    }
+    const OracleOutcome& o = finding.outcome;
+    const char* bucket = !o.applicable ? ".inapplicable"
+                         : o.crash     ? ".crash"
+                         : o.mismatch  ? ".mismatch"
+                                       : ".ok";
+    reg.GetCounter(prefix + bucket)->Add();
     findings.push_back(std::move(finding));
   }
   return findings;

@@ -1,6 +1,7 @@
 #include "fuzz/reducer.h"
 
 #include "geom/wkt_reader.h"
+#include "obs/metrics.h"
 
 namespace spatter::fuzz {
 
@@ -136,6 +137,10 @@ DatabaseSpec ReduceDatabase(const DatabaseSpec& sdb,
 Discrepancy ReduceDiscrepancy(engine::Engine* engine, const Discrepancy& d,
                               ReductionStats* stats,
                               std::optional<faults::FaultId> preserve_fault) {
+  static obs::LatencyHistogram* reduce_hist =
+      obs::MetricsRegistry::Instance().GetHistogram("campaign.reduce");
+  obs::ScopedTimer reduce_timer(reduce_hist);
+  SPATTER_METRIC_INC("campaign.reductions");
   // Rebuild the DETECTING oracle (differential finds get their recorded
   // secondary dialect, matching the primary's faultiness): a candidate is
   // only "smaller" if it still fails the check that found the bug. A

@@ -55,6 +55,7 @@
 #include "fuzz/minify.h"
 #include "fuzz/oracles.h"
 #include "fuzz/reducer.h"
+#include "obs/metrics.h"
 #include "runtime/sharded_campaign.h"
 #include "runtime/thread_pool.h"
 
@@ -84,6 +85,11 @@ struct Options {
   size_t fleet = 0;         // worker processes; 0 = in-process campaign
   double duration = 0.0;    // seconds; 0 = iteration budget
   std::string curve_out;    // Figure-8 curve JSON path
+
+  // Telemetry (strictly passive: never draws campaign RNG, status goes
+  // to stderr so the bug-set stdout contract is untouched).
+  double status_interval = 0.0;  // seconds; 0 = no live status line
+  std::string metrics_out;       // spatter-metrics-v1 JSON path
 
   // Checkpoint / resume.
   std::string checkpoint_dir;   // non-empty = periodic checkpoints
@@ -125,6 +131,15 @@ void Usage() {
       "                    iteration budget (Figure 8 mode)\n"
       "  --curve-out=FILE  write the time-sampled site-coverage curve as\n"
       "                    JSON (requires --duration)\n"
+      "  --status-interval=S  print a live fleet status line (iters/s,\n"
+      "                    engine time per query, per-oracle check p99,\n"
+      "                    bugs, corpus size, worker liveness) to stderr\n"
+      "                    every S seconds; implies --fleet=1 if no fleet\n"
+      "                    was requested\n"
+      "  --metrics-out=FILE  write the merged campaign telemetry (counters\n"
+      "                    and latency histograms) as spatter-metrics-v1\n"
+      "                    JSON to FILE; in fleet mode the file is\n"
+      "                    atomically refreshed on the status cadence\n"
       "  --checkpoint=DIR  periodically persist a resumable campaign\n"
       "                    checkpoint to DIR (atomic write-rename; implies\n"
       "                    --fleet=1 if no fleet was requested)\n"
@@ -220,6 +235,19 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
       }
     } else if (ParseFlag(argv[i], "--curve-out", &value)) {
       opts->curve_out = value;
+    } else if (ParseFlag(argv[i], "--status-interval", &value)) {
+      char* end = nullptr;
+      opts->status_interval = std::strtod(value.c_str(), &end);
+      if (value.empty() || *end != '\0' || opts->status_interval <= 0) {
+        std::fprintf(stderr, "--status-interval must be a positive number\n");
+        return false;
+      }
+    } else if (ParseFlag(argv[i], "--metrics-out", &value)) {
+      if (value.empty()) {
+        std::fprintf(stderr, "--metrics-out needs a file\n");
+        return false;
+      }
+      opts->metrics_out = value;
     } else if (ParseFlag(argv[i], "--checkpoint", &value)) {
       if (value.empty()) {
         std::fprintf(stderr, "--checkpoint needs a directory\n");
@@ -583,6 +611,12 @@ int main(int argc, char** argv) {
                 "checkpoint state)\n");
     opts.fleet = 1;
   }
+  if (opts.status_interval > 0 && opts.fleet == 0) {
+    // The live status line is the coordinator's merged fleet view.
+    std::printf("status: enabling --fleet=1 (the coordinator owns the "
+                "fleet telemetry view)\n");
+    opts.fleet = 1;
+  }
 
   if (!opts.curve_out.empty() && opts.duration <= 0) {
     std::fprintf(stderr, "--curve-out requires --duration\n");
@@ -650,6 +684,8 @@ int main(int argc, char** argv) {
       config.dialects = runtime::ShardedCampaign::AllDialects();
     }
     config.duration_seconds = opts.duration;
+    config.status_interval_seconds = opts.status_interval;
+    config.metrics_out = opts.metrics_out;
     config.corpus_dir = opts.corpus_dir;
     config.checkpoint_dir = opts.checkpoint_dir;
     if (opts.checkpoint_every > 0) {
@@ -727,6 +763,29 @@ int main(int argc, char** argv) {
       if (!st.ok()) {
         std::fprintf(stderr, "curve: %s\n", st.ToString().c_str());
       }
+    }
+  }
+
+  // In-process campaigns dump the local registry once at the end; the
+  // fleet path already wrote the merged view from the coordinator.
+  if (!opts.metrics_out.empty() && fleet_processes == 0) {
+    obs::MetricsJsonInfo info;
+    info.label = curve_info.label;
+    info.seed = opts.seed;
+    info.fleet = 1;
+    info.jobs = opts.jobs;
+    info.elapsed_seconds = result.total_seconds;
+    info.derived["iterations_per_second"] =
+        result.total_seconds > 0
+            ? static_cast<double>(result.iterations_run) / result.total_seconds
+            : 0.0;
+    const Status st = AtomicWriteFile(
+        opts.metrics_out,
+        obs::MetricsToJson(obs::MetricsRegistry::Instance().Snapshot(), info));
+    if (!st.ok()) {
+      std::fprintf(stderr, "metrics: %s\n", st.ToString().c_str());
+    } else {
+      std::printf("metrics: written to %s\n", opts.metrics_out.c_str());
     }
   }
 

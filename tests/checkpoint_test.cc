@@ -25,6 +25,7 @@
 #include "fleet/checkpoint.h"
 #include "fleet/coordinator.h"
 #include "fleet/curve.h"
+#include "fleet/wire.h"
 #include "fuzz/campaign.h"
 #include "runtime/sharded_campaign.h"
 
@@ -130,6 +131,14 @@ CheckpointState SampleState() {
   state.corpus_dir = "corpus dir/with spaces";
   state.corpus_entries = 2;
   state.corpus_signatures = {0xaULL, 0xbULL};
+  state.metrics.counters["campaign.iterations"] = 10;
+  state.metrics.gauges["corpus.size"] = 4;
+  obs::HistogramData hist;
+  hist.count = 3;
+  hist.sum_ns = 4500;
+  hist.buckets.assign(obs::LatencyHistogram::kNumBuckets, 0);
+  hist.buckets[9] = 3;
+  state.metrics.histograms["engine.statement"] = hist;
   return state;
 }
 
@@ -196,8 +205,48 @@ TEST(CheckpointCodec, RoundTripsEveryField) {
   EXPECT_EQ(bug.query.ToSql(), want.query.ToSql());
   EXPECT_EQ(bug.sdb1.ToSql(), want.sdb1.ToSql());
   EXPECT_EQ(bug.fault_hits, want.fault_hits);
+  // The metrics snapshot text form is canonical, so byte equality holds.
+  EXPECT_EQ(out.metrics.EncodeText(), state.metrics.EncodeText());
   // Encode -> decode -> encode is a fixed point (stable on-disk form).
   EXPECT_EQ(EncodeCheckpoint(out), EncodeCheckpoint(state));
+}
+
+TEST(CheckpointCodec, MetricsLineIsOptionalAndValidated) {
+  // Pre-telemetry checkpoints (no metrics line) still decode — to an
+  // empty snapshot, not an error — so old campaign dirs stay resumable.
+  auto old_style = DecodeCheckpoint(Doc({kValidConfigLine,
+                                         kValidCountersLine}));
+  ASSERT_TRUE(old_style.ok()) << old_style.status().ToString();
+  EXPECT_TRUE(old_style.value().metrics.empty());
+
+  obs::MetricsSnapshot snap;
+  snap.counters["campaign.iterations"] = 42;
+  const std::string text = snap.EncodeText();
+  const std::string hex =
+      HexEncode(std::vector<uint8_t>(text.begin(), text.end()));
+  auto with_metrics = DecodeCheckpoint(
+      Doc({kValidConfigLine, kValidCountersLine, "metrics " + hex}));
+  ASSERT_TRUE(with_metrics.ok()) << with_metrics.status().ToString();
+  EXPECT_EQ(with_metrics.value().metrics.CounterOr("campaign.iterations"),
+            42u);
+
+  const std::string garbage = "not a metrics document\n";
+  const std::string garbage_hex =
+      HexEncode(std::vector<uint8_t>(garbage.begin(), garbage.end()));
+  const std::vector<std::vector<std::string>> corrupt = {
+      {kValidConfigLine, kValidCountersLine, "metrics"},        // no payload
+      {kValidConfigLine, kValidCountersLine, "metrics zz"},     // bad hex
+      {kValidConfigLine, kValidCountersLine, "metrics abc"},    // odd hex
+      {kValidConfigLine, kValidCountersLine,
+       "metrics " + garbage_hex},                               // bad doc
+      {kValidConfigLine, kValidCountersLine, "metrics " + hex,
+       "metrics " + hex},                                       // duplicate
+      {kValidConfigLine, kValidCountersLine,
+       "metrics " + hex + " extra"},                            // extra field
+  };
+  for (const auto& body : corrupt) {
+    EXPECT_FALSE(DecodeCheckpoint(Doc(body)).ok()) << body.back();
+  }
 }
 
 TEST(CheckpointCodec, VersionSkewRejected) {

@@ -250,6 +250,65 @@ TEST(Wire, TruncatedFramePrefixesRejected) {
   EXPECT_TRUE(DecodeFrame(line).ok());
 }
 
+TEST(Wire, StatsFrameRoundTrips) {
+  Frame stats;
+  stats.type = FrameType::kStats;
+  stats.elapsed = 2.75;
+  stats.stats.counters["campaign.iterations"] = 1234;
+  stats.stats.counters["oracle.aei.ok"] = 5678;
+  stats.stats.gauges["corpus.size"] = -3;
+  obs::HistogramData h;
+  h.count = 2;
+  h.sum_ns = 3000;
+  h.buckets.assign(obs::LatencyHistogram::kNumBuckets, 0);
+  h.buckets[10] = 2;
+  stats.stats.histograms["engine.statement"] = h;
+
+  const std::string line = EncodeFrame(stats);
+  EXPECT_EQ(line.find('\n'), line.size() - 1) << "one line per frame";
+  auto decoded = DecodeFrame(line);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  const Frame& out = decoded.value();
+  EXPECT_EQ(out.type, FrameType::kStats);
+  EXPECT_NEAR(out.elapsed, 2.75, 1e-9);
+  // The snapshot document is canonical (sorted maps, strict codec), so
+  // byte equality of the re-encoded text is the round-trip check.
+  EXPECT_EQ(out.stats.EncodeText(), stats.stats.EncodeText());
+}
+
+TEST(Wire, RejectsCorruptStatsFrames) {
+  Frame stats;
+  stats.type = FrameType::kStats;
+  stats.elapsed = 1.0;
+  stats.stats.counters["campaign.iterations"] = 7;
+  std::string line = EncodeFrame(stats);
+  line.pop_back();  // drop '\n'
+  ASSERT_TRUE(DecodeFrame(line).ok());
+
+  // Torn-write prefixes: truncating the hex payload either breaks the
+  // hex framing or truncates the embedded snapshot document — both must
+  // reject, never yield a partial snapshot.
+  for (size_t len = 0; len < line.size(); ++len) {
+    EXPECT_FALSE(DecodeFrame(line.substr(0, len)).ok())
+        << "prefix length " << len;
+  }
+
+  const std::string garbage = "not a snapshot\n";
+  const std::string valid_hex =
+      HexEncode(std::vector<uint8_t>(garbage.begin(), garbage.end()));
+  const std::string corrupt[] = {
+      "SPTW1 STATS 1.0",                  // missing payload
+      "SPTW1 STATS 1.0 zz",               // non-hex payload
+      "SPTW1 STATS 1.0 abc",              // odd-length hex
+      "SPTW1 STATS x " + valid_hex,       // non-numeric elapsed
+      "SPTW1 STATS 1.0 " + valid_hex,     // hex of a non-snapshot document
+      line + " deadbeef",                 // extra field
+  };
+  for (const std::string& bad : corrupt) {
+    EXPECT_FALSE(DecodeFrame(bad).ok()) << "should reject: " << bad;
+  }
+}
+
 TEST(Wire, CodecRoundTripsThroughRealPipe) {
   // ENTRY frames carry TestCaseCodec records; the bytes must survive the
   // pipe + hex framing byte-identically.

@@ -1,0 +1,332 @@
+// Tests for the telemetry core: concurrent counter/histogram correctness,
+// quantile extraction, snapshot merge associativity, and the strict
+// spatter-metrics-text-v1 codec.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace spatter::obs {
+namespace {
+
+TEST(CounterTest, ConcurrentIncrementsAllLand) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        c.Add();
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(c.Value(), kThreads * kPerThread);
+}
+
+TEST(CounterTest, AddNAndReset) {
+  Counter c;
+  c.Add(41);
+  c.Add();
+  EXPECT_EQ(c.Value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+}
+
+TEST(HistogramTest, BucketBoundaries) {
+  EXPECT_EQ(LatencyHistogram::BucketOf(0), 0u);
+  EXPECT_EQ(LatencyHistogram::BucketOf(1), 0u);
+  EXPECT_EQ(LatencyHistogram::BucketOf(2), 1u);
+  EXPECT_EQ(LatencyHistogram::BucketOf(3), 1u);
+  EXPECT_EQ(LatencyHistogram::BucketOf(4), 2u);
+  EXPECT_EQ(LatencyHistogram::BucketOf(1023), 9u);
+  EXPECT_EQ(LatencyHistogram::BucketOf(1024), 10u);
+  EXPECT_EQ(LatencyHistogram::BucketOf(UINT64_MAX),
+            LatencyHistogram::kNumBuckets - 1);
+  EXPECT_EQ(LatencyHistogram::BucketLowNs(0), 0u);
+  EXPECT_EQ(LatencyHistogram::BucketLowNs(10), 1024u);
+}
+
+TEST(HistogramTest, ConcurrentRecordsAllCounted) {
+  LatencyHistogram h;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        h.RecordNanos(static_cast<uint64_t>(t + 1) * 1000);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+  uint64_t bucket_total = 0;
+  for (size_t i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+    bucket_total += h.bucket(i);
+  }
+  EXPECT_EQ(bucket_total, kThreads * kPerThread);
+}
+
+MetricsSnapshot SnapshotOfHistogram(const LatencyHistogram& h,
+                                    const std::string& name) {
+  MetricsSnapshot s;
+  HistogramData d;
+  d.buckets.resize(LatencyHistogram::kNumBuckets);
+  uint64_t total = 0;
+  for (size_t i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+    d.buckets[i] = h.bucket(i);
+    total += d.buckets[i];
+  }
+  d.count = total;
+  d.sum_ns = h.sum_ns();
+  s.histograms[name] = std::move(d);
+  return s;
+}
+
+TEST(HistogramTest, QuantilesOrderedAndWithinBounds) {
+  LatencyHistogram h;
+  // 900 fast observations (~1us) and 100 slow ones (~1ms).
+  for (int i = 0; i < 900; ++i) {
+    h.RecordNanos(1000);
+  }
+  for (int i = 0; i < 100; ++i) {
+    h.RecordNanos(1000000);
+  }
+  MetricsSnapshot s = SnapshotOfHistogram(h, "x");
+  const HistogramData& d = s.histograms["x"];
+  double p50 = d.QuantileSeconds(0.50);
+  double p90 = d.QuantileSeconds(0.90);
+  double p99 = d.QuantileSeconds(0.99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  // p50 falls in the 1us bucket [2^9, 2^10) ns; p99 in the 1ms bucket.
+  EXPECT_GE(p50, 512e-9);
+  EXPECT_LT(p50, 1024e-9);
+  EXPECT_GE(p99, 524288e-9);
+  EXPECT_LT(p99, 1048576e-9);
+  EXPECT_NEAR(d.MeanSeconds(), (900 * 1e-6 + 100 * 1e-3) / 1000, 1e-9);
+}
+
+TEST(HistogramTest, QuantileOfEmptyIsZero) {
+  HistogramData d;
+  EXPECT_EQ(d.QuantileSeconds(0.5), 0.0);
+  EXPECT_EQ(d.MeanSeconds(), 0.0);
+}
+
+TEST(SnapshotTest, MergeSumsCountersAndHistograms) {
+  MetricsSnapshot a;
+  a.counters["n"] = 3;
+  a.gauges["g"] = 7;
+  a.histograms["h"].count = 1;
+  a.histograms["h"].sum_ns = 1000;
+  a.histograms["h"].buckets.assign(LatencyHistogram::kNumBuckets, 0);
+  a.histograms["h"].buckets[9] = 1;
+
+  MetricsSnapshot b;
+  b.counters["n"] = 5;
+  b.counters["only_b"] = 2;
+  b.gauges["g"] = 9;
+  b.histograms["h"].count = 2;
+  b.histograms["h"].sum_ns = 4000;
+  b.histograms["h"].buckets.assign(LatencyHistogram::kNumBuckets, 0);
+  b.histograms["h"].buckets[10] = 2;
+
+  MetricsSnapshot m = a;
+  m.Merge(b);
+  EXPECT_EQ(m.counters["n"], 8u);
+  EXPECT_EQ(m.counters["only_b"], 2u);
+  EXPECT_EQ(m.gauges["g"], 9);  // gauges: incoming wins
+  EXPECT_EQ(m.histograms["h"].count, 3u);
+  EXPECT_EQ(m.histograms["h"].sum_ns, 5000u);
+  EXPECT_EQ(m.histograms["h"].buckets[9], 1u);
+  EXPECT_EQ(m.histograms["h"].buckets[10], 2u);
+}
+
+TEST(SnapshotTest, MergeIsAssociative) {
+  auto make = [](uint64_t seedish) {
+    MetricsSnapshot s;
+    s.counters["c"] = seedish;
+    s.counters["c" + std::to_string(seedish)] = seedish * 11;
+    HistogramData h;
+    h.buckets.assign(LatencyHistogram::kNumBuckets, 0);
+    h.buckets[seedish % LatencyHistogram::kNumBuckets] = seedish + 1;
+    h.count = seedish + 1;
+    h.sum_ns = seedish * 1000;
+    s.histograms["h"] = h;
+    return s;
+  };
+  MetricsSnapshot a = make(1), b = make(2), c = make(3);
+
+  MetricsSnapshot left = a;  // (a+b)+c
+  left.Merge(b);
+  left.Merge(c);
+  MetricsSnapshot bc = b;  // a+(b+c)
+  bc.Merge(c);
+  MetricsSnapshot right = a;
+  right.Merge(bc);
+  EXPECT_EQ(left.EncodeText(), right.EncodeText());
+}
+
+TEST(SnapshotTest, CodecRoundTrip) {
+  MetricsSnapshot s;
+  s.counters["campaign.iterations"] = 123;
+  s.counters["zero"] = 0;
+  s.gauges["corpus.size"] = -5;
+  HistogramData h;
+  h.buckets.assign(LatencyHistogram::kNumBuckets, 0);
+  h.buckets[0] = 2;
+  h.buckets[20] = 40;
+  h.buckets[47] = 1;
+  h.count = 43;
+  h.sum_ns = 987654321;
+  s.histograms["engine.statement"] = h;
+  s.histograms["empty.hist"] = HistogramData{};
+
+  std::string text = s.EncodeText();
+  Result<MetricsSnapshot> back = MetricsSnapshot::DecodeText(text);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.value().EncodeText(), text);
+  EXPECT_EQ(back.value().counters.at("campaign.iterations"), 123u);
+  EXPECT_EQ(back.value().gauges.at("corpus.size"), -5);
+  EXPECT_EQ(back.value().histograms.at("engine.statement").buckets[20], 40u);
+  EXPECT_EQ(back.value().histograms.at("empty.hist").count, 0u);
+}
+
+TEST(SnapshotTest, DecodeRejectsCorruption) {
+  MetricsSnapshot s;
+  s.counters["a"] = 1;
+  HistogramData h;
+  h.buckets.assign(LatencyHistogram::kNumBuckets, 0);
+  h.buckets[3] = 4;
+  h.count = 4;
+  h.sum_ns = 100;
+  s.histograms["h"] = h;
+  const std::string good = s.EncodeText();
+  ASSERT_TRUE(MetricsSnapshot::DecodeText(good).ok());
+
+  // Truncations: dropping any suffix must fail.
+  for (size_t cut = 1; cut < good.size(); ++cut) {
+    EXPECT_FALSE(MetricsSnapshot::DecodeText(good.substr(0, cut)).ok())
+        << "accepted truncation at " << cut;
+  }
+  EXPECT_FALSE(MetricsSnapshot::DecodeText("").ok());
+  EXPECT_FALSE(MetricsSnapshot::DecodeText("bogus-magic\nend 0\n").ok());
+  // Unknown line kind.
+  EXPECT_FALSE(MetricsSnapshot::DecodeText(std::string(kMetricsTextMagic) +
+                                           "\nq a 1\nend 1\n")
+                   .ok());
+  // Duplicate counter name.
+  EXPECT_FALSE(MetricsSnapshot::DecodeText(std::string(kMetricsTextMagic) +
+                                           "\nc a 1\nc a 2\nend 2\n")
+                   .ok());
+  // Non-numeric value.
+  EXPECT_FALSE(MetricsSnapshot::DecodeText(std::string(kMetricsTextMagic) +
+                                           "\nc a 1x\nend 1\n")
+                   .ok());
+  // Histogram bucket index out of range.
+  EXPECT_FALSE(MetricsSnapshot::DecodeText(std::string(kMetricsTextMagic) +
+                                           "\nh h 1 5 99:1\nend 1\n")
+                   .ok());
+  // Histogram count disagreeing with bucket sum.
+  EXPECT_FALSE(MetricsSnapshot::DecodeText(std::string(kMetricsTextMagic) +
+                                           "\nh h 3 5 4:1\nend 1\n")
+                   .ok());
+  // Buckets out of order.
+  EXPECT_FALSE(MetricsSnapshot::DecodeText(std::string(kMetricsTextMagic) +
+                                           "\nh h 2 5 4:1,2:1\nend 1\n")
+                   .ok());
+  // Wrong end count.
+  EXPECT_FALSE(MetricsSnapshot::DecodeText(std::string(kMetricsTextMagic) +
+                                           "\nc a 1\nend 2\n")
+                   .ok());
+}
+
+TEST(RegistryTest, RegisterSnapshotReset) {
+  MetricsRegistry& reg = MetricsRegistry::Instance();
+  reg.Reset();
+  Counter* c = reg.GetCounter("obs_test.counter");
+  EXPECT_EQ(c, reg.GetCounter("obs_test.counter"));  // stable pointer
+  c->Add(5);
+  reg.GetGauge("obs_test.gauge")->Set(17);
+  reg.GetHistogram("obs_test.hist")->RecordNanos(2048);
+
+  MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.counters.at("obs_test.counter"), 5u);
+  EXPECT_EQ(snap.gauges.at("obs_test.gauge"), 17);
+  EXPECT_EQ(snap.histograms.at("obs_test.hist").count, 1u);
+  EXPECT_EQ(snap.histograms.at("obs_test.hist").buckets[11], 1u);
+
+  reg.Reset();
+  MetricsSnapshot zero = reg.Snapshot();
+  // Names survive reset with zeroed values.
+  EXPECT_EQ(zero.counters.at("obs_test.counter"), 0u);
+  EXPECT_EQ(zero.histograms.at("obs_test.hist").count, 0u);
+}
+
+TEST(RegistryTest, MacroCachesAndCounts) {
+  MetricsRegistry::Instance().Reset();
+  for (int i = 0; i < 3; ++i) {
+    SPATTER_METRIC_INC("obs_test.macro");
+  }
+  SPATTER_METRIC_ADD("obs_test.macro", 7);
+  EXPECT_EQ(
+      MetricsRegistry::Instance().GetCounter("obs_test.macro")->Value(), 10u);
+}
+
+TEST(ScopedTimerTest, RecordsPositiveDuration) {
+  LatencyHistogram h;
+  {
+    ScopedTimer t(&h, ScopedTimer::Clock::kWall);
+    volatile int sink = 0;
+    for (int i = 0; i < 10000; ++i) {
+      sink = sink + i;
+    }
+  }
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(JsonTest, EmitsSchemaAndSections) {
+  MetricsSnapshot s;
+  s.counters["campaign.iterations"] = 9;
+  s.gauges["fleet.workers_live"] = 2;
+  HistogramData h;
+  h.buckets.assign(LatencyHistogram::kNumBuckets, 0);
+  h.buckets[10] = 3;
+  h.count = 3;
+  h.sum_ns = 3600;
+  s.histograms["oracle.aei.check"] = h;
+
+  MetricsJsonInfo info;
+  info.label = "postgis";
+  info.seed = 42;
+  info.fleet = 2;
+  info.jobs = 2;
+  info.elapsed_seconds = 1.5;
+  info.derived["throughput.iters_per_sec"] = 123.5;
+
+  std::string json = MetricsToJson(s, info);
+  EXPECT_NE(json.find("\"schema\": \"spatter-metrics-v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"campaign.iterations\": 9"), std::string::npos);
+  EXPECT_NE(json.find("\"fleet.workers_live\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"oracle.aei.check\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"throughput.iters_per_sec\": 123.500000"),
+            std::string::npos);
+  EXPECT_NE(json.find("[10, 3]"), std::string::npos);
+  // Deterministic rendering: same snapshot renders the same bytes.
+  EXPECT_EQ(json, MetricsToJson(s, info));
+}
+
+}  // namespace
+}  // namespace spatter::obs
