@@ -353,6 +353,11 @@ void FleetCoordinator::HandleLine(Worker* worker, const std::string& line) {
       break;
     case FrameType::kStop:
       break;  // coordinator-only frame; a worker echoing it is harmless
+    case FrameType::kNetHello:
+    case FrameType::kAssign:
+    case FrameType::kBye:
+    case FrameType::kTune:
+      break;  // socket-tier frames; the pipe tier ignores strays
   }
   if (config_.die_after_frames > 0 &&
       frames_handled_ == config_.die_after_frames) {

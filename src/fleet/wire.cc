@@ -14,7 +14,8 @@ constexpr const char kMagic[] = "SPTW1";
 
 const char* kTypeNames[] = {"HELLO", "INFLIGHT", "SLICEDONE",
                             "SLICEPROGRESS", "COV", "ENTRY",
-                            "BUG",   "DONE",     "STOP", "STATS"};
+                            "BUG",   "DONE",     "STOP", "STATS",
+                            "NETHELLO", "ASSIGN", "BYE", "TUNE"};
 
 }  // namespace
 
@@ -220,18 +221,37 @@ std::string EncodeFrame(const Frame& frame) {
       line += ' ' + HexEncode(std::vector<uint8_t>(text.begin(), text.end()));
       break;
     }
+    case FrameType::kNetHello:
+      put_u(frame.proto);
+      put_u(frame.pid);
+      break;
+    case FrameType::kAssign:
+      put_u(frame.worker);
+      line += ' ' + HexEncode(frame.payload);
+      break;
+    case FrameType::kTune:
+      put_u(frame.mutate_pct);
+      break;
     case FrameType::kStop:
+    case FrameType::kBye:
       break;
   }
   line += '\n';
   return line;
 }
 
-Result<Frame> DecodeFrame(const std::string& line) {
+namespace {
+
+Result<Frame> DecodeFrameImpl(const std::string& line) {
+  if (line.size() > kMaxFrameBytes) return Malformed("oversized frame");
+  if (line.find('\0') != std::string::npos) {
+    return Malformed("NUL byte in frame");
+  }
   std::string body = line;
   if (!body.empty() && body.back() == '\n') body.pop_back();
   if (!body.empty() && body.back() == '\r') body.pop_back();
   const std::vector<std::string> fields = SplitFrameFields(body);
+  if (fields.size() > kMaxFrameFields) return Malformed("too many fields");
   if (fields.size() < 2 || fields[0] != kMagic) return Malformed("bad magic");
 
   Frame frame;
@@ -365,12 +385,54 @@ Result<Frame> DecodeFrame(const std::string& line) {
       frame.stats = snapshot.Take();
       break;
     }
+    case FrameType::kNetHello:
+      want = 2;
+      if (args != want) return Malformed("NETHELLO field count");
+      if (!ParseFieldU64(arg(0), &frame.proto) ||
+          !ParseFieldU64(arg(1), &frame.pid)) {
+        return Malformed("NETHELLO fields");
+      }
+      break;
+    case FrameType::kAssign: {
+      want = 2;
+      if (args != want) return Malformed("ASSIGN field count");
+      if (!ParseFieldU64(arg(0), &frame.worker)) {
+        return Malformed("ASSIGN fields");
+      }
+      auto payload = HexDecode(arg(1));
+      if (!payload.ok()) return payload.status();
+      frame.payload = payload.Take();
+      break;
+    }
+    case FrameType::kTune:
+      want = 1;
+      if (args != want) return Malformed("TUNE field count");
+      if (!ParseFieldU64(arg(0), &frame.mutate_pct) ||
+          frame.mutate_pct > 100) {
+        return Malformed("TUNE mutate_pct");
+      }
+      break;
     case FrameType::kStop:
       want = 0;
       if (args != want) return Malformed("STOP field count");
       break;
+    case FrameType::kBye:
+      want = 0;
+      if (args != want) return Malformed("BYE field count");
+      break;
   }
   return frame;
+}
+
+}  // namespace
+
+Result<Frame> DecodeFrame(const std::string& line) {
+  auto result = DecodeFrameImpl(line);
+  // Every rejection — bad magic, torn line, hostile payload — lands in
+  // one counter so a fleet operator can see a misbehaving peer at a
+  // glance (`wire.rejected` in the metrics snapshot).
+  if (!result.ok()) SPATTER_METRIC_INC("wire.rejected");
+  return result;
 }
 
 Result<Frame> MakeBugFrame(const fuzz::Discrepancy& d, uint64_t master_seed) {

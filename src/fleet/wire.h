@@ -37,6 +37,24 @@
 //   coordinator -> worker
 //     ENTRY    <hex(record)>   (cross-process corpus rebroadcast)
 //     STOP                     (finish the current iteration and report)
+//   socket tier (src/net/), remote worker <-> fleet server
+//     NETHELLO <proto> <pid>   (remote worker's first frame after connect;
+//              the server BYEs on protocol-version skew)
+//     ASSIGN   <worker> <hex(checkpoint doc)>   (one work assignment: the
+//              payload is an EncodeCheckpoint document whose progress
+//              entries enumerate every (dialect, slice, completed) of the
+//              assignment and whose config line carries seed, oracle
+//              suite, corpus settings — everything a worker needs)
+//     BYE                      (no work now or ever; close the connection)
+//     TUNE     <mutate_pct>    (fleet-level corpus scheduling: steer the
+//              worker's mutate budget; corpus mode only, advisory)
+//
+// Remote peers are untrusted: DecodeFrame rejects lines longer than
+// kMaxFrameBytes, lines containing NUL bytes, and lines with more than
+// kMaxFrameFields space-separated fields, and counts every rejection in
+// the `wire.rejected` metric. Stream buffers (net::FrameChannel) enforce
+// the same byte cap before a newline ever arrives, so a hostile peer
+// cannot grow an unbounded line buffer.
 #ifndef SPATTER_FLEET_WIRE_H_
 #define SPATTER_FLEET_WIRE_H_
 
@@ -61,7 +79,24 @@ enum class FrameType : uint8_t {
   kDone,
   kStop,
   kStats,
+  // Socket-tier frames (appended: the pipe tier never sees them, and the
+  // type list order is part of the wire contract).
+  kNetHello,
+  kAssign,
+  kBye,
+  kTune,
 };
+
+/// Version token a remote worker sends in NETHELLO; the server rejects
+/// (BYE) any peer whose version differs.
+inline constexpr uint64_t kNetProtocolVersion = 1;
+
+/// Hardening caps for frames from untrusted remote peers. The byte cap
+/// bounds ASSIGN/ENTRY hex payloads (a checkpoint document of a large
+/// campaign stays well under it); the field cap bounds splitter memory
+/// (the widest legitimate frame, DONE, has 11 fields).
+inline constexpr size_t kMaxFrameBytes = 8u << 20;
+inline constexpr size_t kMaxFrameFields = 16;
 
 const char* FrameTypeName(FrameType t);
 
@@ -102,6 +137,13 @@ struct Frame {
 
   // STATS: decoded metrics snapshot (DecodeFrame fully validates it).
   obs::MetricsSnapshot stats;
+
+  // NETHELLO
+  uint64_t proto = 0;
+  // TUNE
+  uint64_t mutate_pct = 0;
+  // ASSIGN reuses `worker` (assigned worker index) + `payload` (the
+  // EncodeCheckpoint document bytes).
 
   // DONE timing + engine counters
   double busy_seconds = 0.0;

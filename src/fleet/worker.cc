@@ -76,7 +76,8 @@ struct IncomingEntries {
 /// timeout so the thread notices `exit_flag` and joins cleanly even when
 /// the coordinator holds the pipe open past our DONE.
 void ReaderLoop(int in_fd, std::atomic<bool>* stop_flag,
-                std::atomic<bool>* exit_flag, IncomingEntries* incoming) {
+                std::atomic<bool>* exit_flag, IncomingEntries* incoming,
+                std::atomic<uint64_t>* tune_pct) {
   std::string buffer;
   char chunk[4096];
   while (!exit_flag->load(std::memory_order_relaxed)) {
@@ -108,6 +109,10 @@ void ReaderLoop(int in_fd, std::atomic<bool>* stop_flag,
         if (!decoded.ok()) continue;
         std::lock_guard<std::mutex> lock(incoming->mu);
         incoming->records.push_back(decoded.Take());
+      } else if (frame.value().type == FrameType::kTune) {
+        // Fleet-level corpus steering: latch the latest advisory mutate
+        // budget; slice loops apply it before their next iteration.
+        tune_pct->store(frame.value().mutate_pct, std::memory_order_relaxed);
       }
     }
   }
@@ -130,18 +135,33 @@ int RunWorker(const WorkerOptions& options, int in_fd, int out_fd) {
   std::vector<engine::Dialect> dialects = options.dialects;
   if (dialects.empty()) dialects.push_back(options.base.dialect);
 
+  // The effective slice set: an explicit (possibly non-contiguous) list
+  // from the socket fleet server, or the classic contiguous window.
+  std::vector<size_t> slices;
+  if (!options.slices.empty()) {
+    slices.assign(options.slices.begin(), options.slices.end());
+  } else {
+    for (size_t s = 0; s < options.slice_count; ++s) {
+      slices.push_back(options.slice_offset + s);
+    }
+  }
+
   FrameWriter writer(out_fd, options.die_after_frames);
   std::atomic<bool> stop{false};
   std::atomic<bool> reader_exit{false};
+  // TUNE latch: ~0 = never tuned. Written by the reader, applied by slice
+  // loops between iterations.
+  std::atomic<uint64_t> tune_pct{~uint64_t{0}};
   IncomingEntries incoming;
-  std::thread reader(ReaderLoop, in_fd, &stop, &reader_exit, &incoming);
+  std::thread reader(ReaderLoop, in_fd, &stop, &reader_exit, &incoming,
+                     &tune_pct);
 
   Frame hello;
   hello.type = FrameType::kHello;
   hello.worker = options.index;
   hello.pid = static_cast<uint64_t>(::getpid());
-  hello.slice_offset = options.slice_offset;
-  hello.slice_count = options.slice_count;
+  hello.slice_offset = slices.empty() ? options.slice_offset : slices.front();
+  hello.slice_count = slices.size();
   hello.total_slices = options.total_slices;
   writer.Write(hello);
 
@@ -191,7 +211,14 @@ int RunWorker(const WorkerOptions& options, int in_fd, int out_fd) {
     uint64_t completed_abs = completed;
     size_t iteration = slice + completed * options.total_slices;
     size_t incoming_cursor = 0;
+    uint64_t tune_applied = ~uint64_t{0};
     while (!stop.load(std::memory_order_relaxed) && !writer.failed()) {
+      // Advisory fleet steering: adopt the latest TUNE mutate budget.
+      const uint64_t tuned = tune_pct.load(std::memory_order_relaxed);
+      if (tuned != tune_applied) {
+        campaign.SetMutatePct(static_cast<int>(tuned));
+        tune_applied = tuned;
+      }
       if (deadline > 0) {
         if (Campaign::NowSeconds() - t0 >= deadline) break;
       } else if (iteration >= cfg.iterations) {
@@ -317,16 +344,15 @@ int RunWorker(const WorkerOptions& options, int in_fd, int out_fd) {
   };
 
   {
-    // Batch tasks queue onto slice_count threads; duration tasks must all
-    // run concurrently (a task started after the deadline contributes
-    // nothing), so oversubscribe exactly like ShardedCampaign does.
-    const size_t tasks = dialects.size() * options.slice_count;
-    runtime::ThreadPool pool(
-        deadline > 0 ? std::max(options.slice_count, tasks)
-                     : std::max<size_t>(1, options.slice_count));
+    // Batch tasks queue onto one thread per owned slice; duration tasks
+    // must all run concurrently (a task started after the deadline
+    // contributes nothing), so oversubscribe exactly like ShardedCampaign.
+    const size_t tasks = dialects.size() * slices.size();
+    runtime::ThreadPool pool(deadline > 0
+                                 ? std::max(slices.size(), tasks)
+                                 : std::max<size_t>(1, slices.size()));
     for (const engine::Dialect dialect : dialects) {
-      for (size_t s = 0; s < options.slice_count; ++s) {
-        const size_t slice = options.slice_offset + s;
+      for (const size_t slice : slices) {
         pool.Submit([&run_slice, dialect, slice] { run_slice(dialect, slice); });
       }
     }

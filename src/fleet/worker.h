@@ -40,6 +40,11 @@ struct WorkerOptions {
   size_t slice_offset = 0;   ///< first owned global slice
   size_t slice_count = 1;    ///< owned slices == worker thread count
   size_t total_slices = 1;   ///< global stride (processes × jobs)
+  /// Non-empty: the exact global slices to run, overriding the contiguous
+  /// [slice_offset, slice_offset + slice_count) window. The socket fleet
+  /// server uses this — slices requeued from a dead remote worker are
+  /// re-factored onto survivors as arbitrary, non-contiguous sets.
+  std::vector<uint64_t> slices;
   /// 0 = batch mode (run the iteration budget); > 0 = duration mode (run
   /// until this many seconds elapse; remaining time on respawn).
   double duration_seconds = 0.0;

@@ -50,6 +50,10 @@ void Campaign::SeedCorpus(const std::vector<corpus::TestCaseRecord>& records) {
   for (const auto& record : records) corpus_->Restore(record);
 }
 
+void Campaign::SetMutatePct(int pct) {
+  if (scheduler_) scheduler_->set_mutate_pct(pct);
+}
+
 const std::set<std::string>& Campaign::HarnessCoverageModules() {
   static const std::set<std::string> kHarnessModules = {
       "campaign", "corpus", "generator", "aei", "oracle"};
@@ -204,6 +208,8 @@ void Campaign::RunIteration(size_t iteration, CampaignResult* result,
     OracleCtx ctx;
     ctx.transform = transform;
     ctx.canonical_only = canonical_only;
+    ctx.query_ordinal =
+        static_cast<uint64_t>(iteration) * config_.queries_per_iteration + q;
     result->queries_run++;
     SPATTER_METRIC_INC("campaign.queries");
     std::vector<OracleFinding> findings;

@@ -181,6 +181,11 @@ class Campaign {
   /// is off). Records are restored — signature dedup only, never the
   /// new-coverage rule, which would drop entries earned in earlier runs.
   void SeedCorpus(const std::vector<corpus::TestCaseRecord>& records);
+  /// Live mutate-vs-generate steering (fleet TUNE frames). No-op outside
+  /// corpus mode. Advisory: each scheduler coin still consumes exactly
+  /// one RNG draw, so this shifts probabilities without touching any
+  /// determinism contract.
+  void SetMutatePct(int pct);
 
  private:
   void RunIteration(size_t iteration, CampaignResult* result,

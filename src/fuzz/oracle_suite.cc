@@ -124,6 +124,26 @@ bool OracleKindIsDeterministic(OracleKind kind) {
   return true;
 }
 
+namespace {
+
+// Strict digits-only u64 (the fleet wire parser's rules, re-stated here
+// because fuzz sits below fleet in the layering).
+bool ParseBudgetU64(const std::string& s, uint64_t* out) {
+  if (s.empty()) return false;
+  uint64_t value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    if (value > (UINT64_MAX - static_cast<uint64_t>(c - '0')) / 10) {
+      return false;
+    }
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
 Result<OracleSuiteSpec> ParseOracleSuite(const std::string& csv) {
   OracleSuiteSpec spec;
   spec.oracles.clear();
@@ -139,8 +159,21 @@ Result<OracleSuiteSpec> ParseOracleSuite(const std::string& csv) {
   size_t start = 0;
   while (start <= csv.size()) {
     const size_t comma = csv.find(',', start);
-    const std::string token = csv.substr(
+    std::string token = csv.substr(
         start, comma == std::string::npos ? std::string::npos : comma - start);
+    // Optional "/N" budget suffix on single-oracle tokens ("tlp/8",
+    // "diff:mysql/8"): run the oracle every Nth query.
+    uint64_t budget = 0;
+    const size_t slash = token.find('/');
+    if (slash != std::string::npos) {
+      const std::string n = token.substr(slash + 1);
+      token = token.substr(0, slash);
+      if (token == "all" || !ParseBudgetU64(n, &budget) || budget == 0) {
+        return Status::InvalidArgument("bad oracle budget suffix '/" + n +
+                                       "' (want /N with N >= 1)");
+      }
+    }
+    const size_t oracles_before = spec.oracles.size();
     if (token == "aei") {
       SPATTER_RETURN_NOT_OK(add(OracleKind::kAei));
     } else if (token == "canon") {
@@ -169,6 +202,9 @@ Result<OracleSuiteSpec> ParseOracleSuite(const std::string& csv) {
                                      "' (expected aei, canon, diff[:dialect], "
                                      "index, tlp, or all)");
     }
+    if (budget >= 2 && spec.oracles.size() == oracles_before + 1) {
+      spec.budgets[spec.oracles.back()] = budget;
+    }
     if (comma == std::string::npos) break;
     start = comma + 1;
   }
@@ -176,6 +212,35 @@ Result<OracleSuiteSpec> ParseOracleSuite(const std::string& csv) {
     return Status::InvalidArgument("--oracles needs at least one oracle");
   }
   return spec;
+}
+
+Status ApplyOracleBudget(OracleSuiteSpec* spec, const std::string& value) {
+  const size_t colon = value.find(':');
+  if (colon == std::string::npos) {
+    return Status::InvalidArgument(
+        "--oracle-budget wants name:1/N (e.g. tlp:1/8)");
+  }
+  const std::string name = value.substr(0, colon);
+  std::string rate = value.substr(colon + 1);
+  // Accept both "1/N" (the documented rate form) and a bare "N".
+  if (rate.rfind("1/", 0) == 0) rate = rate.substr(2);
+  uint64_t every = 0;
+  if (!ParseBudgetU64(rate, &every) || every == 0) {
+    return Status::InvalidArgument("bad --oracle-budget rate '" + rate +
+                                   "' (want 1/N with N >= 1)");
+  }
+  for (OracleKind kind : spec->oracles) {
+    if (name == OracleCliToken(kind)) {
+      if (every >= 2) {
+        spec->budgets[kind] = every;
+      } else {
+        spec->budgets.erase(kind);
+      }
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument("--oracle-budget names '" + name +
+                                 "', which is not in the oracle suite");
 }
 
 std::string FormatOracleSuite(const OracleSuiteSpec& spec) {
@@ -188,6 +253,10 @@ std::string FormatOracleSuite(const OracleSuiteSpec& spec) {
       out += engine::DialectCliToken(spec.diff_secondary);
     } else {
       out += OracleCliToken(kind);
+    }
+    const auto budget = spec.budgets.find(kind);
+    if (budget != spec.budgets.end() && budget->second >= 2) {
+      out += "/" + std::to_string(budget->second);
     }
   }
   return out;
@@ -242,6 +311,18 @@ std::vector<OracleFinding> OracleSuite::CheckAll(engine::Engine* engine,
   for (const auto& oracle : oracles_) {
     OracleFinding finding;
     finding.oracle = oracle.get();
+    // Budgeted oracles sample every Nth query by global ordinal — a pure
+    // function of the iteration index, so every shard of any P x J
+    // factorization makes the same run/skip decision for the same query.
+    const auto budget = spec_.budgets.find(oracle->Kind());
+    if (budget != spec_.budgets.end() && budget->second >= 2 &&
+        ctx.query_ordinal % budget->second != 0) {
+      obs::MetricsRegistry::Instance()
+          .GetCounter(std::string("oracle.") + oracle->Name() +
+                      ".budget_skipped")
+          ->Add();
+      continue;
+    }
     // Per-oracle telemetry keyed by the stable CLI token ("oracle.aei.*",
     // "oracle.tlp.*", ...). The registry lookup is a mutex-guarded map
     // hit, acceptable at once-per-oracle-check granularity (the lock-free

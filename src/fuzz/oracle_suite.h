@@ -27,6 +27,7 @@
 #ifndef SPATTER_FUZZ_ORACLE_SUITE_H_
 #define SPATTER_FUZZ_ORACLE_SUITE_H_
 
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -48,6 +49,11 @@ struct OracleCtx {
   /// `transform` is the identity and AEI findings are attributed to
   /// OracleKind::kCanonicalOnly.
   bool canonical_only = false;
+  /// Global ordinal of this query: iteration * queries_per_iteration + q.
+  /// Oracle budgets sample off it — a pure function of the iteration
+  /// index, never the campaign RNG, so a budgeted suite keeps the
+  /// jobs/fleet factorization invariance.
+  uint64_t query_ordinal = 0;
 };
 
 class Oracle {
@@ -154,6 +160,12 @@ struct OracleSuiteSpec {
   /// or postgis when the primary IS mysql) so the comparison never
   /// degenerates to an engine against itself.
   engine::Dialect diff_secondary = engine::Dialect::kMysql;
+  /// Per-oracle check budgets: an entry (kind, N) with N >= 2 runs that
+  /// oracle only on queries whose global ordinal is a multiple of N
+  /// (`--oracle-budget=tlp:1/8`, or the "tlp/8" token form inside
+  /// `--oracles=`). Absent entry = every query. Only N >= 2 is stored so
+  /// Parse/Format round-trip canonically.
+  std::map<OracleKind, uint64_t> budgets;
 };
 
 /// Secondary dialect the differential oracle actually compares `primary`
@@ -163,9 +175,15 @@ engine::Dialect EffectiveDiffSecondary(const OracleSuiteSpec& spec,
 
 /// Parses a `--oracles=` list: comma-separated tokens among
 /// aei, canon, diff, index, tlp, plus "all" (= aei,diff,index,tlp) and
-/// "diff:<dialect>" to pick the differential secondary. Duplicates and
-/// unknown tokens are errors.
+/// "diff:<dialect>" to pick the differential secondary. Any single-oracle
+/// token may carry a "/N" budget suffix ("tlp/8"): run that oracle every
+/// Nth query. Duplicates and unknown tokens are errors.
 Result<OracleSuiteSpec> ParseOracleSuite(const std::string& csv);
+
+/// Applies one `--oracle-budget=name:1/N` value to an already-parsed
+/// suite: `name` must be the CLI token of an oracle in the suite, and the
+/// oracle then runs only on every Nth query (N == 1 clears the budget).
+Status ApplyOracleBudget(OracleSuiteSpec* spec, const std::string& value);
 
 /// Inverse of ParseOracleSuite (round-trips through the fleet's worker
 /// spawn args).

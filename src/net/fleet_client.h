@@ -1,0 +1,48 @@
+// Fleet client: the body of `spatter --connect=HOST:PORT` — one remote
+// machine's worker loop in a socket fleet campaign (net/fleet_server.h).
+//
+// Protocol: one assignment per TCP connection. The client connects (with
+// a retry budget, so workers may start before the server), sends NETHELLO
+// <proto> <pid>, and blocks until the server answers — ASSIGN (a
+// hex-encoded EncodeCheckpoint document carrying the campaign identity
+// and the assignment's (dialect, slice, completed) marks) or BYE (no work
+// now or ever). On ASSIGN it rebuilds the CampaignConfig from the
+// checkpoint's identity block, runs the stock fleet::RunWorker loop with
+// the socket fd as both frame directions, and reconnects for the next
+// assignment once DONE is on the wire. The server holding an idle
+// connection open IS the elastic-membership waiting room: the client just
+// sits in its read loop until work is requeued or the campaign ends.
+//
+// Nothing host-specific crosses the wire: no file paths, no corpus
+// directories. Corpus state arrives as streamed ENTRY frames, exactly as
+// the pipe tier rebroadcasts them.
+#ifndef SPATTER_NET_FLEET_CLIENT_H_
+#define SPATTER_NET_FLEET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace spatter::net {
+
+struct FleetClientConfig {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  /// Retry budget for each (re)connect attempt.
+  double connect_retry_seconds = 10.0;
+  /// Seconds between COV/STATS heartbeats (WorkerOptions passthrough).
+  double cov_interval_seconds = 0.2;
+  /// Test-only: the first assignment's worker SIGKILLs itself after
+  /// writing this many frames (WorkerOptions::die_after_frames) — the
+  /// deterministic seam the elastic-membership tests kill a remote worker
+  /// with. Cleared after the first assignment.
+  uint64_t die_after_frames = 0;
+};
+
+/// Runs assignments until the server says BYE (returns 0), the server
+/// vanishes (returns 0 after a completed assignment, 1 when the initial
+/// connect never succeeded), or a protocol error occurs (returns 1).
+int RunFleetClient(const FleetClientConfig& config);
+
+}  // namespace spatter::net
+
+#endif  // SPATTER_NET_FLEET_CLIENT_H_

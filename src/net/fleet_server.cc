@@ -1,0 +1,643 @@
+#include "net/fleet_server.h"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cinttypes>
+#include <csignal>
+#include <cstdio>
+
+#include "corpus/codec.h"
+#include "fleet/wire.h"
+#include "fuzz/transfer.h"
+#include "net/socket.h"
+
+namespace spatter::net {
+
+namespace {
+
+using fleet::CheckpointState;
+using fleet::Frame;
+using fleet::FrameType;
+using fuzz::Campaign;
+using fuzz::CampaignResult;
+
+}  // namespace
+
+/// One unit of work: a batch of global slices (contiguous on first
+/// assignment, arbitrary after requeues) with per-(dialect, slice)
+/// completed high-water marks the next worker resumes from.
+struct FleetServer::Assignment {
+  std::vector<uint64_t> slices;
+  std::map<std::pair<uint64_t, uint64_t>, uint64_t> completed;
+  size_t deaths = 0;
+};
+
+struct FleetServer::Peer {
+  explicit Peer(int fd) : channel(fd) {}
+
+  FrameChannel channel;
+  bool helloed = false;  ///< NETHELLO received and version-validated
+  bool got_done = false;
+  bool closed = false;  ///< fully handled; reaped by the main loop
+  size_t index = 0;     ///< worker index sent in ASSIGN
+  std::unique_ptr<Assignment> assignment;
+  /// Merge-tracking state, mirroring FleetCoordinator::Worker.
+  std::map<std::pair<uint64_t, uint64_t>, uint64_t> started;
+  std::map<std::pair<uint64_t, uint64_t>, uint64_t> last_inflight;
+  std::map<std::pair<uint64_t, uint64_t>, uint64_t> progress;
+  uint64_t cov_iterations = 0;
+  uint64_t cov_queries = 0;
+  obs::MetricsSnapshot latest_stats;
+};
+
+FleetServer::FleetServer(const FleetServerConfig& config) : config_(config) {
+  dialects_ = config.dialects;
+  if (dialects_.empty()) dialects_.push_back(config.base.dialect);
+  config_.total_slices = std::max<size_t>(1, config_.total_slices);
+  config_.slices_per_assign =
+      std::min(std::max<size_t>(1, config_.slices_per_assign),
+               config_.total_slices);
+}
+
+FleetServer::~FleetServer() {
+  for (const auto& peer : peers_) {
+    if (peer) peer->channel.Close();
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+Status FleetServer::Start() {
+  auto fd = Listen(config_.port);
+  if (!fd.ok()) return fd.status();
+  listen_fd_ = fd.value();
+  auto port = LocalPort(listen_fd_);
+  if (!port.ok()) return port.status();
+  port_ = port.value();
+  return Status::OK();
+}
+
+uint64_t FleetServer::IterationTarget(uint64_t slice) const {
+  // Batch mode: slice s runs iterations s, s+T, s+2T, ... below the
+  // budget — (budget - 1 - s) / T + 1 of them when s is in range.
+  const uint64_t budget = config_.base.iterations;
+  const uint64_t stride = config_.total_slices;
+  if (slice >= budget) return 0;
+  return (budget - 1 - slice) / stride + 1;
+}
+
+void FleetServer::BuildInitialQueue() {
+  const size_t batch = config_.slices_per_assign;
+  for (size_t offset = 0; offset < config_.total_slices; offset += batch) {
+    auto assignment = std::make_unique<Assignment>();
+    bool work_remains = config_.duration_seconds > 0;
+    for (size_t s = offset;
+         s < std::min(offset + batch, config_.total_slices); ++s) {
+      assignment->slices.push_back(s);
+      for (const engine::Dialect dialect : dialects_) {
+        const auto key = std::make_pair(static_cast<uint64_t>(dialect),
+                                        static_cast<uint64_t>(s));
+        const auto it = completed_.find(key);
+        const uint64_t mark = it == completed_.end() ? 0 : it->second;
+        assignment->completed[key] = mark;
+        if (config_.duration_seconds <= 0 && mark < IterationTarget(s)) {
+          work_remains = true;
+        }
+      }
+    }
+    // A resumed-finished window queues nothing: resume is idempotent.
+    if (work_remains) pending_.push_back(std::move(assignment));
+  }
+}
+
+void FleetServer::TryAssign() {
+  for (const auto& peer : peers_) {
+    if (pending_.empty()) return;
+    if (!peer || peer->closed || !peer->helloed || peer->assignment ||
+        peer->got_done) {
+      continue;
+    }
+    std::unique_ptr<Assignment> assignment = std::move(pending_.front());
+    pending_.pop_front();
+
+    CheckpointState state;
+    state.seed = config_.base.seed;
+    state.iterations = config_.base.iterations;
+    state.queries_per_iteration = config_.base.queries_per_iteration;
+    state.num_geometries = config_.base.generator.num_geometries;
+    state.total_slices = config_.total_slices;
+    state.enable_faults = config_.base.enable_faults;
+    state.derivative_enabled = config_.base.generator.derivative_enabled;
+    state.dialects = dialects_;
+    state.oracles = config_.base.oracles;
+    state.corpus_enabled = config_.base.corpus.enabled;
+    state.mutate_pct = config_.base.corpus.mutate_pct;
+    state.duration_seconds = config_.duration_seconds;
+    state.elapsed_seconds = Campaign::NowSeconds() - t0_;
+    state.completed = assignment->completed;
+    for (const auto& [key, count] : state.completed) {
+      state.iterations_run += count;
+    }
+
+    const std::string doc = fleet::EncodeCheckpoint(state);
+    Frame assign;
+    assign.type = FrameType::kAssign;
+    assign.worker = next_worker_index_++;
+    assign.payload.assign(doc.begin(), doc.end());
+    peer->index = assign.worker;
+    if (!peer->channel.WriteFrame(assign)) {
+      pending_.push_front(std::move(assignment));
+      HandleDisconnect(peer.get());
+      continue;
+    }
+    peer->assignment = std::move(assignment);
+    // Remote workers have no corpus directory: everything the fleet has
+    // merged so far arrives as streamed ENTRY frames (signature dedup on
+    // the worker side absorbs overlap with earlier assignments).
+    SeedPeerCorpus(peer.get());
+    // Late joiners adopt the fleet's current steering.
+    if (tune_last_sent_ != ~uint64_t{0}) {
+      Frame tune;
+      tune.type = FrameType::kTune;
+      tune.mutate_pct = tune_last_sent_;
+      peer->channel.WriteFrame(tune);
+    }
+  }
+}
+
+void FleetServer::SeedPeerCorpus(Peer* peer) {
+  if (!corpus_) return;
+  for (const corpus::TestCaseRecord& record : corpus_->Entries()) {
+    auto encoded = corpus::TestCaseCodec::Encode(record);
+    if (!encoded.ok()) continue;
+    Frame entry;
+    entry.type = FrameType::kEntry;
+    entry.payload = encoded.Take();
+    if (!peer->channel.WriteFrame(entry)) return;
+  }
+}
+
+void FleetServer::BroadcastEntry(const std::vector<uint8_t>& payload,
+                                 const Peer* from) {
+  Frame frame;
+  frame.type = FrameType::kEntry;
+  frame.payload = payload;
+  for (const auto& peer : peers_) {
+    if (!peer || peer.get() == from || peer->closed || !peer->helloed ||
+        !peer->assignment) {
+      continue;
+    }
+    peer->channel.WriteFrame(frame);
+  }
+}
+
+void FleetServer::AddCurveSample() {
+  uint64_t iterations = aggregator_.current().iterations_run;
+  for (const auto& peer : peers_) {
+    if (peer && !peer->closed && !peer->got_done) {
+      iterations += peer->cov_iterations;
+    }
+  }
+  curve_.Add(Campaign::NowSeconds() - t0_, covered_keys_.size(),
+             aggregator_.current().unique_bugs.size(), iterations);
+}
+
+void FleetServer::HandleFrame(Peer* peer, const Frame& frame) {
+  switch (frame.type) {
+    case FrameType::kNetHello: {
+      if (frame.proto != fleet::kNetProtocolVersion) {
+        // Version skew is a clean rejection, not a guess: BYE, close,
+        // and the peer exits with a diagnostic instead of mis-decoding
+        // ASSIGN payloads.
+        version_skews_++;
+        std::fprintf(stderr,
+                     "net: rejecting peer with protocol %" PRIu64
+                     " (want %" PRIu64 ")\n",
+                     frame.proto, fleet::kNetProtocolVersion);
+        Frame bye;
+        bye.type = FrameType::kBye;
+        peer->channel.WriteFrame(bye);
+        HandleDisconnect(peer);
+        break;
+      }
+      peer->helloed = true;
+      break;
+    }
+    case FrameType::kHello:
+      break;  // informational (RunWorker's first frame)
+    case FrameType::kInflight: {
+      const auto key = std::make_pair(frame.dialect, frame.slice);
+      peer->started[key]++;
+      peer->last_inflight[key] = frame.iteration;
+      break;
+    }
+    case FrameType::kSliceDone:
+      peer->last_inflight.erase({frame.dialect, frame.slice});
+      break;
+    case FrameType::kSliceProgress: {
+      const auto key = std::make_pair(frame.dialect, frame.slice);
+      peer->progress[key] = frame.completed;
+      // Server-wide marks advance as the frames arrive, so a checkpoint
+      // gathered at ANY instant reflects everything already merged
+      // (SLICEPROGRESS is the last frame of its iteration).
+      uint64_t& mark = completed_[key];
+      mark = std::max(mark, frame.completed);
+      break;
+    }
+    case FrameType::kCov: {
+      for (uint64_t key : frame.site_keys) covered_keys_.insert(key);
+      peer->cov_iterations = frame.iterations;
+      peer->cov_queries = frame.queries;
+      AddCurveSample();
+      break;
+    }
+    case FrameType::kEntry: {
+      if (!corpus_) break;
+      auto record = corpus::TestCaseCodec::Decode(frame.payload);
+      if (!record.ok()) {
+        protocol_errors_++;
+        break;
+      }
+      if (corpus_->Restore(record.Take())) {
+        last_admit_ = Campaign::NowSeconds();
+        BroadcastEntry(frame.payload, peer);
+      }
+      break;
+    }
+    case FrameType::kBug: {
+      auto d = fleet::BugFrameToDiscrepancy(frame);
+      if (!d.ok()) {
+        protocol_errors_++;
+        break;
+      }
+      aggregator_.MergeDiscrepancy(d.Take());
+      break;
+    }
+    case FrameType::kDone: {
+      CampaignResult delta;
+      delta.iterations_run = frame.iterations;
+      delta.queries_run = frame.queries;
+      delta.checks_run = frame.checks;
+      delta.busy_seconds = frame.busy_seconds;
+      delta.engine_seconds = frame.engine_seconds;
+      delta.engine_stats.statements_executed = frame.statements;
+      delta.engine_stats.pairs_evaluated = frame.pairs;
+      delta.engine_stats.index_scans = frame.index_scans;
+      delta.engine_stats.prepared_evaluations = frame.prepared;
+      delta.engine_stats.exec_seconds = frame.engine_seconds;
+      aggregator_.Merge(std::move(delta));
+      peer->got_done = true;
+      // One assignment per connection: DONE completes it; the client
+      // closes and reconnects for more work.
+      peer->assignment.reset();
+      break;
+    }
+    case FrameType::kStats:
+      peer->latest_stats = frame.stats;
+      break;
+    case FrameType::kStop:
+    case FrameType::kAssign:
+    case FrameType::kBye:
+    case FrameType::kTune:
+      break;  // server-to-worker frames; a peer echoing them is harmless
+  }
+}
+
+void FleetServer::HandleDisconnect(Peer* peer) {
+  if (peer->closed) return;
+  peer->closed = true;
+  peer->channel.Close();
+  disconnects_++;
+  // The incarnation is over: retire its cumulative STATS reading.
+  dead_metrics_.Merge(peer->latest_stats);
+  peer->latest_stats = obs::MetricsSnapshot{};
+  if (peer->got_done || !peer->assignment) return;
+
+  // Died mid-assignment. Credit what the SLICEPROGRESS marks prove was
+  // completed (BUG frames were merged live, so no bug is lost), then
+  // requeue the unfinished slices at those marks: the in-flight iteration
+  // is RE-RUN by whoever picks the work up, and its re-reported bugs
+  // dedup in the aggregator.
+  Assignment* assignment = peer->assignment.get();
+  uint64_t completed_now = 0;
+  for (const auto& [key, mark] : peer->progress) {
+    const auto it = assignment->completed.find(key);
+    const uint64_t at_assign =
+        it == assignment->completed.end() ? 0 : it->second;
+    if (mark > at_assign) completed_now += mark - at_assign;
+  }
+  CampaignResult lost;
+  lost.iterations_run = completed_now;
+  lost.queries_run = peer->cov_queries;
+  lost.checks_run = peer->cov_queries;
+  aggregator_.Merge(std::move(lost));
+  dead_iterations_ += completed_now;
+  dead_queries_ += peer->cov_queries;
+
+  for (auto& [key, mark] : assignment->completed) {
+    const auto it = peer->progress.find(key);
+    if (it != peer->progress.end()) mark = std::max(mark, it->second);
+  }
+  assignment->deaths++;
+  if (assignment->deaths >= config_.max_deaths_per_assignment) {
+    // Every survivor died at the same point: assume a deterministic
+    // killer and skip past the in-flight iteration, like the pipe
+    // coordinator's crash-skip — liveness over that one case.
+    for (const auto& [key, iteration] : peer->last_inflight) {
+      auto it = assignment->completed.find(key);
+      if (it == assignment->completed.end()) continue;
+      const uint64_t skip_to =
+          (iteration - key.second) / config_.total_slices + 1;
+      it->second = std::max(it->second, skip_to);
+      std::fprintf(stderr,
+                   "net: assignment died %zu times; skipping iteration "
+                   "%" PRIu64 " of slice %" PRIu64 "\n",
+                   assignment->deaths, iteration, key.second);
+    }
+    assignment->deaths = 0;
+  }
+
+  bool work_remains = false;
+  if (config_.duration_seconds > 0) {
+    work_remains = Campaign::NowSeconds() - t0_ < config_.duration_seconds;
+  } else {
+    for (const auto& [key, mark] : assignment->completed) {
+      if (mark < IterationTarget(key.second)) {
+        work_remains = true;
+        break;
+      }
+    }
+  }
+  if (work_remains) {
+    reassigned_slices_ += assignment->slices.size();
+    std::fprintf(stderr,
+                 "net: peer died mid-assignment; requeueing %zu slice(s) at "
+                 "their progress marks\n",
+                 assignment->slices.size());
+    pending_.push_front(std::move(peer->assignment));
+  } else {
+    peer->assignment.reset();
+  }
+}
+
+void FleetServer::MaybeTune() {
+  if (!corpus_ || config_.tune_interval_seconds <= 0) return;
+  const double now = Campaign::NowSeconds();
+  if (now - last_tune_ < config_.tune_interval_seconds) return;
+  last_tune_ = now;
+  // Fleet-level corpus scheduling: while fresh signatures are arriving,
+  // the energy roulette is holding rare sites worth exploiting — steer
+  // the fleet's mutate budget up; once admissions go stale, steer back
+  // toward pure generation. Advisory only: workers keep their RNG draw
+  // discipline, so this never touches a determinism contract.
+  const int base = config_.base.corpus.mutate_pct;
+  const bool hot =
+      last_admit_ >= 0 && now - last_admit_ <= config_.tune_window_seconds;
+  const uint64_t target = static_cast<uint64_t>(
+      std::min(100, std::max(5, hot ? base + 25 : base - 25)));
+  if (target == tune_last_sent_) return;
+  tune_last_sent_ = target;
+  Frame tune;
+  tune.type = FrameType::kTune;
+  tune.mutate_pct = target;
+  for (const auto& peer : peers_) {
+    if (!peer || peer->closed || !peer->helloed || !peer->assignment) {
+      continue;
+    }
+    peer->channel.WriteFrame(tune);
+  }
+}
+
+obs::MetricsSnapshot FleetServer::FleetMetricsSnapshot() const {
+  obs::MetricsSnapshot snap = base_metrics_;
+  snap.Merge(dead_metrics_);
+  size_t active = 0;
+  for (const auto& peer : peers_) {
+    if (!peer || peer->closed) continue;
+    if (peer->assignment) active++;
+    snap.Merge(peer->latest_stats);
+  }
+  snap.counters["net.disconnects"] += disconnects_;
+  snap.counters["net.reassigned_slices"] += reassigned_slices_;
+  snap.counters["net.version_skews"] += version_skews_;
+  snap.counters["fleet.protocol_errors"] += protocol_errors_;
+  snap.counters["fleet.checkpoints_written"] += checkpoints_written_;
+  snap.gauges["net.peers"] = static_cast<int64_t>(peers_seen_);
+  snap.gauges["net.peers.active"] = static_cast<int64_t>(active);
+  snap.gauges["fleet.covered_sites"] =
+      static_cast<int64_t>(covered_keys_.size());
+  snap.gauges["fleet.unique_bugs"] =
+      static_cast<int64_t>(aggregator_.current().unique_bugs.size());
+  return snap;
+}
+
+fleet::CheckpointState FleetServer::GatherCheckpoint() const {
+  CheckpointState state;
+  state.seed = config_.base.seed;
+  state.iterations = config_.base.iterations;
+  state.queries_per_iteration = config_.base.queries_per_iteration;
+  state.num_geometries = config_.base.generator.num_geometries;
+  state.total_slices = config_.total_slices;
+  state.enable_faults = config_.base.enable_faults;
+  state.derivative_enabled = config_.base.generator.derivative_enabled;
+  state.dialects = dialects_;
+  state.oracles = config_.base.oracles;
+  state.corpus_enabled = config_.base.corpus.enabled;
+  state.mutate_pct = config_.base.corpus.mutate_pct;
+  state.duration_seconds = config_.duration_seconds;
+
+  state.elapsed_seconds = Campaign::NowSeconds() - t0_;
+  state.completed = completed_;
+  for (const auto& [key, count] : state.completed) {
+    state.iterations_run += count;
+  }
+  const CampaignResult& acc = aggregator_.current();
+  state.queries_run = acc.queries_run;
+  state.checks_run = acc.checks_run;
+  for (const auto& peer : peers_) {
+    if (peer && !peer->closed && !peer->got_done) {
+      state.queries_run += peer->cov_queries;
+      state.checks_run += peer->cov_queries;
+    }
+  }
+  state.busy_seconds = acc.busy_seconds;
+  state.engine_seconds = acc.engine_seconds;
+  for (const auto& [id, d] : acc.unique_bugs) {
+    state.unique_bugs.emplace_back(id, d);
+  }
+  state.covered_sites = covered_keys_;
+  state.curve = curve_.samples();
+  state.metrics = FleetMetricsSnapshot();
+
+  if (corpus_ && !config_.corpus_dir.empty()) {
+    state.corpus_dir = config_.corpus_dir;
+    for (const corpus::TestCaseRecord& record : corpus_->Entries()) {
+      state.corpus_signatures.push_back(
+          corpus::TestCaseCodec::SiteSignature(record.sites));
+    }
+    state.corpus_entries = state.corpus_signatures.size();
+  }
+  return state;
+}
+
+void FleetServer::MaybeCheckpoint(bool force) {
+  if (config_.checkpoint_dir.empty()) return;
+  const double now = Campaign::NowSeconds();
+  if (!force &&
+      now - last_checkpoint_ < config_.checkpoint_interval_seconds) {
+    return;
+  }
+  last_checkpoint_ = now;
+  if (corpus_ && !config_.corpus_dir.empty()) {
+    const Status saved = corpus_->SaveTo(config_.corpus_dir);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "net: checkpoint corpus save: %s\n",
+                   saved.ToString().c_str());
+    }
+  }
+  const Status written =
+      fleet::WriteCheckpoint(config_.checkpoint_dir, GatherCheckpoint());
+  if (!written.ok()) {
+    std::fprintf(stderr, "net: checkpoint: %s\n", written.ToString().c_str());
+    return;
+  }
+  checkpoints_written_++;
+}
+
+CampaignResult FleetServer::Run() {
+  ::signal(SIGPIPE, SIG_IGN);
+  const double wall0 = Campaign::NowSeconds();
+  t0_ = wall0;
+  last_checkpoint_ = t0_;
+  last_tune_ = t0_;
+
+  if (config_.resume) {
+    const CheckpointState& resume = *config_.resume;
+    t0_ -= resume.elapsed_seconds;
+    CampaignResult restored;
+    restored.iterations_run = resume.iterations_run;
+    restored.queries_run = resume.queries_run;
+    restored.checks_run = resume.checks_run;
+    restored.busy_seconds = resume.busy_seconds;
+    restored.engine_seconds = resume.engine_seconds;
+    aggregator_.Merge(std::move(restored));
+    for (const auto& [id, d] : resume.unique_bugs) {
+      aggregator_.RestoreUniqueBug(id, d);
+    }
+    covered_keys_ = resume.covered_sites;
+    curve_.Preload(resume.curve);
+    base_metrics_ = resume.metrics;
+    completed_ = resume.completed;
+  }
+  if (config_.base.corpus.enabled) {
+    corpus_ = std::make_unique<corpus::Corpus>(config_.base.corpus);
+    if (!config_.corpus_dir.empty()) {
+      auto loaded = corpus_->LoadFrom(config_.corpus_dir);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "net: corpus load: %s\n",
+                     loaded.status().ToString().c_str());
+      }
+    }
+  }
+  BuildInitialQueue();
+
+  while (true) {
+    const double now = Campaign::NowSeconds();
+    if (config_.duration_seconds > 0 &&
+        now - t0_ >= config_.duration_seconds) {
+      // Duration budget consumed: unstarted work is simply not run.
+      pending_.clear();
+    }
+    const bool any_active =
+        std::any_of(peers_.begin(), peers_.end(), [](const auto& p) {
+          return p && !p->closed && p->assignment;
+        });
+    if (pending_.empty() && !any_active) {
+      if (config_.duration_seconds <= 0 ||
+          now - t0_ >= config_.duration_seconds) {
+        break;
+      }
+    }
+    if (config_.max_wall_seconds > 0 &&
+        now - wall0 > config_.max_wall_seconds) {
+      std::fprintf(stderr, "net: wall-clock cap hit; finishing early\n");
+      break;
+    }
+
+    std::vector<struct pollfd> pfds;
+    std::vector<Peer*> pfd_peers;
+    pfds.push_back({listen_fd_, POLLIN, 0});
+    pfd_peers.push_back(nullptr);
+    for (const auto& peer : peers_) {
+      if (peer && !peer->closed) {
+        pfds.push_back({peer->channel.fd(), POLLIN, 0});
+        pfd_peers.push_back(peer.get());
+      }
+    }
+    const int ready = ::poll(pfds.data(), pfds.size(), 100);
+    if (ready < 0 && errno != EINTR) break;
+
+    if ((pfds[0].revents & POLLIN) != 0) {
+      int fd;
+      while ((fd = AcceptOne(listen_fd_)) >= 0) {
+        peers_.push_back(std::make_unique<Peer>(fd));
+        peers_seen_++;
+      }
+    }
+    for (size_t i = 1; i < pfds.size(); ++i) {
+      if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      Peer* peer = pfd_peers[i];
+      if (peer->closed) continue;
+      std::vector<Frame> frames;
+      const bool open = peer->channel.ReadFrames(0, &frames);
+      for (const Frame& frame : frames) {
+        if (peer->closed) break;  // a BYE'd skewed peer sends no more
+        HandleFrame(peer, frame);
+      }
+      if (!open) HandleDisconnect(peer);
+    }
+    // Reap fully handled peers (keeps the poll set and broadcasts small).
+    peers_.erase(std::remove_if(peers_.begin(), peers_.end(),
+                                [](const auto& p) {
+                                  return !p || (p->closed && !p->assignment);
+                                }),
+                 peers_.end());
+
+    TryAssign();
+    MaybeCheckpoint(/*force=*/false);
+    MaybeTune();
+  }
+
+  AddCurveSample();
+  MaybeCheckpoint(/*force=*/true);
+
+  // Campaign over: BYE every peer — including idle ones still waiting for
+  // an assignment — so clients exit cleanly instead of on ECONNRESET.
+  Frame bye;
+  bye.type = FrameType::kBye;
+  for (const auto& peer : peers_) {
+    if (!peer || peer->closed) continue;
+    peer->channel.WriteFrame(bye);
+    peer->channel.Close();
+  }
+
+  CampaignResult result = aggregator_.Finish(Campaign::NowSeconds() - t0_);
+  if (corpus_ && config_.cross_dialect_transfer && dialects_.size() > 1) {
+    const fuzz::TransferStats transfer = fuzz::CrossDialectCorpusTransfer(
+        corpus_.get(), config_.base.enable_faults);
+    if (transfer.admitted > 0) {
+      std::fprintf(stderr,
+                   "net: cross-dialect transfer admitted %zu of %zu "
+                   "replays\n",
+                   transfer.admitted, transfer.replays);
+    }
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  return result;
+}
+
+}  // namespace spatter::net

@@ -1,0 +1,187 @@
+// FleetServer: the multi-machine tier of the runtime (threads -> shards
+// -> processes -> machines). `spatter --serve=PORT` listens for remote
+// workers (`spatter --connect=HOST:PORT`), hands each a batch of global
+// SplitSeed slices over TCP, and merges the same BUG / ENTRY / COV /
+// STATS / SLICEPROGRESS frame stream the pipe coordinator merges — into
+// the same Aggregator, the same fleet corpus, the same Figure-8 curve,
+// and an identical CheckpointState.
+//
+// Membership is elastic: workers may join at any time (a connection that
+// finds the work queue empty is held open and assigned the moment work
+// appears), and a worker that dies mid-assignment has its unfinished
+// slices requeued at their SLICEPROGRESS high-water marks and re-factored
+// onto whichever peer asks next. Because marks count COMPLETED iterations,
+// the dead worker's in-flight iteration is re-run by the survivor — never
+// skipped — and its re-reported bugs dedup in the aggregator's
+// earliest-logical-position order. That is what makes the elastic pin
+// hold: a 2-worker socket campaign with one worker SIGKILLed mid-run
+// reports the identical `bug-set:` / `bug-set-by-oracle:` lines as an
+// uninterrupted in-process `--fleet` run over the same slice universe.
+// (After `max_deaths_per_assignment` consecutive deaths the server
+// assumes a deterministic killer and bumps past the in-flight iteration,
+// trading that one case for campaign liveness — the pipe coordinator's
+// crash-skip rule, applied lazily.)
+//
+// Handshake: the client's first frame is NETHELLO <proto> <pid>; the
+// server BYEs any peer with a different wire::kNetProtocolVersion. One
+// assignment per connection: ASSIGN carries a hex-encoded
+// EncodeCheckpoint document (campaign identity + the assignment's
+// (dialect, slice, completed) marks), the worker streams its frames, and
+// DONE ends the connection; the client reconnects for more work. What is
+// NOT sent over the wire: file paths, corpus directories, or anything
+// host-specific — remote workers are seeded purely by streamed ENTRY
+// frames.
+//
+// Fleet-level corpus scheduling: fresh corpus signatures are rebroadcast
+// to every other live peer as they arrive, and the server periodically
+// steers the fleet's mutate budget with advisory TUNE frames — raising it
+// while the merged corpus is hot (recent admissions mean the rare-site
+// energy roulette has fresh material) and lowering it toward pure
+// generation once admissions go stale.
+#ifndef SPATTER_NET_FLEET_SERVER_H_
+#define SPATTER_NET_FLEET_SERVER_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "fleet/checkpoint.h"
+#include "fleet/curve.h"
+#include "fleet/wire.h"
+#include "fuzz/campaign.h"
+#include "obs/metrics.h"
+#include "runtime/aggregator.h"
+
+namespace spatter::net {
+
+struct FleetServerConfig {
+  /// Campaign template: `base.seed` the master seed, `base.iterations`
+  /// the fleet-wide batch budget (total, per dialect).
+  fuzz::CampaignConfig base;
+  /// Dialects every assignment covers; empty = base.dialect only.
+  std::vector<engine::Dialect> dialects;
+  /// The global slice universe (the in-process equivalent's P*J). Every
+  /// slice in [0, total_slices) is assigned exactly once — plus requeues.
+  size_t total_slices = 2;
+  /// Slices batched per ASSIGN (the in-process equivalent's J): each
+  /// assignment runs this many slices on that many worker threads.
+  size_t slices_per_assign = 1;
+  /// > 0: duration-budget campaign; 0: batch mode.
+  double duration_seconds = 0.0;
+  /// Merged-corpus persistence directory (server side only; never sent to
+  /// workers). Empty = corpus mode off unless base.corpus.enabled.
+  std::string corpus_dir;
+  /// Checkpoint/resume, identical semantics to FleetConfig.
+  std::string checkpoint_dir;
+  double checkpoint_interval_seconds = 30.0;
+  std::optional<fleet::CheckpointState> resume;
+  /// Port to listen on; 0 = kernel-picked (port() after Start()).
+  uint16_t port = 0;
+  /// Deaths of one assignment before the server assumes a deterministic
+  /// killer and bumps past the in-flight iteration (crash-skip).
+  size_t max_deaths_per_assignment = 3;
+  /// Replay merged corpus entries across dialects after the run.
+  bool cross_dialect_transfer = true;
+  /// Seconds between TUNE re-evaluations (corpus mode; 0 disables).
+  double tune_interval_seconds = 2.0;
+  /// Admission recency window that counts the corpus as "hot".
+  double tune_window_seconds = 5.0;
+  /// > 0: hard wall-clock cap on Run() — a safety valve for CI smokes
+  /// where no worker ever connects. 0 = wait indefinitely.
+  double max_wall_seconds = 0.0;
+};
+
+class FleetServer {
+ public:
+  explicit FleetServer(const FleetServerConfig& config);
+  ~FleetServer();
+
+  FleetServer(const FleetServer&) = delete;
+  FleetServer& operator=(const FleetServer&) = delete;
+
+  /// Binds and listens. After this, port() is the live port.
+  Status Start();
+  uint16_t port() const { return port_; }
+
+  /// Supervises remote workers until every slice of the universe has run
+  /// its budget (batch) or the duration budget is consumed, then BYEs all
+  /// peers and returns the aggregated result (same shape as
+  /// FleetCoordinator::Run).
+  fuzz::CampaignResult Run();
+
+  size_t peers_seen() const { return peers_seen_; }
+  size_t disconnects() const { return disconnects_; }
+  /// Slices requeued from dead workers onto survivors.
+  size_t reassigned_slices() const { return reassigned_slices_; }
+  size_t protocol_errors() const { return protocol_errors_; }
+  size_t checkpoints_written() const { return checkpoints_written_; }
+  size_t fleet_covered_sites() const { return covered_keys_.size(); }
+
+  /// Merged fleet corpus; null unless corpus mode. Valid after Run().
+  corpus::Corpus* merged_corpus() { return corpus_.get(); }
+  /// The Figure-8 curve sampled from COV frames. Valid after Run().
+  const fleet::CurveRecorder& curve() const { return curve_; }
+
+  /// Fleet-wide telemetry: restored baseline + retired incarnations +
+  /// live peers' latest STATS + net.* instruments.
+  obs::MetricsSnapshot FleetMetricsSnapshot() const;
+
+ private:
+  struct Assignment;
+  struct Peer;
+
+  void BuildInitialQueue();
+  void HandleFrame(Peer* peer, const fleet::Frame& frame);
+  void HandleDisconnect(Peer* peer);
+  void TryAssign();
+  void BroadcastEntry(const std::vector<uint8_t>& payload, const Peer* from);
+  void SeedPeerCorpus(Peer* peer);
+  void MaybeTune();
+  void AddCurveSample();
+  fleet::CheckpointState GatherCheckpoint() const;
+  void MaybeCheckpoint(bool force);
+  uint64_t IterationTarget(uint64_t slice) const;
+
+  FleetServerConfig config_;
+  std::vector<engine::Dialect> dialects_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  double t0_ = 0.0;
+
+  std::deque<std::unique_ptr<Assignment>> pending_;
+  std::vector<std::unique_ptr<Peer>> peers_;
+  size_t next_worker_index_ = 0;
+
+  runtime::Aggregator aggregator_;
+  std::unique_ptr<corpus::Corpus> corpus_;
+  std::set<uint64_t> covered_keys_;
+  fleet::CurveRecorder curve_;
+  /// Server-wide completed high-water marks per (dialect value, global
+  /// slice) — the checkpoint's progress section.
+  std::map<std::pair<uint64_t, uint64_t>, uint64_t> completed_;
+
+  size_t peers_seen_ = 0;
+  size_t disconnects_ = 0;
+  size_t reassigned_slices_ = 0;
+  size_t protocol_errors_ = 0;
+  size_t checkpoints_written_ = 0;
+  size_t version_skews_ = 0;
+  double last_checkpoint_ = 0.0;
+  double last_tune_ = 0.0;
+  double last_admit_ = -1.0;      ///< wall clock of the last fresh ENTRY
+  uint64_t tune_last_sent_ = ~uint64_t{0};
+  uint64_t dead_iterations_ = 0;
+  uint64_t dead_queries_ = 0;
+  obs::MetricsSnapshot base_metrics_;  ///< checkpoint-restored baseline
+  obs::MetricsSnapshot dead_metrics_;  ///< retired incarnations
+};
+
+}  // namespace spatter::net
+
+#endif  // SPATTER_NET_FLEET_SERVER_H_

@@ -7,6 +7,7 @@
 #include "algo/ring_ops.h"
 #include "common/coverage.h"
 #include "geom/predicates.h"
+#include "obs/metrics.h"
 #include "relate/point_locator.h"
 
 namespace spatter::relate {
@@ -82,6 +83,41 @@ int BoundaryDim(const Geometry& g) {
 // is a 0-dimensional set even though its declared type is 1-dimensional.
 // Used for the empty-versus-nonempty matrix entries so they agree with
 // the canonical representation of the same point set.
+// True when some element of g (at any nesting depth) is EMPTY. Empty line
+// elements perturb the point locator's mod-2 boundary accumulator under
+// kGeosBoundaryEmptyElementDrop, so such inputs must take the full path.
+bool HasEmptyElementRec(const Geometry& g) {
+  if (!g.IsCollection()) return false;
+  const auto& coll = geom::AsCollection(g);
+  for (size_t i = 0; i < coll.NumElements(); ++i) {
+    if (coll.ElementAt(i).IsEmpty() || HasEmptyElementRec(coll.ElementAt(i))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Envelope pre-filter eligibility: the closed-form disjoint matrix is exact
+// only when no enabled fault could alter a geometry's *self*-classification.
+// Top-level GEOMETRYCOLLECTIONs (kGeosGcBoundaryLastOneWins) and EMPTY
+// elements (kGeosBoundaryEmptyElementDrop) route through the full witness
+// path; everything else classifies itself identically either way.
+bool EnvelopeFastPathSafe(const Geometry& g, const faults::FaultState* faults) {
+  if (!faults) return true;
+  if (g.type() == GeomType::kGeometryCollection) return false;
+  return !HasEmptyElementRec(g);
+}
+
+// Strict separation with an eps margin: point location and noding both snap
+// within opts.eps, so envelopes must be farther apart than any tolerance
+// effect before the pre-filter may conclude "no interaction".
+bool EnvelopesSeparated(const geom::Envelope& ea, const geom::Envelope& eb,
+                        double eps) {
+  const double margin = eps * 16.0;
+  return ea.min_x() > eb.max_x() + margin || eb.min_x() > ea.max_x() + margin ||
+         ea.min_y() > eb.max_y() + margin || eb.min_y() > ea.max_y() + margin;
+}
+
 int PointSetDimension(const Geometry& g) {
   int dim = -1;
   geom::ForEachBasic(g, [&dim](const Geometry& basic) {
@@ -163,6 +199,23 @@ Result<IntersectionMatrix> Relate(const Geometry& a, const Geometry& b,
     return im;
   }
 
+  // Envelope pre-filter (join-executor hot path): separated envelopes admit
+  // a closed-form DE-9IM matrix — every intersection entry is F and the
+  // exterior column depends only on each geometry's own point set, exactly
+  // as the empty-operand branches above compute it. Skipping the noding +
+  // point-location work below is the dominant saving for the join
+  // executor's all-pairs predicate evaluation over spread-out tables.
+  if (EnvelopesSeparated(a.GetEnvelope(), b.GetEnvelope(), opts.eps) &&
+      EnvelopeFastPathSafe(a, faults) && EnvelopeFastPathSafe(b, faults)) {
+    SPATTER_COV("relate", "envelope_disjoint");
+    SPATTER_METRIC_INC("relate.envelope_prefilter");
+    im.Set(Location::kInterior, Location::kExterior, PointSetDimension(a));
+    im.Set(Location::kBoundary, Location::kExterior, BoundaryDim(a));
+    im.Set(Location::kExterior, Location::kInterior, PointSetDimension(b));
+    im.Set(Location::kExterior, Location::kBoundary, BoundaryDim(b));
+    return im;
+  }
+
   // 1. Node the combined linework. Isolated point elements join as
   // degenerate segments so edges split at them too — otherwise an edge
   // midpoint could coincide with a point element and misattribute the
@@ -176,6 +229,7 @@ Result<IntersectionMatrix> Relate(const Geometry& a, const Geometry& b,
     CollectPointCoords(b, &pt_elems);
     for (const Coord& p : pt_elems) segs.push_back({p, p, 2});
   }
+  SPATTER_METRIC_INC("relate.full");
   const algo::NodingResult noded = algo::NodeSegments(segs, opts.eps);
 
   // 2. Classification points: all nodes plus isolated point elements.

@@ -55,6 +55,8 @@
 #include "fuzz/minify.h"
 #include "fuzz/oracles.h"
 #include "fuzz/reducer.h"
+#include "net/fleet_client.h"
+#include "net/fleet_server.h"
 #include "obs/metrics.h"
 #include "runtime/sharded_campaign.h"
 #include "runtime/thread_pool.h"
@@ -85,6 +87,15 @@ struct Options {
   size_t fleet = 0;         // worker processes; 0 = in-process campaign
   double duration = 0.0;    // seconds; 0 = iteration budget
   std::string curve_out;    // Figure-8 curve JSON path
+
+  // Socket fleet (multi-machine tier).
+  bool serve = false;            // --serve: coordinate remote workers
+  uint16_t serve_port = 0;       // 0 = kernel-picked ephemeral port
+  std::string connect_hostport;  // non-empty = remote worker mode
+
+  // --oracle-budget values, applied after the parse loop so they compose
+  // with --oracles in either flag order.
+  std::vector<std::string> oracle_budgets;
 
   // Telemetry (strictly passive: never draws campaign RNG, status goes
   // to stderr so the bug-set stdout contract is untouched).
@@ -123,10 +134,23 @@ void Usage() {
       "                    aei, canon (canonicalization-only), diff[:dialect]\n"
       "                    (cross-dialect differential), index (on/off),\n"
       "                    tlp, or all (default aei; bugs are attributed to\n"
-      "                    the detecting oracle)\n"
+      "                    the detecting oracle); a name/N suffix (tlp/8)\n"
+      "                    budgets that oracle to every Nth query\n"
+      "  --oracle-budget=NAME:1/N  run oracle NAME on every Nth query only\n"
+      "                    (deterministic off the iteration index, so the\n"
+      "                    factorization invariance holds; N=1 clears it)\n"
       "  --fleet=P         spawn P worker processes x --jobs slices each;\n"
       "                    pure-generate bug sets are identical for any\n"
       "                    P x J factorization of the same P*J\n"
+      "  --serve=PORT      multi-machine tier: listen for remote workers\n"
+      "                    on PORT (0 = kernel-picked, printed at start)\n"
+      "                    and assign them the --fleet x --jobs slice\n"
+      "                    universe, --jobs slices per assignment; merges\n"
+      "                    the same streams as --fleet into the same\n"
+      "                    bug-set lines, checkpoints, and corpus\n"
+      "  --connect=HOST:PORT  be a remote worker: fetch assignments from a\n"
+      "                    --serve coordinator until it says goodbye; all\n"
+      "                    campaign settings come from the server\n"
       "  --duration=S      run for S seconds of wall time instead of an\n"
       "                    iteration budget (Figure 8 mode)\n"
       "  --curve-out=FILE  write the time-sampled site-coverage curve as\n"
@@ -224,6 +248,19 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
         return false;
       }
       opts->oracles = spec.Take();
+    } else if (ParseFlag(argv[i], "--oracle-budget", &value)) {
+      opts->oracle_budgets.push_back(value);
+    } else if (ParseFlag(argv[i], "--serve", &value)) {
+      size_t port = 0;
+      if (!ParseSize(value, "--serve", 65535, &port)) return false;
+      opts->serve = true;
+      opts->serve_port = static_cast<uint16_t>(port);
+    } else if (ParseFlag(argv[i], "--connect", &value)) {
+      if (value.empty()) {
+        std::fprintf(stderr, "--connect needs HOST:PORT\n");
+        return false;
+      }
+      opts->connect_hostport = value;
     } else if (ParseFlag(argv[i], "--fleet", &value)) {
       if (!ParseSize(value, "--fleet", 256, &opts->fleet)) return false;
     } else if (ParseFlag(argv[i], "--duration", &value)) {
@@ -337,6 +374,15 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
       return false;
     }
   }
+  // Budgets amend the suite, so they apply after the whole parse — a
+  // `--oracle-budget=tlp:1/8 --oracles=all` order must not be an error.
+  for (const std::string& budget : opts->oracle_budgets) {
+    const Status st = fuzz::ApplyOracleBudget(&opts->oracles, budget);
+    if (!st.ok()) {
+      std::fprintf(stderr, "--oracle-budget: %s\n", st.ToString().c_str());
+      return false;
+    }
+  }
   return true;
 }
 
@@ -387,6 +433,27 @@ int RunWorkerMode(const Options& opts) {
     start = end + 1;
   }
   return fleet::RunWorker(worker, STDIN_FILENO, STDOUT_FILENO);
+}
+
+// --- Remote worker mode (--connect) ----------------------------------------
+
+/// Joins a `--serve` coordinator as a remote worker. Every campaign
+/// setting comes from the server's ASSIGN payload, so the only local
+/// inputs are the address itself — any other flag would be ignored.
+int RunConnectMode(const Options& opts) {
+  const size_t colon = opts.connect_hostport.rfind(':');
+  size_t port = 0;
+  if (colon == std::string::npos || colon == 0 ||
+      !ParseSize(opts.connect_hostport.substr(colon + 1), "--connect port",
+                 65535, &port) ||
+      port == 0) {
+    std::fprintf(stderr, "--connect needs HOST:PORT\n");
+    return 2;
+  }
+  net::FleetClientConfig config;
+  config.host = opts.connect_hostport.substr(0, colon);
+  config.port = static_cast<uint16_t>(port);
+  return net::RunFleetClient(config);
 }
 
 // --- Replay mode ------------------------------------------------------------
@@ -537,6 +604,7 @@ int main(int argc, char** argv) {
   }
   // Worker mode first: stdout is the wire protocol, so no banner.
   if (opts.worker) return RunWorkerMode(opts);
+  if (!opts.connect_hostport.empty()) return RunConnectMode(opts);
   if (!opts.replay_file.empty()) return RunReplay(opts);
   if (!opts.minify_dir.empty()) return RunMinify(opts);
 
@@ -604,14 +672,15 @@ int main(int argc, char** argv) {
   if (opts.checkpoint_every > 0 && opts.checkpoint_dir.empty()) {
     opts.checkpoint_dir = "spatter-checkpoint";
   }
-  if (!opts.checkpoint_dir.empty() && opts.fleet == 0) {
+  if (!opts.checkpoint_dir.empty() && opts.fleet == 0 && !opts.serve) {
     // Checkpoint state lives in the fleet coordinator; a single-process
-    // fleet is the in-process campaign plus the supervision tier.
+    // fleet is the in-process campaign plus the supervision tier. (The
+    // socket server owns its own checkpoint state, so --serve is exempt.)
     std::printf("checkpoint: enabling --fleet=1 (the coordinator owns "
                 "checkpoint state)\n");
     opts.fleet = 1;
   }
-  if (opts.status_interval > 0 && opts.fleet == 0) {
+  if (opts.status_interval > 0 && opts.fleet == 0 && !opts.serve) {
     // The live status line is the coordinator's merged fleet view.
     std::printf("status: enabling --fleet=1 (the coordinator owns the "
                 "fleet telemetry view)\n");
@@ -671,10 +740,78 @@ int main(int argc, char** argv) {
   curve_info.duration_seconds = opts.duration;
 
   std::unique_ptr<fleet::FleetCoordinator> coordinator;
+  std::unique_ptr<net::FleetServer> server;
   std::unique_ptr<runtime::ShardedCampaign> campaign;
   fleet::CurveRecorder local_curve;
 
-  if (fleet_processes > 0) {
+  if (opts.serve) {
+    // Socket tier: coordinate remote --connect workers over TCP. The
+    // slice universe is --fleet x --jobs (the same product the pipe tier
+    // would use), handed out --jobs slices per assignment.
+    net::FleetServerConfig config;
+    config.base = BaseConfig(opts);
+    if (opts.all_dialects) {
+      config.dialects = runtime::ShardedCampaign::AllDialects();
+    }
+    config.total_slices = std::max<size_t>(1, opts.fleet) * opts.jobs;
+    config.slices_per_assign = opts.jobs;
+    config.duration_seconds = opts.duration;
+    config.corpus_dir = opts.corpus_dir;
+    config.checkpoint_dir = opts.checkpoint_dir;
+    if (opts.checkpoint_every > 0) {
+      config.checkpoint_interval_seconds = opts.checkpoint_every;
+    }
+    config.resume = resume_state;
+    config.port = opts.serve_port;
+    config.cross_dialect_transfer = opts.transfer;
+    server = std::make_unique<net::FleetServer>(config);
+    const Status st = server->Start();
+    if (!st.ok()) {
+      std::fprintf(stderr, "serve: %s\n", st.ToString().c_str());
+      return 2;
+    }
+    std::printf("serve: listening on port %u (%zu slices, %zu per "
+                "assignment)\n",
+                server->port(), config.total_slices,
+                config.slices_per_assign);
+    std::fflush(stdout);  // scripts scrape the port before workers join
+    result = server->Run();
+    merged_corpus = server->merged_corpus();
+    total_shards = config.total_slices * (opts.all_dialects ? 4 : 1);
+    if (!opts.curve_out.empty()) {
+      const Status curve_st =
+          server->curve().WriteJson(opts.curve_out, curve_info);
+      if (!curve_st.ok()) {
+        std::fprintf(stderr, "curve: %s\n", curve_st.ToString().c_str());
+      }
+    }
+    if (!opts.metrics_out.empty()) {
+      obs::MetricsJsonInfo info;
+      info.label = curve_info.label;
+      info.seed = opts.seed;
+      info.fleet = curve_info.fleet;
+      info.jobs = opts.jobs;
+      info.elapsed_seconds = result.total_seconds;
+      const Status metrics_st = AtomicWriteFile(
+          opts.metrics_out,
+          obs::MetricsToJson(server->FleetMetricsSnapshot(), info));
+      if (!metrics_st.ok()) {
+        std::fprintf(stderr, "metrics: %s\n",
+                     metrics_st.ToString().c_str());
+      } else {
+        std::printf("metrics: written to %s\n", opts.metrics_out.c_str());
+      }
+    }
+    std::printf("serve: %zu peer(s) over the campaign, %zu "
+                "disconnect(s), %zu slice(s) reassigned\n",
+                server->peers_seen(), server->disconnects(),
+                server->reassigned_slices());
+    if (!opts.checkpoint_dir.empty()) {
+      std::printf("checkpoint: %zu written to %s\n",
+                  server->checkpoints_written(),
+                  opts.checkpoint_dir.c_str());
+    }
+  } else if (fleet_processes > 0) {
     // Process tier: self-exec workers, supervise over pipes.
     fleet::FleetConfig config;
     config.base = BaseConfig(opts);
@@ -767,8 +904,9 @@ int main(int argc, char** argv) {
   }
 
   // In-process campaigns dump the local registry once at the end; the
-  // fleet path already wrote the merged view from the coordinator.
-  if (!opts.metrics_out.empty() && fleet_processes == 0) {
+  // fleet path already wrote the merged view from the coordinator, and
+  // the serve path from the socket server's fleet snapshot.
+  if (!opts.metrics_out.empty() && fleet_processes == 0 && !opts.serve) {
     obs::MetricsJsonInfo info;
     info.label = curve_info.label;
     info.seed = opts.seed;

@@ -1,0 +1,475 @@
+// Socket fleet tests: the TCP transport (FrameChannel reassembly under
+// arbitrary byte splits, garbage/oversize resync, handshake reads that
+// never over-read), the NETHELLO version gate, and the elastic-membership
+// pin — a two-remote-worker socket campaign with one worker SIGKILLed
+// mid-assignment must report the identical unique-bug set (and per-oracle
+// attribution) as an uninterrupted in-process fleet run over the same
+// slice universe.
+#include <gtest/gtest.h>
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fleet/coordinator.h"
+#include "fleet/wire.h"
+#include "fuzz/campaign.h"
+#include "net/fleet_client.h"
+#include "net/fleet_server.h"
+#include "net/socket.h"
+
+namespace spatter::net {
+namespace {
+
+using engine::Dialect;
+using fleet::DecodeFrame;
+using fleet::EncodeFrame;
+using fleet::Frame;
+using fleet::FrameType;
+using fuzz::CampaignConfig;
+using fuzz::CampaignResult;
+
+std::set<faults::FaultId> BugKeys(const CampaignResult& r) {
+  std::set<faults::FaultId> keys;
+  for (const auto& [id, _] : r.unique_bugs) keys.insert(id);
+  return keys;
+}
+
+CampaignConfig SmallConfig(uint64_t seed, size_t iterations) {
+  CampaignConfig config;
+  config.dialect = Dialect::kPostgis;
+  config.seed = seed;
+  config.iterations = iterations;
+  config.queries_per_iteration = 25;
+  config.generator.num_geometries = 8;
+  return config;
+}
+
+/// One frame of every wire type, socket-tier types included. The frames
+/// carry distinctive field values so a re-encode comparison catches any
+/// field that failed to survive the byte stream.
+std::vector<Frame> EveryFrameType() {
+  std::vector<Frame> frames;
+
+  Frame hello;
+  hello.type = FrameType::kHello;
+  hello.worker = 3;
+  hello.pid = 4242;
+  hello.slice_offset = 6;
+  hello.slice_count = 2;
+  hello.total_slices = 8;
+  frames.push_back(hello);
+
+  Frame inflight;
+  inflight.type = FrameType::kInflight;
+  inflight.dialect = 2;
+  inflight.slice = 5;
+  inflight.iteration = 1234567;
+  frames.push_back(inflight);
+
+  Frame slice_done;
+  slice_done.type = FrameType::kSliceDone;
+  slice_done.dialect = 1;
+  slice_done.slice = 6;
+  frames.push_back(slice_done);
+
+  Frame slice_progress;
+  slice_progress.type = FrameType::kSliceProgress;
+  slice_progress.dialect = 2;
+  slice_progress.slice = 3;
+  slice_progress.completed = 987654;
+  frames.push_back(slice_progress);
+
+  Frame cov;
+  cov.type = FrameType::kCov;
+  cov.elapsed = 1.25;
+  cov.iterations = 42;
+  cov.queries = 4200;
+  cov.site_keys = {0xdeadbeefULL, 0x1ULL, 0xffffffffffffffffULL};
+  frames.push_back(cov);
+
+  Frame entry;
+  entry.type = FrameType::kEntry;
+  entry.payload = {1, 2, 3, 254};
+  frames.push_back(entry);
+
+  Frame bug;
+  bug.type = FrameType::kBug;
+  bug.query_index = 17;
+  bug.is_crash = true;
+  bug.oracle = static_cast<uint64_t>(fuzz::OracleKind::kIndex);
+  bug.elapsed = 0.5;
+  bug.detail = "count 3 vs 4, with spaces\tand tabs";
+  bug.payload = {9, 9, 9};
+  frames.push_back(bug);
+
+  Frame stats;
+  stats.type = FrameType::kStats;
+  stats.elapsed = 2.75;
+  stats.stats.counters["campaign.iterations"] = 1234;
+  stats.stats.gauges["corpus.size"] = -3;
+  frames.push_back(stats);
+
+  Frame done;
+  done.type = FrameType::kDone;
+  done.iterations = 10;
+  done.queries = 1000;
+  done.checks = 1000;
+  done.busy_seconds = 2.5;
+  done.engine_seconds = 1.25;
+  done.statements = 7;
+  done.pairs = 8;
+  done.index_scans = 9;
+  done.prepared = 10;
+  frames.push_back(done);
+
+  Frame stop;
+  stop.type = FrameType::kStop;
+  frames.push_back(stop);
+
+  Frame nethello;
+  nethello.type = FrameType::kNetHello;
+  nethello.proto = fleet::kNetProtocolVersion;
+  nethello.pid = 777;
+  frames.push_back(nethello);
+
+  Frame assign;
+  assign.type = FrameType::kAssign;
+  assign.worker = 9;
+  const std::string doc = "config not-really-a-checkpoint\n";
+  assign.payload.assign(doc.begin(), doc.end());
+  frames.push_back(assign);
+
+  Frame bye;
+  bye.type = FrameType::kBye;
+  frames.push_back(bye);
+
+  Frame tune;
+  tune.type = FrameType::kTune;
+  tune.mutate_pct = 85;
+  frames.push_back(tune);
+
+  return frames;
+}
+
+/// A connected loopback TCP pair built from the real transport helpers
+/// (so Listen/LocalPort/ConnectWithRetry/AcceptOne are themselves under
+/// test). Both fds are non-blocking.
+struct LoopbackPair {
+  int client = -1;
+  int server = -1;
+
+  LoopbackPair() {
+    auto listen = Listen(0);
+    EXPECT_TRUE(listen.ok()) << listen.status().ToString();
+    auto port = LocalPort(listen.value());
+    EXPECT_TRUE(port.ok());
+    auto connected = ConnectWithRetry("127.0.0.1", port.value(), 5.0);
+    EXPECT_TRUE(connected.ok()) << connected.status().ToString();
+    client = connected.value();
+    for (int i = 0; i < 500 && server < 0; ++i) {
+      struct pollfd pfd = {listen.value(), POLLIN, 0};
+      ::poll(&pfd, 1, 10);
+      server = AcceptOne(listen.value());
+    }
+    EXPECT_GE(server, 0) << "accept never fired";
+    ::close(listen.value());
+  }
+
+  ~LoopbackPair() {
+    if (client >= 0) ::close(client);
+    if (server >= 0) ::close(server);
+  }
+};
+
+/// Runs a fleet client as a real child process — SIGKILL must take a
+/// whole process, so a thread will not do. The child first closes every
+/// inherited fd (above stdio): a forked test child still holds a copy of
+/// the server's LISTENING socket, and that copy would keep the listen
+/// queue alive after the server closes its own — parking the client's
+/// final reconnect in a backlog nobody will ever accept. A real
+/// `--connect` worker is a fresh process and inherits nothing.
+pid_t SpawnClient(const FleetClientConfig& config) {
+  const pid_t pid = fork();
+  if (pid != 0) return pid;
+  for (int fd = 3; fd < 256; ++fd) ::close(fd);
+  _exit(RunFleetClient(config));
+}
+
+/// Writes `data` to a non-blocking fd in chunks of `chunk` bytes,
+/// tolerating short writes and EAGAIN (the reader side drains slowly).
+void WriteChunked(int fd, const std::string& data, size_t chunk) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const size_t want = std::min(chunk, data.size() - off);
+    const ssize_t n = ::write(fd, data.data() + off, want);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      struct pollfd pfd = {fd, POLLOUT, 0};
+      ::poll(&pfd, 1, 1000);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    FAIL() << "write failed";
+  }
+}
+
+// --- FrameChannel reassembly ------------------------------------------------
+
+TEST(FrameChannel, ReassemblesEveryFrameTypeUnderArbitrarySplits) {
+  const std::vector<Frame> frames = EveryFrameType();
+  std::string stream;
+  for (const Frame& frame : frames) stream += EncodeFrame(frame);
+
+  // One byte at a time, mid-frame chunks, and everything coalesced: the
+  // channel must deliver the identical frame sequence regardless of how
+  // TCP happens to split the bytes.
+  for (const size_t chunk : {size_t{1}, size_t{7}, stream.size()}) {
+    LoopbackPair pair;
+    std::thread writer(
+        [&pair, &stream, chunk] { WriteChunked(pair.client, stream, chunk); });
+    FrameChannel channel(pair.server);
+    std::vector<Frame> got;
+    while (got.size() < frames.size()) {
+      ASSERT_TRUE(channel.ReadFrames(1000, &got)) << "premature EOF";
+    }
+    writer.join();
+    ASSERT_EQ(got.size(), frames.size()) << "chunk=" << chunk;
+    for (size_t i = 0; i < frames.size(); ++i) {
+      // The codec is canonical, so re-encode equality is field equality.
+      EXPECT_EQ(EncodeFrame(got[i]), EncodeFrame(frames[i]))
+          << "frame " << i << " chunk=" << chunk;
+    }
+    EXPECT_EQ(channel.rejected(), 0u);
+  }
+}
+
+TEST(FrameChannel, ResyncsAfterGarbageLines) {
+  LoopbackPair pair;
+  Frame stop;
+  stop.type = FrameType::kStop;
+  const std::string stream = "complete garbage, not a frame\n" +
+                             std::string("SPTW1 HELLO half a frame\n") +
+                             EncodeFrame(stop);
+  std::thread writer(
+      [&pair, &stream] { WriteChunked(pair.client, stream, stream.size()); });
+  FrameChannel channel(pair.server);
+  std::vector<Frame> got;
+  while (got.empty()) {
+    ASSERT_TRUE(channel.ReadFrames(1000, &got));
+  }
+  writer.join();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].type, FrameType::kStop);
+  EXPECT_EQ(channel.rejected(), 2u) << "both garbage lines counted";
+}
+
+TEST(FrameChannel, DropsOversizedUnterminatedLinesAndRecovers) {
+  // A hostile peer streaming an endless line must not grow the
+  // reassembly buffer past kMaxFrameBytes; the channel drops the bytes,
+  // counts one rejection, and resyncs at the next newline.
+  LoopbackPair pair;
+  Frame stop;
+  stop.type = FrameType::kStop;
+  const std::string oversized(fleet::kMaxFrameBytes + 4096, 'x');
+  const std::string stream = oversized + "\n" + EncodeFrame(stop);
+  std::thread writer([&pair, &stream] {
+    WriteChunked(pair.client, stream, 65536);
+  });
+  FrameChannel channel(pair.server);
+  std::vector<Frame> got;
+  while (got.empty()) {
+    ASSERT_TRUE(channel.ReadFrames(1000, &got));
+  }
+  writer.join();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].type, FrameType::kStop);
+  EXPECT_GE(channel.rejected(), 1u);
+}
+
+TEST(FrameChannel, EofAfterBufferedFramesStillDeliversThem) {
+  LoopbackPair pair;
+  Frame bye;
+  bye.type = FrameType::kBye;
+  const std::string stream = EncodeFrame(bye);
+  WriteChunked(pair.client, stream, stream.size());
+  ::shutdown(pair.client, SHUT_WR);
+  FrameChannel channel(pair.server);
+  std::vector<Frame> got;
+  // The closing read both drains the final frame and observes EOF.
+  while (channel.ReadFrames(1000, &got)) {
+  }
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].type, FrameType::kBye);
+  EXPECT_TRUE(channel.eof());
+}
+
+// --- Handshake reads --------------------------------------------------------
+
+TEST(ReadOneFrame, NeverReadsPastTheFrame) {
+  // The fleet client handshake hands the fd to RunWorker right after
+  // ASSIGN; every byte after ASSIGN's newline (corpus seeds, TUNE) must
+  // still be in the kernel buffer — byte-identically.
+  LoopbackPair pair;
+  Frame assign;
+  assign.type = FrameType::kAssign;
+  assign.worker = 2;
+  const std::string doc = "pretend checkpoint";
+  assign.payload.assign(doc.begin(), doc.end());
+  Frame tune;
+  tune.type = FrameType::kTune;
+  tune.mutate_pct = 60;
+  const std::string first = EncodeFrame(assign);
+  const std::string rest = EncodeFrame(tune) + EncodeFrame(tune);
+  WriteChunked(pair.client, first + rest, first.size() + rest.size());
+
+  auto got = ReadOneFrame(pair.server);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got.value().type, FrameType::kAssign);
+  EXPECT_EQ(EncodeFrame(got.value()), first);
+
+  // Drain what is left in the kernel buffer: exactly `rest`.
+  std::string leftover;
+  char buf[4096];
+  for (int i = 0; i < 100 && leftover.size() < rest.size(); ++i) {
+    struct pollfd pfd = {pair.server, POLLIN, 0};
+    ::poll(&pfd, 1, 100);
+    const ssize_t n = ::read(pair.server, buf, sizeof(buf));
+    if (n > 0) leftover.append(buf, static_cast<size_t>(n));
+  }
+  EXPECT_EQ(leftover, rest);
+}
+
+TEST(ReadOneFrame, SkipsMalformedLinesAndReportsEof) {
+  LoopbackPair pair;
+  Frame bye;
+  bye.type = FrameType::kBye;
+  const std::string stream =
+      "garbage first\n" + EncodeFrame(bye);
+  WriteChunked(pair.client, stream, stream.size());
+  auto got = ReadOneFrame(pair.server);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().type, FrameType::kBye);
+
+  ::shutdown(pair.client, SHUT_WR);
+  auto eof = ReadOneFrame(pair.server);
+  EXPECT_FALSE(eof.ok());
+}
+
+// --- Version gate -----------------------------------------------------------
+
+TEST(FleetServer, ByesVersionSkewedClientsAndFinishesWithGoodOnes) {
+  FleetServerConfig config;
+  config.base = SmallConfig(/*seed=*/321, /*iterations=*/4);
+  config.total_slices = 2;
+  config.slices_per_assign = 2;
+  FleetServer server(config);
+  ASSERT_TRUE(server.Start().ok());
+  const uint16_t port = server.port();
+
+  std::thread serve([&server] { server.Run(); });
+
+  // A skewed client gets an immediate BYE, never an assignment.
+  auto skewed = ConnectWithRetry("127.0.0.1", port, 5.0);
+  ASSERT_TRUE(skewed.ok());
+  {
+    FrameChannel channel(skewed.value());
+    Frame hello;
+    hello.type = FrameType::kNetHello;
+    hello.proto = fleet::kNetProtocolVersion + 1;
+    hello.pid = 1;
+    ASSERT_TRUE(channel.WriteFrame(hello));
+    auto reply = ReadOneFrame(channel.fd());
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    EXPECT_EQ(reply.value().type, FrameType::kBye);
+    channel.Close();
+  }
+
+  // A current-version client runs the whole campaign to completion. The
+  // short retry budget only trims the final reconnect (which finds the
+  // server gone) — the first connect always lands, the listener is live.
+  FleetClientConfig client;
+  client.port = port;
+  client.connect_retry_seconds = 2.0;
+  std::thread worker([&client] { EXPECT_EQ(RunFleetClient(client), 0); });
+  serve.join();
+  worker.join();
+  EXPECT_GE(server.peers_seen(), 2u);
+}
+
+// --- Elastic membership pin -------------------------------------------------
+
+TEST(FleetServer, SigkilledWorkerReassignedWithoutChangingTheBugSet) {
+  // Reference: an uninterrupted in-process fleet over the identical
+  // 4-slice universe (2 processes x 2 jobs).
+  CampaignConfig base = SmallConfig(/*seed=*/77, /*iterations=*/24);
+  base.queries_per_iteration = 40;
+  fleet::FleetConfig ref;
+  ref.base = base;
+  ref.processes = 2;
+  ref.jobs = 2;
+  fleet::FleetCoordinator baseline(ref);
+  const CampaignResult expected = baseline.Run();
+  ASSERT_FALSE(expected.unique_bugs.empty());
+
+  FleetServerConfig config;
+  config.base = base;
+  config.total_slices = 4;
+  config.slices_per_assign = 2;
+  FleetServer server(config);
+  ASSERT_TRUE(server.Start().ok());
+  const uint16_t port = server.port();
+
+  // Two remote workers as real child processes, forked before Run() so
+  // no other thread exists at fork time.
+  FleetClientConfig doomed;
+  doomed.port = port;
+  doomed.connect_retry_seconds = 2.0;
+  // The worker writes HELLO + at least two frames per iteration, and its
+  // first assignment owns 12 iterations: frame 25 always lands
+  // mid-assignment, before DONE.
+  doomed.die_after_frames = 25;
+  const pid_t killed_pid = SpawnClient(doomed);
+  ASSERT_GE(killed_pid, 0);
+
+  FleetClientConfig healthy;
+  healthy.port = port;
+  healthy.connect_retry_seconds = 2.0;
+  const pid_t survivor_pid = SpawnClient(healthy);
+  ASSERT_GE(survivor_pid, 0);
+
+  const CampaignResult result = server.Run();
+
+  int status = 0;
+  ASSERT_EQ(::waitpid(killed_pid, &status, 0), killed_pid);
+  EXPECT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL)
+      << "the seamed worker must die by SIGKILL mid-assignment";
+  ASSERT_EQ(::waitpid(survivor_pid, &status, 0), survivor_pid);
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+      << "the survivor finishes cleanly on BYE";
+
+  // The pin: dead worker's slices were re-factored onto the survivor at
+  // their SLICEPROGRESS marks, the in-flight iteration re-ran, and its
+  // re-reported bugs deduplicated — so the unique-bug set AND the
+  // per-oracle attribution are identical to the uninterrupted run.
+  EXPECT_EQ(BugKeys(result), BugKeys(expected));
+  EXPECT_EQ(result.UniqueBugsByOracle(), expected.UniqueBugsByOracle());
+  EXPECT_EQ(result.iterations_run, expected.iterations_run)
+      << "requeue re-runs the in-flight iteration, never skips it";
+  EXPECT_GE(server.disconnects(), 1u);
+  EXPECT_GE(server.reassigned_slices(), 1u);
+  EXPECT_EQ(server.protocol_errors(), 0u);
+}
+
+}  // namespace
+}  // namespace spatter::net
