@@ -5,6 +5,7 @@
 #include "common/coverage.h"
 #include "engine/functions.h"
 #include "geom/wkt_reader.h"
+#include "obs/trace.h"
 
 namespace spatter::corpus {
 
@@ -26,6 +27,32 @@ enum class MutationKind {
   kAffineJolt,
   kNumKinds,
 };
+
+const char* MutationKindName(MutationKind kind) {
+  switch (kind) {
+    case MutationKind::kCoordNudge:
+      return "coord_nudge";
+    case MutationKind::kSnapToGrid:
+      return "snap_to_grid";
+    case MutationKind::kVertexInsert:
+      return "vertex_insert";
+    case MutationKind::kVertexDelete:
+      return "vertex_delete";
+    case MutationKind::kGeometrySwap:
+      return "geometry_swap";
+    case MutationKind::kEmptyInject:
+      return "empty_inject";
+    case MutationKind::kNestedWrap:
+      return "nested_wrap";
+    case MutationKind::kVertexShare:
+      return "vertex_share";
+    case MutationKind::kAffineJolt:
+      return "affine_jolt";
+    case MutationKind::kNumKinds:
+      break;
+  }
+  return "unknown";
+}
 
 /// Mutable views into a geometry's coordinate storage: every line/ring
 /// sequence plus every point, gathered recursively.
@@ -130,6 +157,8 @@ fuzz::DatabaseSpec MutationEngine::MutateDatabase(
   for (int round = 0; round < rounds; ++round) {
     const auto kind = static_cast<MutationKind>(
         rng->Below(static_cast<uint64_t>(MutationKind::kNumKinds)));
+    obs::TraceRecorder::Instance().Emit(
+        "mutate.op", static_cast<uint64_t>(round), MutationKindName(kind));
 
     if (kind == MutationKind::kVertexShare) {
       ApplyVertexShare(&out, rng);

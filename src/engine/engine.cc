@@ -9,6 +9,7 @@
 #include "common/strings.h"
 #include "engine/functions.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "geom/wkt_reader.h"
 #include "relate/prepared.h"
 #include "sql/parser.h"
@@ -283,6 +284,8 @@ Result<ExecResult> Engine::Execute(const sql::Statement& stmt) {
   static obs::LatencyHistogram* stmt_hist =
       obs::MetricsRegistry::Instance().GetHistogram("engine.statement");
   obs::ScopedTimer stmt_timer(stmt_hist, obs::ScopedTimer::Clock::kThreadCpu);
+  obs::ScopedTraceSpan stmt_span("engine.statement",
+                                 StatementKindName(stmt.kind));
   stats_.statements_executed++;
   RegisterStatementCoverage();
   CoverageRegistry::Instance().Hit(CoverageRegistry::Instance().Register(

@@ -17,8 +17,10 @@
 #include "common/fsio.h"
 #include "corpus/codec.h"
 #include "engine/dialect.h"
+#include "fleet/flight.h"
 #include "fleet/wire.h"
 #include "fuzz/transfer.h"
+#include "obs/trace.h"
 
 namespace spatter::fleet {
 
@@ -60,6 +62,10 @@ struct FleetCoordinator::Worker {
   uint64_t cov_queries = 0;
   /// Latest STATS snapshot this incarnation (cumulative since its start).
   obs::MetricsSnapshot latest_stats;
+  /// Final trace ring from a TRACE frame (clean shutdowns only — a
+  /// SIGKILLed incarnation never sends one; the flight recorder then
+  /// synthesizes the dump from (seed, iteration) instead).
+  obs::TraceSnapshot last_trace;
   /// Wall clock of the last valid frame, for stale-worker detection.
   double last_frame_at = 0.0;
   /// One warning per staleness episode; re-armed by the next frame.
@@ -179,6 +185,7 @@ void FleetCoordinator::Spawn(size_t index) {
                       o.cov_interval_seconds);
         args.push_back(buf);
       }
+      if (o.trace_sample > 1) add("--trace-sample", o.trace_sample);
       if (!o.completed.empty()) {
         std::string flag = "--worker-completed=";
         bool first = true;
@@ -227,6 +234,7 @@ void FleetCoordinator::Spawn(size_t index) {
   worker->cov_iterations = 0;
   worker->cov_queries = 0;
   worker->latest_stats = obs::MetricsSnapshot{};
+  worker->last_trace = obs::TraceSnapshot{};
   worker->last_frame_at = Campaign::NowSeconds();
   worker->stale_warned = false;
   std::lock_guard<std::mutex> lock(pids_mu_);
@@ -351,6 +359,10 @@ void FleetCoordinator::HandleLine(Worker* worker, const std::string& line) {
       // Cumulative-since-start per incarnation: replace, don't merge.
       worker->latest_stats = frame.stats;
       break;
+    case FrameType::kTrace:
+      // The incarnation's final flight ring (sent right before DONE).
+      worker->last_trace = frame.trace;
+      break;
     case FrameType::kStop:
       break;  // coordinator-only frame; a worker echoing it is harmless
     case FrameType::kNetHello:
@@ -394,13 +406,22 @@ obs::MetricsSnapshot FleetCoordinator::FleetMetricsSnapshot() const {
 
 void FleetCoordinator::MaybeStatus(bool force) {
   const bool status_on = config_.status_interval_seconds > 0;
-  if (!status_on && config_.metrics_out.empty()) return;
+  const bool metrics_on = !config_.metrics_out.empty();
+  if (!status_on && !metrics_on) return;
   const double now = Campaign::NowSeconds();
-  if (!force) {
-    if (!status_on) return;  // periodic ticks need an interval
-    if (now - last_status_ < config_.status_interval_seconds) return;
-  }
-  last_status_ = now;
+  const bool status_due =
+      status_on &&
+      (force || now - last_status_ >= config_.status_interval_seconds);
+  // --metrics-every puts the metrics rewrite on its own clock; without it
+  // the write rides the status tick (plus the final forced write).
+  const bool metrics_due =
+      metrics_on &&
+      (force || (config_.metrics_interval_seconds > 0
+                     ? now - last_metrics_ >= config_.metrics_interval_seconds
+                     : status_due));
+  if (!status_due && !metrics_due) return;
+  if (status_due) last_status_ = now;
+  if (metrics_due) last_metrics_ = now;
 
   // Stale-worker detection: a live incarnation silent for 3x the status
   // interval is flagged — warned once per episode (the next frame from it
@@ -410,7 +431,7 @@ void FleetCoordinator::MaybeStatus(bool force) {
   for (const auto& worker : workers_) {
     if (!worker || worker->pid <= 0) continue;
     live++;
-    if (status_on &&
+    if (status_due &&
         now - worker->last_frame_at > 3 * config_.status_interval_seconds) {
       stale++;
       if (!worker->stale_warned) {
@@ -426,7 +447,7 @@ void FleetCoordinator::MaybeStatus(bool force) {
   if (stale > 0) stale_intervals_++;
 
   const obs::MetricsSnapshot snap = FleetMetricsSnapshot();
-  if (status_on) {
+  if (status_due) {
     uint64_t iterations = aggregator_.current().iterations_run;
     for (const auto& worker : workers_) {
       if (worker && worker->pid > 0 && !worker->got_done) {
@@ -466,7 +487,7 @@ void FleetCoordinator::MaybeStatus(bool force) {
                  corpus_ ? corpus_->size() : static_cast<size_t>(0), live,
                  workers_.size(), stale > 0 ? " [stale]" : "");
   }
-  if (!config_.metrics_out.empty()) {
+  if (metrics_due) {
     obs::MetricsJsonInfo info;
     for (const engine::Dialect d : dialects_) {
       if (!info.label.empty()) info.label += ",";
@@ -578,6 +599,8 @@ void FleetCoordinator::MaybeCheckpoint(bool force) {
     return;
   }
   checkpoints_written_++;
+  obs::TraceRecorder::Instance().Emit("checkpoint.write",
+                                      checkpoints_written_);
   if (config_.die_after_checkpoints > 0 &&
       checkpoints_written_ == config_.die_after_checkpoints) {
     ::kill(::getpid(), SIGKILL);  // crash-equivalence seam, see above
@@ -619,6 +642,20 @@ void FleetCoordinator::PersistInflight(const Worker& worker) {
     const Status written = AtomicWriteFile(
         path.string(), encoded.value().data(), encoded.value().size());
     if (written.ok()) inflight_persisted_++;
+    // Flight-recorder dump next to the reproducer: the worker's real
+    // final ring when a TRACE frame made it out, otherwise a synthesized
+    // re-recording of the in-flight iteration's input construction.
+    std::string flight_path;
+    const Status flight = PersistFlightRecord(
+        config_.base, dialect, iteration, &worker.last_trace,
+        config_.reproducer_dir, worker.index, &flight_path);
+    if (flight.ok()) {
+      std::fprintf(stderr, "fleet: flight record: %s\n",
+                   flight_path.c_str());
+    } else {
+      std::fprintf(stderr, "fleet: flight record: %s\n",
+                   flight.ToString().c_str());
+    }
   }
 }
 
@@ -810,6 +847,7 @@ CampaignResult FleetCoordinator::Run() {
     worker->options.duration_seconds = config_.duration_seconds;
     worker->options.corpus_dir = config_.corpus_dir;
     worker->options.cov_interval_seconds = config_.cov_interval_seconds;
+    worker->options.trace_sample = config_.trace_sample;
     if (worker->index == 0) {
       worker->options.die_after_frames = config_.worker0_die_after_frames;
     }

@@ -80,6 +80,13 @@ struct FleetConfig {
   /// spatter-metrics-v1 JSON document here (atomic write-rename), on
   /// every status tick and once at completion.
   std::string metrics_out;
+  /// > 0: rewrite `metrics_out` every S seconds on its own clock
+  /// (--metrics-every), decoupled from the stderr status interval. 0 =
+  /// the write rides the status tick (plus the final forced write).
+  double metrics_interval_seconds = 0.0;
+  /// Flight-recorder sampling forwarded to workers: record every Nth
+  /// iteration's events into the always-armed trace ring (1 = all).
+  uint64_t trace_sample = 1;
   /// Checkpoint/resume. With `checkpoint_dir` set the coordinator
   /// persists a CheckpointState (fleet/checkpoint.h) every
   /// `checkpoint_interval_seconds` of wall time plus once at completion,
@@ -204,7 +211,8 @@ class FleetCoordinator {
   /// live incarnations are read from their Worker::latest_stats instead.
   obs::MetricsSnapshot dead_metrics_;
   uint64_t stale_intervals_ = 0;
-  double last_status_ = 0.0;  ///< wall clock of the last status tick
+  double last_status_ = 0.0;   ///< wall clock of the last status tick
+  double last_metrics_ = 0.0;  ///< wall clock of the last metrics rewrite
 
   mutable std::mutex pids_mu_;  ///< guards pid reads from other threads
 };

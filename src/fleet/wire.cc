@@ -15,7 +15,7 @@ constexpr const char kMagic[] = "SPTW1";
 const char* kTypeNames[] = {"HELLO", "INFLIGHT", "SLICEDONE",
                             "SLICEPROGRESS", "COV", "ENTRY",
                             "BUG",   "DONE",     "STOP", "STATS",
-                            "NETHELLO", "ASSIGN", "BYE", "TUNE"};
+                            "NETHELLO", "ASSIGN", "BYE", "TUNE", "TRACE"};
 
 }  // namespace
 
@@ -232,6 +232,12 @@ std::string EncodeFrame(const Frame& frame) {
     case FrameType::kTune:
       put_u(frame.mutate_pct);
       break;
+    case FrameType::kTrace: {
+      put_f(frame.elapsed);
+      const std::string text = frame.trace.EncodeJsonl();
+      line += ' ' + HexEncode(std::vector<uint8_t>(text.begin(), text.end()));
+      break;
+    }
     case FrameType::kStop:
     case FrameType::kBye:
       break;
@@ -412,6 +418,21 @@ Result<Frame> DecodeFrameImpl(const std::string& line) {
         return Malformed("TUNE mutate_pct");
       }
       break;
+    case FrameType::kTrace: {
+      want = 2;
+      if (args != want) return Malformed("TRACE field count");
+      if (!ParseFieldF64(arg(0), &frame.elapsed)) {
+        return Malformed("TRACE fields");
+      }
+      auto payload = HexDecode(arg(1));
+      if (!payload.ok()) return payload.status();
+      const std::vector<uint8_t> bytes = payload.Take();
+      auto snapshot = obs::TraceSnapshot::DecodeJsonl(
+          std::string(bytes.begin(), bytes.end()));
+      if (!snapshot.ok()) return snapshot.status();
+      frame.trace = snapshot.Take();
+      break;
+    }
     case FrameType::kStop:
       want = 0;
       if (args != want) return Malformed("STOP field count");

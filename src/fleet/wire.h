@@ -34,6 +34,11 @@
 //              (cumulative MetricsSnapshot of the worker process since it
 //              started; the payload must decode as a valid snapshot
 //              document or the frame is rejected whole)
+//     TRACE    <elapsed> <hex(spatter-trace-v1 JSONL document)>
+//              (the worker's flight-recorder ring — its last K structured
+//              events — sent once before DONE so a coordinator can
+//              persist the real narrative of a worker that reported and
+//              then died; validated whole like STATS)
 //   coordinator -> worker
 //     ENTRY    <hex(record)>   (cross-process corpus rebroadcast)
 //     STOP                     (finish the current iteration and report)
@@ -65,6 +70,7 @@
 #include "common/status.h"
 #include "fuzz/campaign.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace spatter::fleet {
 
@@ -85,6 +91,9 @@ enum class FrameType : uint8_t {
   kAssign,
   kBye,
   kTune,
+  // Appended in protocol order (PR 8): the worker's final flight-recorder
+  // ring. Both tiers carry it.
+  kTrace,
 };
 
 /// Version token a remote worker sends in NETHELLO; the server rejects
@@ -137,6 +146,10 @@ struct Frame {
 
   // STATS: decoded metrics snapshot (DecodeFrame fully validates it).
   obs::MetricsSnapshot stats;
+
+  // TRACE: decoded flight-recorder ring (DecodeFrame fully validates it);
+  // reuses `elapsed` for the send time.
+  obs::TraceSnapshot trace;
 
   // NETHELLO
   uint64_t proto = 0;

@@ -13,6 +13,7 @@
 #include "common/coverage.h"
 #include "fleet/wire.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/thread_pool.h"
 
 namespace spatter::fleet {
@@ -131,6 +132,12 @@ int RunWorker(const WorkerOptions& options, int in_fd, int out_fd) {
   // worker started", and the coordinator relies on that baseline.
   CoverageRegistry::Instance().ResetHits();
   obs::MetricsRegistry::Instance().Reset();
+  // The flight recorder is always armed in workers: the ring is bounded
+  // (last K events per thread) and strictly passive, and a worker that
+  // dies owes the coordinator a narrative. trace_sample thins the
+  // recorded iterations, never the protocol.
+  obs::TraceRecorder::Instance().Reset();
+  obs::TraceRecorder::Instance().Enable(options.trace_sample);
 
   std::vector<engine::Dialect> dialects = options.dialects;
   if (dialects.empty()) dialects.push_back(options.base.dialect);
@@ -378,6 +385,15 @@ int RunWorker(const WorkerOptions& options, int in_fd, int out_fd) {
   final_stats.elapsed = Campaign::NowSeconds() - t0;
   final_stats.stats = obs::MetricsRegistry::Instance().Snapshot();
   writer.Write(final_stats);
+
+  // The flight-recorder ring, after the last iteration and before DONE: a
+  // worker that gets this far hands the coordinator its real final
+  // narrative; one killed earlier leaves synthesis to the coordinator.
+  Frame trace;
+  trace.type = FrameType::kTrace;
+  trace.elapsed = Campaign::NowSeconds() - t0;
+  trace.trace = obs::TraceRecorder::Instance().Snapshot();
+  writer.Write(trace);
 
   Frame done;
   done.type = FrameType::kDone;

@@ -5,6 +5,7 @@
 #include "common/coverage.h"
 #include "fuzz/aei.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace spatter::fuzz {
 
@@ -67,11 +68,17 @@ DatabaseSpec Campaign::GenerateDatabaseFor(
   // generate, then the index coin — so the returned spec is byte-for-byte
   // the database that iteration runs (RunIteration has a test pinning the
   // two paths together).
+  obs::TraceRecorder& tracer = obs::TraceRecorder::Instance();
   Rng rng(Rng::SplitSeed(config.seed, iteration));
+  tracer.Emit("gen.reseed", Rng::SplitSeed(config.seed, iteration));
   engine::Engine engine(config.dialect, config.enable_faults);
   GeometryAwareGenerator generator(config.generator, &rng, &engine);
   DatabaseSpec sdb = generator.Generate(crashes);
+  uint64_t rows = 0;
+  for (const auto& table : sdb.tables) rows += table.rows.size();
+  tracer.Emit("gen.database", rows);
   sdb.with_index = rng.Percent(config.index_pct);
+  tracer.Emit("gen.index_coin", sdb.with_index ? 1 : 0);
   return sdb;
 }
 
@@ -87,7 +94,10 @@ void Campaign::RunIterationAt(size_t iteration, CampaignResult* result,
   // cases of iteration i are identical whether it runs serially, on shard
   // 0 of 1, or on shard 3 of 8.
   rng_.Seed(Rng::SplitSeed(config_.seed, iteration));
+  obs::TraceRecorder& tracer = obs::TraceRecorder::Instance();
+  tracer.BeginIteration(iteration);
   RunIteration(iteration, result, started_at);
+  tracer.EndIteration();
 }
 
 void Campaign::FinalizeResult(CampaignResult* result, double started_at,
@@ -123,6 +133,7 @@ void Campaign::RunIteration(size_t iteration, CampaignResult* result,
     SPATTER_METRIC_INC("campaign.mutate_iterations");
     SPATTER_COV("campaign", "corpus_mutate_iteration");
     const size_t pick = scheduler_->PickEntry(*corpus_, &rng_);
+    obs::TraceRecorder::Instance().Emit("input.mutate", pick);
     corpus_->NoteFuzzed(pick);
     parent = corpus_->Entry(pick);
     sdb1 = mutator_->MutateDatabase(parent.sdb, &rng_);
@@ -146,6 +157,7 @@ void Campaign::RunIteration(size_t iteration, CampaignResult* result,
   } else {
     obs::ScopedTimer generate_timer(generate_hist);
     SPATTER_METRIC_INC("campaign.generate_iterations");
+    obs::TraceRecorder::Instance().Emit("input.generate");
     sdb1 = generator_->Generate(&crashes);
   }
   // Mutants keep the parent's index configuration half the time: several
@@ -154,6 +166,8 @@ void Campaign::RunIteration(size_t iteration, CampaignResult* result,
   sdb1.with_index = (mutated && rng_.Percent(50))
                         ? parent.sdb.with_index
                         : rng_.Percent(config_.index_pct);
+  obs::TraceRecorder::Instance().Emit("input.index_coin",
+                                      sdb1.with_index ? 1 : 0);
   for (const auto& crash : crashes) {
     Discrepancy d;
     d.iteration = iteration;
@@ -165,6 +179,8 @@ void Campaign::RunIteration(size_t iteration, CampaignResult* result,
     d.dialect = config_.dialect;
     d.sdb1 = sdb1;
     d.detail = crash.function + ": " + crash.message;
+    obs::TraceRecorder::Instance().Emit("input.generation_crash", 0,
+                                        crash.function.c_str());
     d.fault_hits = crash.fault_hits;
     d.elapsed_seconds = NowSeconds() - started_at;
     for (auto id : d.fault_hits) {
@@ -256,6 +272,9 @@ void Campaign::RunIteration(size_t iteration, CampaignResult* result,
       }
       SPATTER_COV("campaign", d.is_crash ? "crash_found" : "logic_found");
       SPATTER_METRIC_INC("campaign.discrepancies");
+      obs::TraceRecorder::Instance().Emit(
+          d.is_crash ? "campaign.crash_found" : "campaign.logic_found", q,
+          OracleKindName(d.oracle));
       result->discrepancies.push_back(std::move(d));
     }
   }
@@ -280,6 +299,7 @@ void Campaign::RunIteration(size_t iteration, CampaignResult* result,
         trace, HarnessCoverageModules());
     if (corpus_->Admit(std::move(record))) {
       SPATTER_COV("campaign", "corpus_admit");
+      obs::TraceRecorder::Instance().Emit("corpus.admit", iteration);
       iterations_since_admit_ = 0;
     } else {
       iterations_since_admit_++;

@@ -4,6 +4,7 @@
 
 #include "engine/functions.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace spatter::fuzz {
 
@@ -341,6 +342,8 @@ std::vector<OracleFinding> OracleSuite::CheckAll(engine::Engine* engine,
                          : o.mismatch  ? ".mismatch"
                                        : ".ok";
     reg.GetCounter(prefix + bucket)->Add();
+    obs::TraceRecorder::Instance().Emit("oracle.verdict", ctx.query_ordinal,
+                                        (prefix + bucket).c_str());
     findings.push_back(std::move(finding));
   }
   return findings;

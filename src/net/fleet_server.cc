@@ -8,7 +8,11 @@
 #include <csignal>
 #include <cstdio>
 
+#include "common/fsio.h"
 #include "corpus/codec.h"
+#include "engine/dialect.h"
+#include "faults/fault.h"
+#include "fleet/flight.h"
 #include "fleet/wire.h"
 #include "fuzz/transfer.h"
 #include "net/socket.h"
@@ -50,6 +54,11 @@ struct FleetServer::Peer {
   uint64_t cov_iterations = 0;
   uint64_t cov_queries = 0;
   obs::MetricsSnapshot latest_stats;
+  /// Final flight ring from a TRACE frame (clean shutdowns only; a
+  /// SIGKILLed peer's dump is synthesized from (seed, iteration)).
+  obs::TraceSnapshot last_trace;
+  /// Wall clock of the accept, for the /fleet per-worker rates.
+  double connected_at = 0.0;
 };
 
 FleetServer::FleetServer(const FleetServerConfig& config) : config_(config) {
@@ -75,7 +84,99 @@ Status FleetServer::Start() {
   auto port = LocalPort(listen_fd_);
   if (!port.ok()) return port.status();
   port_ = port.value();
+  if (config_.serve_status) {
+    const Status status = status_.Start(config_.status_port);
+    if (!status.ok()) return status;
+  }
   return Status::OK();
+}
+
+std::string FleetServer::HandleStatusRoute(const std::string& path) const {
+  if (path == "/metrics") return MetricsJson();
+  if (path == "/fleet") return FleetJson();
+  if (path == "/bugs") return BugsJson();
+  return std::string();  // 404
+}
+
+std::string FleetServer::MetricsJson() const {
+  obs::MetricsJsonInfo info;
+  for (const engine::Dialect d : dialects_) {
+    if (!info.label.empty()) info.label += ",";
+    info.label += engine::DialectCliToken(d);
+  }
+  info.seed = config_.base.seed;
+  info.fleet = peers_seen_;
+  info.jobs = config_.slices_per_assign;
+  info.elapsed_seconds = Campaign::NowSeconds() - t0_;
+  return obs::MetricsToJson(FleetMetricsSnapshot(), info);
+}
+
+std::string FleetServer::FleetJson() const {
+  const double now = Campaign::NowSeconds();
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"schema\":\"spatter-fleet-v1\",\"elapsed_seconds\":%.3f,"
+                "\"peers_seen\":%zu,\"disconnects\":%zu,"
+                "\"reassigned_slices\":%zu,\"crash_skips\":%zu,"
+                "\"version_skews\":%zu,\"pending_assignments\":%zu,"
+                "\"workers\":[",
+                now - t0_, peers_seen_, disconnects_, reassigned_slices_,
+                crash_skips_, version_skews_, pending_.size());
+  std::string out = buf;
+  bool first = true;
+  for (const auto& peer : peers_) {
+    if (!peer || peer->closed) continue;
+    const double up = now - peer->connected_at;
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"index\":%zu,\"active\":%s,\"iterations\":%" PRIu64
+                  ",\"queries\":%" PRIu64 ",\"iters_per_sec\":%.2f}",
+                  first ? "" : ",", peer->index,
+                  peer->assignment ? "true" : "false", peer->cov_iterations,
+                  peer->cov_queries,
+                  up > 0 ? static_cast<double>(peer->cov_iterations) / up
+                         : 0.0);
+    out += buf;
+    first = false;
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::string FleetServer::BugsJson() const {
+  const auto& bugs = aggregator_.current().unique_bugs;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"schema\":\"spatter-bugs-v1\",\"count\":%zu,\"bugs\":[",
+                bugs.size());
+  std::string out = buf;
+  bool first = true;
+  for (const auto& [id, d] : bugs) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"fault\":\"%s\",\"oracle\":\"%s\",\"iteration\":%zu,"
+                  "\"query\":%zu,\"crash\":%s}",
+                  first ? "" : ",", faults::GetFaultInfo(id).name,
+                  fuzz::OracleKindName(d.oracle), d.iteration, d.query_index,
+                  d.is_crash ? "true" : "false");
+    out += buf;
+    first = false;
+  }
+  out += "]}\n";
+  return out;
+}
+
+void FleetServer::MaybeMetrics(bool force) {
+  if (config_.metrics_out.empty()) return;
+  const double now = Campaign::NowSeconds();
+  if (!force) {
+    if (config_.metrics_interval_seconds <= 0) return;
+    if (now - last_metrics_ < config_.metrics_interval_seconds) return;
+  }
+  last_metrics_ = now;
+  const Status written = AtomicWriteFile(config_.metrics_out, MetricsJson());
+  if (!written.ok()) {
+    std::fprintf(stderr, "net: metrics-out: %s\n",
+                 written.ToString().c_str());
+  }
 }
 
 uint64_t FleetServer::IterationTarget(uint64_t slice) const {
@@ -296,6 +397,10 @@ void FleetServer::HandleFrame(Peer* peer, const Frame& frame) {
     case FrameType::kStats:
       peer->latest_stats = frame.stats;
       break;
+    case FrameType::kTrace:
+      // The incarnation's final flight ring (sent right before DONE).
+      peer->last_trace = frame.trace;
+      break;
     case FrameType::kStop:
     case FrameType::kAssign:
     case FrameType::kBye:
@@ -335,6 +440,26 @@ void FleetServer::HandleDisconnect(Peer* peer) {
   dead_iterations_ += completed_now;
   dead_queries_ += peer->cov_queries;
 
+  // Flight-recorder dump per in-flight iteration: the peer's real final
+  // ring when a TRACE frame made it out before the death, otherwise a
+  // synthesized re-recording (pure-generate mode only — a remote mutant
+  // is not reconstructable from (seed, iteration)).
+  if (!config_.flight_dir.empty() && !config_.base.corpus.enabled) {
+    for (const auto& [key, iteration] : peer->last_inflight) {
+      const auto dialect = static_cast<engine::Dialect>(key.first);
+      std::string flight_path;
+      const Status flight = fleet::PersistFlightRecord(
+          config_.base, dialect, iteration, &peer->last_trace,
+          config_.flight_dir, peer->index, &flight_path);
+      if (flight.ok()) {
+        std::fprintf(stderr, "net: flight record: %s\n", flight_path.c_str());
+      } else {
+        std::fprintf(stderr, "net: flight record: %s\n",
+                     flight.ToString().c_str());
+      }
+    }
+  }
+
   for (auto& [key, mark] : assignment->completed) {
     const auto it = peer->progress.find(key);
     if (it != peer->progress.end()) mark = std::max(mark, it->second);
@@ -350,6 +475,7 @@ void FleetServer::HandleDisconnect(Peer* peer) {
       const uint64_t skip_to =
           (iteration - key.second) / config_.total_slices + 1;
       it->second = std::max(it->second, skip_to);
+      crash_skips_++;
       std::fprintf(stderr,
                    "net: assignment died %zu times; skipping iteration "
                    "%" PRIu64 " of slice %" PRIu64 "\n",
@@ -420,6 +546,7 @@ obs::MetricsSnapshot FleetServer::FleetMetricsSnapshot() const {
   }
   snap.counters["net.disconnects"] += disconnects_;
   snap.counters["net.reassigned_slices"] += reassigned_slices_;
+  snap.counters["net.crash_skips"] += crash_skips_;
   snap.counters["net.version_skews"] += version_skews_;
   snap.counters["fleet.protocol_errors"] += protocol_errors_;
   snap.counters["fleet.checkpoints_written"] += checkpoints_written_;
@@ -511,6 +638,7 @@ CampaignResult FleetServer::Run() {
   t0_ = wall0;
   last_checkpoint_ = t0_;
   last_tune_ = t0_;
+  last_metrics_ = t0_;
 
   if (config_.resume) {
     const CheckpointState& resume = *config_.resume;
@@ -582,6 +710,7 @@ CampaignResult FleetServer::Run() {
       int fd;
       while ((fd = AcceptOne(listen_fd_)) >= 0) {
         peers_.push_back(std::make_unique<Peer>(fd));
+        peers_.back()->connected_at = Campaign::NowSeconds();
         peers_seen_++;
       }
     }
@@ -606,11 +735,18 @@ CampaignResult FleetServer::Run() {
 
     TryAssign();
     MaybeCheckpoint(/*force=*/false);
+    MaybeMetrics(/*force=*/false);
     MaybeTune();
+    if (status_.started()) {
+      status_.PollOnce(
+          [this](const std::string& path) { return HandleStatusRoute(path); });
+    }
   }
 
   AddCurveSample();
   MaybeCheckpoint(/*force=*/true);
+  MaybeMetrics(/*force=*/true);
+  status_.Close();
 
   // Campaign over: BYE every peer — including idle ones still waiting for
   // an assignment — so clients exit cleanly instead of on ECONNRESET.

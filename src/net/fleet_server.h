@@ -55,6 +55,7 @@
 #include "fleet/curve.h"
 #include "fleet/wire.h"
 #include "fuzz/campaign.h"
+#include "net/status_endpoint.h"
 #include "obs/metrics.h"
 #include "runtime/aggregator.h"
 
@@ -95,6 +96,18 @@ struct FleetServerConfig {
   /// > 0: hard wall-clock cap on Run() — a safety valve for CI smokes
   /// where no worker ever connects. 0 = wait indefinitely.
   double max_wall_seconds = 0.0;
+  /// Serve the read-only status endpoint (GET /metrics, /fleet, /bugs)
+  /// on `status_port` (0 = kernel-picked; status_port() after Start()).
+  bool serve_status = false;
+  uint16_t status_port = 0;
+  /// Where flight-recorder dumps of dead peers' in-flight iterations are
+  /// persisted (pure-generate mode only); empty = skip.
+  std::string flight_dir;
+  /// Non-empty: write the fleet MetricsSnapshot as spatter-metrics-v1
+  /// JSON here every `metrics_interval_seconds` (> 0) of wall time, plus
+  /// once at completion (atomic write-rename).
+  std::string metrics_out;
+  double metrics_interval_seconds = 0.0;
 };
 
 class FleetServer {
@@ -122,6 +135,12 @@ class FleetServer {
   size_t protocol_errors() const { return protocol_errors_; }
   size_t checkpoints_written() const { return checkpoints_written_; }
   size_t fleet_covered_sites() const { return covered_keys_.size(); }
+  /// In-flight iterations bumped past after repeated deaths.
+  size_t crash_skips() const { return crash_skips_; }
+  /// Live port of the status endpoint (0 unless serve_status).
+  uint16_t status_port() const { return status_.port(); }
+  /// HTTP requests the status endpoint has answered.
+  size_t status_requests_served() const { return status_.requests_served(); }
 
   /// Merged fleet corpus; null unless corpus mode. Valid after Run().
   corpus::Corpus* merged_corpus() { return corpus_.get(); }
@@ -146,7 +165,14 @@ class FleetServer {
   void AddCurveSample();
   fleet::CheckpointState GatherCheckpoint() const;
   void MaybeCheckpoint(bool force);
+  /// Periodic --metrics-out rewrite on its own clock (--metrics-every).
+  void MaybeMetrics(bool force);
   uint64_t IterationTarget(uint64_t slice) const;
+  /// Status-endpoint route table: path -> JSON body ("" = 404).
+  std::string HandleStatusRoute(const std::string& path) const;
+  std::string MetricsJson() const;
+  std::string FleetJson() const;
+  std::string BugsJson() const;
 
   FleetServerConfig config_;
   std::vector<engine::Dialect> dialects_;
@@ -166,13 +192,17 @@ class FleetServer {
   /// slice) — the checkpoint's progress section.
   std::map<std::pair<uint64_t, uint64_t>, uint64_t> completed_;
 
+  StatusEndpoint status_;
+
   size_t peers_seen_ = 0;
   size_t disconnects_ = 0;
   size_t reassigned_slices_ = 0;
   size_t protocol_errors_ = 0;
   size_t checkpoints_written_ = 0;
   size_t version_skews_ = 0;
+  size_t crash_skips_ = 0;
   double last_checkpoint_ = 0.0;
+  double last_metrics_ = 0.0;
   double last_tune_ = 0.0;
   double last_admit_ = -1.0;      ///< wall clock of the last fresh ENTRY
   uint64_t tune_last_sent_ = ~uint64_t{0};

@@ -35,6 +35,8 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -42,6 +44,7 @@
 #include <fstream>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/coverage.h"
@@ -58,6 +61,7 @@
 #include "net/fleet_client.h"
 #include "net/fleet_server.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/sharded_campaign.h"
 #include "runtime/thread_pool.h"
 
@@ -101,6 +105,11 @@ struct Options {
   // to stderr so the bug-set stdout contract is untouched).
   double status_interval = 0.0;  // seconds; 0 = no live status line
   std::string metrics_out;       // spatter-metrics-v1 JSON path
+  double metrics_every = 0.0;    // seconds between metrics-out rewrites
+  std::string trace_out;         // spatter-trace-v1 JSONL path; "" = off
+  uint64_t trace_sample = 1;     // record every Nth iteration (1 = all)
+  bool status_port_set = false;  // --status-port given (requires --serve)
+  uint16_t status_port = 0;      // status endpoint port (0 = kernel-picked)
 
   // Checkpoint / resume.
   std::string checkpoint_dir;   // non-empty = periodic checkpoints
@@ -164,6 +173,24 @@ void Usage() {
       "                    and latency histograms) as spatter-metrics-v1\n"
       "                    JSON to FILE; in fleet mode the file is\n"
       "                    atomically refreshed on the status cadence\n"
+      "  --metrics-every=S  rewrite --metrics-out every S seconds of wall\n"
+      "                    time (atomic write-rename), on its own clock\n"
+      "                    independent of --status-interval; works in\n"
+      "                    every campaign mode\n"
+      "  --trace-out=FILE  write this process's flight-recorder ring (the\n"
+      "                    last 256 structured events per thread) as\n"
+      "                    spatter-trace-v1 JSONL at exit; strictly\n"
+      "                    passive — bug-set lines are byte-identical\n"
+      "                    with tracing on or off\n"
+      "  --trace-sample=N  record every Nth iteration's events into the\n"
+      "                    trace ring (accepts N or 1/N; default 1 = all;\n"
+      "                    sampling is deterministic off the iteration\n"
+      "                    index, never an RNG draw)\n"
+      "  --status-port=P   with --serve: read-only HTTP/1.0 status\n"
+      "                    endpoint on port P (0 = kernel-picked, printed\n"
+      "                    at start): GET /metrics (spatter-metrics-v1),\n"
+      "                    /fleet (membership + per-worker rates), /bugs\n"
+      "                    (deduped bug set with detecting oracles)\n"
       "  --checkpoint=DIR  periodically persist a resumable campaign\n"
       "                    checkpoint to DIR (atomic write-rename; implies\n"
       "                    --fleet=1 if no fleet was requested)\n"
@@ -285,6 +312,35 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
         return false;
       }
       opts->metrics_out = value;
+    } else if (ParseFlag(argv[i], "--metrics-every", &value)) {
+      char* end = nullptr;
+      opts->metrics_every = std::strtod(value.c_str(), &end);
+      if (value.empty() || *end != '\0' || opts->metrics_every <= 0) {
+        std::fprintf(stderr, "--metrics-every must be a positive number\n");
+        return false;
+      }
+    } else if (ParseFlag(argv[i], "--trace-out", &value)) {
+      if (value.empty()) {
+        std::fprintf(stderr, "--trace-out needs a file\n");
+        return false;
+      }
+      opts->trace_out = value;
+    } else if (ParseFlag(argv[i], "--trace-sample", &value)) {
+      // Accept both "N" and "1/N" spellings of the sampling rate.
+      std::string n = value;
+      if (n.rfind("1/", 0) == 0) n = n.substr(2);
+      size_t parsed = 0;
+      if (!ParseSize(n, "--trace-sample", size_t{1} << 30, &parsed) ||
+          parsed == 0) {
+        std::fprintf(stderr, "--trace-sample must be N or 1/N, N >= 1\n");
+        return false;
+      }
+      opts->trace_sample = parsed;
+    } else if (ParseFlag(argv[i], "--status-port", &value)) {
+      size_t port = 0;
+      if (!ParseSize(value, "--status-port", 65535, &port)) return false;
+      opts->status_port_set = true;
+      opts->status_port = static_cast<uint16_t>(port);
     } else if (ParseFlag(argv[i], "--checkpoint", &value)) {
       if (value.empty()) {
         std::fprintf(stderr, "--checkpoint needs a directory\n");
@@ -418,6 +474,7 @@ int RunWorkerMode(const Options& opts) {
   worker.duration_seconds = opts.worker_duration;
   worker.corpus_dir = opts.corpus_dir;
   worker.cov_interval_seconds = opts.worker_cov_interval;
+  worker.trace_sample = opts.trace_sample;
   // Resume state: "dialect:slice:completed,..." from the coordinator.
   const std::string& spec = opts.worker_completed;
   size_t start = 0;
@@ -691,6 +748,21 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--curve-out requires --duration\n");
     return 2;
   }
+  if (opts.status_port_set && !opts.serve) {
+    std::fprintf(stderr, "--status-port requires --serve\n");
+    return 2;
+  }
+  if (opts.metrics_every > 0 && opts.metrics_out.empty()) {
+    std::fprintf(stderr, "--metrics-every requires --metrics-out\n");
+    return 2;
+  }
+
+  // Arm the flight recorder for this process. Strictly passive: no RNG
+  // draws, bounded per-thread rings, stdout bug-set lines byte-identical
+  // with tracing on or off (CI diffs them).
+  if (!opts.trace_out.empty()) {
+    obs::TraceRecorder::Instance().Enable(opts.trace_sample);
+  }
 
   const size_t fleet_processes = opts.fleet;
   std::printf("spatter: %s engine (%s), seed %llu, %s, N=%zu, "
@@ -764,6 +836,13 @@ int main(int argc, char** argv) {
     config.resume = resume_state;
     config.port = opts.serve_port;
     config.cross_dialect_transfer = opts.transfer;
+    config.serve_status = opts.status_port_set;
+    config.status_port = opts.status_port;
+    // Flight dumps live next to the in-flight reproducers' home.
+    config.flight_dir =
+        opts.corpus_dir.empty() ? "spatter-crashes" : opts.corpus_dir;
+    config.metrics_out = opts.metrics_out;
+    config.metrics_interval_seconds = opts.metrics_every;
     server = std::make_unique<net::FleetServer>(config);
     const Status st = server->Start();
     if (!st.ok()) {
@@ -774,7 +853,10 @@ int main(int argc, char** argv) {
                 "assignment)\n",
                 server->port(), config.total_slices,
                 config.slices_per_assign);
-    std::fflush(stdout);  // scripts scrape the port before workers join
+    if (server->status_port() != 0) {
+      std::printf("status: listening on port %u\n", server->status_port());
+    }
+    std::fflush(stdout);  // scripts scrape the ports before workers join
     result = server->Run();
     merged_corpus = server->merged_corpus();
     total_shards = config.total_slices * (opts.all_dialects ? 4 : 1);
@@ -823,6 +905,8 @@ int main(int argc, char** argv) {
     config.duration_seconds = opts.duration;
     config.status_interval_seconds = opts.status_interval;
     config.metrics_out = opts.metrics_out;
+    config.metrics_interval_seconds = opts.metrics_every;
+    config.trace_sample = opts.trace_sample;
     config.corpus_dir = opts.corpus_dir;
     config.checkpoint_dir = opts.checkpoint_dir;
     if (opts.checkpoint_every > 0) {
@@ -880,6 +964,34 @@ int main(int argc, char** argv) {
       config.seed_corpus = loader.Entries();
     }
     campaign = std::make_unique<runtime::ShardedCampaign>(config);
+    // --metrics-every for the in-process path: the fleet and serve tiers
+    // rewrite from their supervision loops; here a flusher thread samples
+    // the process-global registry (reads only — strictly passive).
+    std::atomic<bool> metrics_stop{false};
+    std::thread metrics_flusher;
+    if (!opts.metrics_out.empty() && opts.metrics_every > 0) {
+      const double flush_t0 = fuzz::Campaign::NowSeconds();
+      metrics_flusher = std::thread([&opts, &metrics_stop, &curve_info,
+                                     flush_t0] {
+        double last = flush_t0;
+        while (!metrics_stop.load(std::memory_order_relaxed)) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(50));
+          const double now = fuzz::Campaign::NowSeconds();
+          if (now - last < opts.metrics_every) continue;
+          last = now;
+          obs::MetricsJsonInfo info;
+          info.label = curve_info.label;
+          info.seed = opts.seed;
+          info.fleet = 1;
+          info.jobs = opts.jobs;
+          info.elapsed_seconds = now - flush_t0;
+          (void)AtomicWriteFile(
+              opts.metrics_out,
+              obs::MetricsToJson(obs::MetricsRegistry::Instance().Snapshot(),
+                                 info));
+        }
+      });
+    }
     if (opts.duration > 0) {
       auto& registry = CoverageRegistry::Instance();
       result = campaign->RunForDuration(
@@ -891,6 +1003,10 @@ int main(int argc, char** argv) {
           });
     } else {
       result = campaign->Run();
+    }
+    if (metrics_flusher.joinable()) {
+      metrics_stop.store(true, std::memory_order_relaxed);
+      metrics_flusher.join();
     }
     merged_corpus = campaign->merged_corpus();
     total_shards =
@@ -924,6 +1040,18 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "metrics: %s\n", st.ToString().c_str());
     } else {
       std::printf("metrics: written to %s\n", opts.metrics_out.c_str());
+    }
+  }
+
+  // Flight-recorder dump of this process's ring (the coordinator's own
+  // events in fleet mode; every iteration's sampled events in-process).
+  if (!opts.trace_out.empty()) {
+    const Status st = obs::WriteTraceFile(
+        opts.trace_out, obs::TraceRecorder::Instance().Snapshot());
+    if (!st.ok()) {
+      std::fprintf(stderr, "trace: %s\n", st.ToString().c_str());
+    } else {
+      std::printf("trace: written to %s\n", opts.trace_out.c_str());
     }
   }
 

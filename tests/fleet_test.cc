@@ -9,10 +9,12 @@
 #include <signal.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <set>
 #include <string>
 #include <thread>
@@ -27,6 +29,7 @@
 #include "fuzz/campaign.h"
 #include "fuzz/minify.h"
 #include "fuzz/transfer.h"
+#include "obs/trace.h"
 #include "runtime/sharded_campaign.h"
 
 namespace spatter::fleet {
@@ -537,11 +540,18 @@ TEST(FleetCoordinator, ScriptedCrashPersistsInflightAndResumes) {
   EXPECT_EQ(result.iterations_run, 2u);
 
   // The in-flight case was persisted and reconstructs iteration 0's
-  // database exactly.
+  // database exactly. The flight recorder rides along: the same crash
+  // leaves a structured trace of the in-flight iteration next to the
+  // reproducer.
   EXPECT_EQ(coordinator.crash_reproducers_persisted(), 1u);
   std::vector<fs::path> repros;
+  std::vector<fs::path> flights;
   for (const auto& item : fs::directory_iterator(repro_dir)) {
-    repros.push_back(item.path());
+    if (item.path().extension() == ".sptc") {
+      repros.push_back(item.path());
+    } else {
+      flights.push_back(item.path());
+    }
   }
   ASSERT_EQ(repros.size(), 1u);
   std::ifstream in(repros[0], std::ios::binary);
@@ -554,6 +564,24 @@ TEST(FleetCoordinator, ScriptedCrashPersistsInflightAndResumes) {
   EXPECT_EQ(
       decoded.value().sdb.ToSql(),
       Campaign::GenerateDatabaseFor(config.base, /*iteration=*/0).ToSql());
+
+  // The worker died by exit(1), never sending a TRACE frame, so the dump
+  // is synthesized — and must still be a valid spatter-trace-v1 document
+  // whose events all belong to the crashed iteration.
+  ASSERT_EQ(flights.size(), 1u);
+  const std::string flight_name = flights[0].filename().string();
+  EXPECT_NE(flight_name.find("flight-w0-"), std::string::npos) << flight_name;
+  EXPECT_NE(flight_name.find("-i0.trace.jsonl"), std::string::npos)
+      << flight_name;
+  std::ifstream fin(flights[0], std::ios::binary);
+  const std::string text((std::istreambuf_iterator<char>(fin)),
+                         std::istreambuf_iterator<char>());
+  auto trace = obs::TraceSnapshot::DecodeJsonl(text);
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  EXPECT_FALSE(trace.value().events.empty());
+  for (const obs::TraceEvent& ev : trace.value().events) {
+    EXPECT_EQ(ev.iteration, 0u);
+  }
   fs::remove_all(repro_dir);
 }
 
@@ -592,9 +620,14 @@ TEST(FleetCoordinator, FinishedSlicesAreNotPersistedAsInflight) {
   for (const auto& item : fs::directory_iterator(repro_dir)) {
     files.push_back(item.path().filename().string());
   }
-  ASSERT_EQ(files.size(), 1u);
-  EXPECT_NE(files[0].find("i1.sptc"), std::string::npos)
-      << "persisted " << files[0] << ", want slice 1's iteration 1";
+  // Exactly one reproducer plus its flight trace — nothing for the
+  // cleanly finished slice 0.
+  ASSERT_EQ(files.size(), 2u);
+  std::sort(files.begin(), files.end());  // "flight-..." < "inflight-..."
+  EXPECT_NE(files[0].find("-i1.trace.jsonl"), std::string::npos)
+      << "persisted " << files[0] << ", want slice 1's flight trace";
+  EXPECT_NE(files[1].find("i1.sptc"), std::string::npos)
+      << "persisted " << files[1] << ", want slice 1's iteration 1";
   fs::remove_all(repro_dir);
 }
 

@@ -1,10 +1,12 @@
 // Socket fleet tests: the TCP transport (FrameChannel reassembly under
 // arbitrary byte splits, garbage/oversize resync, handshake reads that
-// never over-read), the NETHELLO version gate, and the elastic-membership
-// pin — a two-remote-worker socket campaign with one worker SIGKILLed
-// mid-assignment must report the identical unique-bug set (and per-oracle
-// attribution) as an uninterrupted in-process fleet run over the same
-// slice universe.
+// never over-read), the NETHELLO version gate, the read-only status
+// endpoint, and the elastic-membership pin — a two-remote-worker socket
+// campaign with one worker SIGKILLed mid-assignment must report the
+// identical unique-bug set (and per-oracle attribution) as an
+// uninterrupted in-process fleet run over the same slice universe, and
+// must leave a flight-recorder dump of the dead worker's in-flight
+// iteration.
 #include <gtest/gtest.h>
 
 #include <poll.h>
@@ -13,6 +15,9 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <set>
 #include <string>
 #include <thread>
@@ -24,6 +29,7 @@
 #include "net/fleet_client.h"
 #include "net/fleet_server.h"
 #include "net/socket.h"
+#include "obs/trace.h"
 
 namespace spatter::net {
 namespace {
@@ -155,6 +161,20 @@ std::vector<Frame> EveryFrameType() {
   tune.type = FrameType::kTune;
   tune.mutate_pct = 85;
   frames.push_back(tune);
+
+  Frame trace;
+  trace.type = FrameType::kTrace;
+  trace.elapsed = 3.5;
+  trace.trace.dropped = 2;
+  obs::TraceEvent ev;
+  ev.t_us = 42;
+  ev.thread = 1;
+  ev.iteration = 7;
+  ev.value = 11;
+  ev.name = "iter.begin";
+  ev.detail = "with \"quotes\" and\ttabs";
+  trace.trace.events.push_back(ev);
+  frames.push_back(trace);
 
   return frames;
 }
@@ -366,6 +386,94 @@ TEST(ReadOneFrame, SkipsMalformedLinesAndReportsEof) {
   EXPECT_FALSE(eof.ok());
 }
 
+TEST(FrameCodec, RejectsTraceFramesWithInvalidEmbeddedDocuments) {
+  // The payload hex-decodes but is not a spatter-trace-v1 document; the
+  // frame must be rejected whole, like a corrupt STATS frame.
+  const std::string bogus = "626f6775730a";  // hex("bogus\n")
+  EXPECT_FALSE(DecodeFrame("SPTW1 TRACE 1.0 " + bogus).ok());
+  // Truncated hex (odd digit count) is rejected at the hex layer.
+  EXPECT_FALSE(DecodeFrame("SPTW1 TRACE 1.0 626").ok());
+}
+
+// --- Status endpoint --------------------------------------------------------
+
+/// One blocking-ish HTTP/1.0 exchange against the status endpoint: send
+/// the request, drain until the server closes (Connection: close).
+std::string HttpGet(uint16_t port, const std::string& request) {
+  auto fd = ConnectWithRetry("127.0.0.1", port, 5.0);
+  EXPECT_TRUE(fd.ok()) << fd.status().ToString();
+  if (!fd.ok()) return "";
+  WriteChunked(fd.value(), request, request.size());
+  std::string response;
+  char buf[4096];
+  for (int i = 0; i < 1000; ++i) {
+    struct pollfd pfd = {fd.value(), POLLIN, 0};
+    ::poll(&pfd, 1, 10);
+    const ssize_t n = ::read(fd.value(), buf, sizeof(buf));
+    if (n > 0) {
+      response.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) break;  // server closed: response complete
+    if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) break;
+  }
+  ::close(fd.value());
+  return response;
+}
+
+TEST(FleetServer, StatusEndpointAnswersMidCampaign) {
+  FleetServerConfig config;
+  config.base = SmallConfig(/*seed=*/555, /*iterations=*/4);
+  config.total_slices = 2;
+  config.slices_per_assign = 2;
+  config.serve_status = true;
+  config.status_port = 0;  // kernel-picked
+  FleetServer server(config);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_NE(server.status_port(), 0);
+  ASSERT_NE(server.status_port(), server.port());
+
+  std::thread serve([&server] { server.Run(); });
+
+  // No worker has connected yet, so the campaign is parked mid-flight in
+  // the accept loop — exactly when an operator would poke the endpoint.
+  const std::string metrics =
+      HttpGet(server.status_port(), "GET /metrics HTTP/1.0\r\n\r\n");
+  EXPECT_NE(metrics.find("HTTP/1.0 200 OK"), std::string::npos) << metrics;
+  EXPECT_NE(metrics.find("Content-Type: application/json"), std::string::npos);
+  EXPECT_NE(metrics.find("\"schema\": \"spatter-metrics-v1\""),
+            std::string::npos)
+      << metrics;
+
+  const std::string fleet =
+      HttpGet(server.status_port(), "GET /fleet HTTP/1.0\r\n\r\n");
+  EXPECT_NE(fleet.find("HTTP/1.0 200 OK"), std::string::npos) << fleet;
+  EXPECT_NE(fleet.find("\"schema\":\"spatter-fleet-v1\""), std::string::npos);
+  EXPECT_NE(fleet.find("\"workers\":["), std::string::npos);
+
+  const std::string bugs =
+      HttpGet(server.status_port(), "GET /bugs HTTP/1.0\r\n\r\n");
+  EXPECT_NE(bugs.find("HTTP/1.0 200 OK"), std::string::npos) << bugs;
+  EXPECT_NE(bugs.find("\"schema\":\"spatter-bugs-v1\""), std::string::npos);
+
+  const std::string missing =
+      HttpGet(server.status_port(), "GET /nope HTTP/1.0\r\n\r\n");
+  EXPECT_NE(missing.find("HTTP/1.0 404 Not Found"), std::string::npos);
+
+  const std::string post =
+      HttpGet(server.status_port(), "POST /metrics HTTP/1.0\r\n\r\n");
+  EXPECT_NE(post.find("HTTP/1.0 405"), std::string::npos);
+
+  // Now let a worker drain the campaign so Run() returns.
+  FleetClientConfig client;
+  client.port = server.port();
+  client.connect_retry_seconds = 2.0;
+  std::thread worker([&client] { EXPECT_EQ(RunFleetClient(client), 0); });
+  serve.join();
+  worker.join();
+  EXPECT_GE(server.status_requests_served(), 5u);
+}
+
 // --- Version gate -----------------------------------------------------------
 
 TEST(FleetServer, ByesVersionSkewedClientsAndFinishesWithGoodOnes) {
@@ -426,6 +534,10 @@ TEST(FleetServer, SigkilledWorkerReassignedWithoutChangingTheBugSet) {
   config.base = base;
   config.total_slices = 4;
   config.slices_per_assign = 2;
+  // A SIGKILLed worker never sends its TRACE ring, so the server must
+  // synthesize the in-flight iteration's trace and persist it here.
+  config.flight_dir = ::testing::TempDir() + "/net_flight_dump";
+  std::filesystem::remove_all(config.flight_dir);
   FleetServer server(config);
   ASSERT_TRUE(server.Start().ok());
   const uint16_t port = server.port();
@@ -469,6 +581,28 @@ TEST(FleetServer, SigkilledWorkerReassignedWithoutChangingTheBugSet) {
   EXPECT_GE(server.disconnects(), 1u);
   EXPECT_GE(server.reassigned_slices(), 1u);
   EXPECT_EQ(server.protocol_errors(), 0u);
+
+  // Crash forensics: the dead worker left a flight-recorder dump, and it
+  // decodes as a valid spatter-trace-v1 document with events tagged to
+  // the in-flight iteration.
+  std::vector<std::string> dumps;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(config.flight_dir)) {
+    dumps.push_back(entry.path().string());
+  }
+  ASSERT_FALSE(dumps.empty()) << "no flight record in " << config.flight_dir;
+  EXPECT_NE(dumps[0].find("flight-w"), std::string::npos);
+  EXPECT_NE(dumps[0].find(".trace.jsonl"), std::string::npos);
+  std::ifstream in(dumps[0], std::ios::binary);
+  ASSERT_TRUE(in.good());
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  auto decoded = obs::TraceSnapshot::DecodeJsonl(text);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_FALSE(decoded.value().events.empty());
+  for (const obs::TraceEvent& ev : decoded.value().events) {
+    EXPECT_EQ(ev.iteration, decoded.value().events[0].iteration);
+  }
 }
 
 }  // namespace

@@ -1,14 +1,19 @@
 // Tests for the telemetry core: concurrent counter/histogram correctness,
-// quantile extraction, snapshot merge associativity, and the strict
-// spatter-metrics-text-v1 codec.
+// quantile extraction, snapshot merge associativity, the strict
+// spatter-metrics-text-v1 codec, and the flight-recorder trace ring with
+// its spatter-trace-v1 JSONL codec.
 #include "obs/metrics.h"
 
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <fstream>
+#include <iterator>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "obs/trace.h"
 
 namespace spatter::obs {
 namespace {
@@ -326,6 +331,255 @@ TEST(JsonTest, EmitsSchemaAndSections) {
   EXPECT_NE(json.find("[10, 3]"), std::string::npos);
   // Deterministic rendering: same snapshot renders the same bytes.
   EXPECT_EQ(json, MetricsToJson(s, info));
+}
+
+// --- Flight-recorder trace ring + spatter-trace-v1 codec -------------------
+
+TraceSnapshot TwoEventSnapshot() {
+  TraceSnapshot s;
+  s.dropped = 7;
+  TraceEvent a;
+  a.t_us = 12;
+  a.thread = 0;
+  a.iteration = 3;
+  a.value = 9;
+  a.name = "iter.begin";
+  TraceEvent b;
+  b.t_us = 15;
+  b.thread = 2;
+  b.iteration = 3;
+  b.value = 0;
+  b.name = "oracle.verdict";
+  b.detail = "aei \"quoted\" back\\slash ctl\x01";
+  s.events = {a, b};
+  return s;
+}
+
+TEST(TraceCodecTest, RoundTripPreservesEventsAndEscapes) {
+  const TraceSnapshot s = TwoEventSnapshot();
+  const std::string text = s.EncodeJsonl();
+  Result<TraceSnapshot> back = TraceSnapshot::DecodeJsonl(text);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.value().EncodeJsonl(), text);
+  ASSERT_EQ(back.value().events.size(), 2u);
+  EXPECT_EQ(back.value().dropped, 7u);
+  EXPECT_EQ(back.value().events[0].name, "iter.begin");
+  EXPECT_EQ(back.value().events[0].iteration, 3u);
+  EXPECT_EQ(back.value().events[1].thread, 2u);
+  EXPECT_EQ(back.value().events[1].detail,
+            "aei \"quoted\" back\\slash ctl\x01");
+}
+
+TEST(TraceCodecTest, EmptySnapshotRoundTrips) {
+  const std::string text = TraceSnapshot{}.EncodeJsonl();
+  Result<TraceSnapshot> back = TraceSnapshot::DecodeJsonl(text);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(back.value().empty());
+}
+
+TEST(TraceCodecTest, RejectsTruncationAtEveryByte) {
+  const std::string good = TwoEventSnapshot().EncodeJsonl();
+  ASSERT_TRUE(TraceSnapshot::DecodeJsonl(good).ok());
+  // Dropping ANY suffix must fail: a cut mid-line loses the trailing
+  // newline, a cut on a line boundary loses declared events.
+  for (size_t cut = 0; cut < good.size(); ++cut) {
+    EXPECT_FALSE(TraceSnapshot::DecodeJsonl(good.substr(0, cut)).ok())
+        << "accepted truncation at " << cut;
+  }
+}
+
+TEST(TraceCodecTest, RejectsCorruption) {
+  const std::string header =
+      "{\"schema\":\"spatter-trace-v1\",\"events\":0,\"dropped\":0}\n";
+  ASSERT_TRUE(TraceSnapshot::DecodeJsonl(header).ok());
+  // Schema skew.
+  EXPECT_FALSE(
+      TraceSnapshot::DecodeJsonl(
+          "{\"schema\":\"spatter-trace-v2\",\"events\":0,\"dropped\":0}\n")
+          .ok());
+  // More event lines than the header declares.
+  EXPECT_FALSE(
+      TraceSnapshot::DecodeJsonl(
+          header +
+          "{\"t_us\":1,\"thread\":0,\"iter\":0,\"name\":\"x\","
+          "\"value\":0,\"detail\":\"\"}\n")
+          .ok());
+  const std::string header1 =
+      "{\"schema\":\"spatter-trace-v1\",\"events\":1,\"dropped\":0}\n";
+  // Reordered keys.
+  EXPECT_FALSE(
+      TraceSnapshot::DecodeJsonl(
+          header1 +
+          "{\"thread\":0,\"t_us\":1,\"iter\":0,\"name\":\"x\","
+          "\"value\":0,\"detail\":\"\"}\n")
+          .ok());
+  // Unknown escape sequence.
+  EXPECT_FALSE(
+      TraceSnapshot::DecodeJsonl(
+          header1 +
+          "{\"t_us\":1,\"thread\":0,\"iter\":0,\"name\":\"\\x\","
+          "\"value\":0,\"detail\":\"\"}\n")
+          .ok());
+  // \u escape of a non-control character (the encoder never emits one).
+  EXPECT_FALSE(
+      TraceSnapshot::DecodeJsonl(
+          header1 +
+          "{\"t_us\":1,\"thread\":0,\"iter\":0,\"name\":\"\\u0041\","
+          "\"value\":0,\"detail\":\"\"}\n")
+          .ok());
+  // Negative / non-numeric value.
+  EXPECT_FALSE(
+      TraceSnapshot::DecodeJsonl(
+          header1 +
+          "{\"t_us\":-1,\"thread\":0,\"iter\":0,\"name\":\"x\","
+          "\"value\":0,\"detail\":\"\"}\n")
+          .ok());
+  // Trailing garbage after the closing brace.
+  EXPECT_FALSE(
+      TraceSnapshot::DecodeJsonl(
+          header1 +
+          "{\"t_us\":1,\"thread\":0,\"iter\":0,\"name\":\"x\","
+          "\"value\":0,\"detail\":\"\"} \n")
+          .ok());
+  EXPECT_FALSE(TraceSnapshot::DecodeJsonl("").ok());
+  EXPECT_FALSE(TraceSnapshot::DecodeJsonl("bogus\n").ok());
+}
+
+TEST(TraceRecorderTest, RingWraparoundKeepsLastKAndCountsDropped) {
+  TraceRecorder& rec = TraceRecorder::Instance();
+  rec.Reset();
+  rec.Enable(1);
+  const uint64_t total = TraceRecorder::kRingEvents + 50;
+  for (uint64_t i = 0; i < total; ++i) {
+    rec.Emit("wrap.ev", i);
+  }
+  const TraceSnapshot snap = rec.Snapshot();
+  rec.Disable();
+  rec.Reset();
+  ASSERT_EQ(snap.events.size(), TraceRecorder::kRingEvents);
+  EXPECT_EQ(snap.dropped, 50u);
+  // The ring holds exactly the LAST kRingEvents events, in order.
+  EXPECT_EQ(snap.events.front().value, 50u);
+  EXPECT_EQ(snap.events.back().value, total - 1);
+  for (size_t i = 1; i < snap.events.size(); ++i) {
+    EXPECT_GE(snap.events[i].t_us, snap.events[i - 1].t_us);
+  }
+}
+
+TEST(TraceRecorderTest, SamplingIsDeterministicOffTheIterationIndex) {
+  TraceRecorder& rec = TraceRecorder::Instance();
+  rec.Reset();
+  rec.Enable(4);
+  rec.BeginIteration(8);  // 8 % 4 == 0: sampled
+  rec.Emit("sampled.ev", 1);
+  rec.EndIteration();
+  rec.BeginIteration(9);  // unsampled: nothing in between records
+  rec.Emit("unsampled.ev", 2);
+  rec.EndIteration();
+  rec.Emit("outside.ev", 3);  // outside iterations always records
+  const TraceSnapshot snap = rec.Snapshot();
+  rec.Disable();
+  rec.Reset();
+  std::vector<std::string> names;
+  for (const TraceEvent& ev : snap.events) names.push_back(ev.name);
+  EXPECT_EQ(names, (std::vector<std::string>{"iter.begin", "sampled.ev",
+                                             "iter.end", "outside.ev"}));
+  ASSERT_EQ(snap.events.size(), 4u);
+  EXPECT_EQ(snap.events[1].iteration, 8u);
+  EXPECT_EQ(snap.events[3].iteration, 0u);
+}
+
+TEST(TraceRecorderTest, DisabledRecorderRecordsNothing) {
+  TraceRecorder& rec = TraceRecorder::Instance();
+  rec.Disable();
+  rec.Reset();
+  rec.Emit("nope", 1);
+  rec.BeginIteration(0);
+  rec.Emit("nope.inner", 2);
+  rec.EndIteration();
+  { ScopedTraceSpan span("nope.span"); }
+  EXPECT_TRUE(rec.Snapshot().empty());
+}
+
+TEST(TraceRecorderTest, ScopedSpanRecordsNameDetailAndElapsed) {
+  TraceRecorder& rec = TraceRecorder::Instance();
+  rec.Reset();
+  rec.Enable(1);
+  {
+    ScopedTraceSpan span("span.ev", "note");
+  }
+  const TraceSnapshot snap = rec.Snapshot();
+  rec.Disable();
+  rec.Reset();
+  ASSERT_EQ(snap.events.size(), 1u);
+  EXPECT_EQ(snap.events[0].name, "span.ev");
+  EXPECT_EQ(snap.events[0].detail, "note");
+}
+
+TEST(TraceRecorderTest, ResetDropsEverything) {
+  TraceRecorder& rec = TraceRecorder::Instance();
+  rec.Reset();
+  rec.Enable(1);
+  for (uint64_t i = 0; i < TraceRecorder::kRingEvents + 10; ++i) {
+    rec.Emit("reset.ev", i);
+  }
+  EXPECT_GT(rec.Snapshot().dropped, 0u);
+  rec.Reset();
+  EXPECT_TRUE(rec.Snapshot().empty());
+  rec.Disable();
+}
+
+TEST(TraceRecorderTest, LongNamesTruncateToSlotCapacity) {
+  TraceRecorder& rec = TraceRecorder::Instance();
+  rec.Reset();
+  rec.Enable(1);
+  const std::string long_name(100, 'n');
+  const std::string long_detail(100, 'd');
+  rec.Emit(long_name.c_str(), 0, long_detail.c_str());
+  const TraceSnapshot snap = rec.Snapshot();
+  rec.Disable();
+  rec.Reset();
+  ASSERT_EQ(snap.events.size(), 1u);
+  EXPECT_EQ(snap.events[0].name,
+            std::string(TraceRecorder::kNameBytes - 1, 'n'));
+  EXPECT_EQ(snap.events[0].detail,
+            std::string(TraceRecorder::kDetailBytes - 1, 'd'));
+}
+
+TEST(TraceRecorderTest, ConcurrentEmittersGetTheirOwnRings) {
+  TraceRecorder& rec = TraceRecorder::Instance();
+  rec.Reset();
+  rec.Enable(1);
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 64;  // below the ring size: no drops
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&rec] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        rec.Emit("mt.ev", i);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const TraceSnapshot snap = rec.Snapshot();
+  rec.Disable();
+  rec.Reset();
+  EXPECT_EQ(snap.events.size(), kThreads * kPerThread);
+  EXPECT_EQ(snap.dropped, 0u);
+}
+
+TEST(TraceFileTest, WriteTraceFileRoundTrips) {
+  const TraceSnapshot s = TwoEventSnapshot();
+  const std::string path =
+      ::testing::TempDir() + "/spatter_trace_roundtrip.jsonl";
+  ASSERT_TRUE(WriteTraceFile(path, s).ok());
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  Result<TraceSnapshot> back = TraceSnapshot::DecodeJsonl(text);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.value().EncodeJsonl(), s.EncodeJsonl());
 }
 
 }  // namespace
