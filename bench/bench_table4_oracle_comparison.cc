@@ -12,7 +12,9 @@
 //              "GEOS" layer, so shared bugs stay invisible — the paper's
 //              core motivation),
 //   Index    : index on/off differential (suite {index}),
-//   TLP      : ternary logic partitioning (suite {tlp}).
+//   TLP      : ternary logic partitioning (suite {tlp}),
+//   EET      : equivalent-expression transformations (suite {eet}) —
+//              single-engine variant comparison, no reference needed.
 // Differential mismatches with no fired confirmed-logic fault count as
 // false alarms (the "expected discrepancies" of §5.2).
 //
@@ -92,6 +94,7 @@ int main() {
   OracleScore diff_geos;   // the blind GEOS pair
   OracleScore index_oracle;
   OracleScore tlp;
+  OracleScore eet;
 
   for (const auto& [dialect, seed] : primaries) {
     RunCampaign(dialect, seed, fuzz::OracleKind::kAei, Dialect::kMysql,
@@ -104,6 +107,8 @@ int main() {
                 &index_oracle);
     RunCampaign(dialect, seed, fuzz::OracleKind::kTlp, Dialect::kMysql,
                 &tlp);
+    RunCampaign(dialect, seed, fuzz::OracleKind::kEet, Dialect::kMysql,
+                &eet);
   }
   // The GEOS pair, both directions (smaller budget: two campaigns).
   RunCampaign(Dialect::kPostgis, 3001, fuzz::OracleKind::kDifferential,
@@ -116,8 +121,8 @@ int main() {
               "oracle-suite campaigns, %zu x %zu checks per campaign)\n",
               kIterations, kQueries);
   Rule('=');
-  std::printf("%-10s | %4s | %6s | %6s | %6s | %4s\n", "component", "AEI",
-              "Diff X", "Diff G", "Index", "TLP");
+  std::printf("%-10s | %4s | %6s | %6s | %6s | %4s | %4s\n", "component",
+              "AEI", "Diff X", "Diff G", "Index", "TLP", "EET");
   Rule();
   auto count_by = [](const OracleScore& s, faults::Component c) {
     int n = 0;
@@ -126,26 +131,29 @@ int main() {
     }
     return n;
   };
-  int totals[5] = {0, 0, 0, 0, 0};
+  int totals[6] = {0, 0, 0, 0, 0, 0};
   for (faults::Component comp :
        {faults::Component::kGeos, faults::Component::kPostgis,
         faults::Component::kDuckdb, faults::Component::kMysql}) {
-    const int row[5] = {count_by(aei, comp), count_by(diff_cross, comp),
+    const int row[6] = {count_by(aei, comp),  count_by(diff_cross, comp),
                         count_by(diff_geos, comp),
-                        count_by(index_oracle, comp), count_by(tlp, comp)};
-    for (int i = 0; i < 5; ++i) totals[i] += row[i];
-    std::printf("%-10s | %4d | %6d | %6d | %6d | %4d\n",
+                        count_by(index_oracle, comp), count_by(tlp, comp),
+                        count_by(eet, comp)};
+    for (int i = 0; i < 6; ++i) totals[i] += row[i];
+    std::printf("%-10s | %4d | %6d | %6d | %6d | %4d | %4d\n",
                 faults::ComponentName(comp), row[0], row[1], row[2], row[3],
-                row[4]);
+                row[4], row[5]);
   }
   Rule();
-  std::printf("%-10s | %4d | %6d | %6d | %6d | %4d\n", "Sum", totals[0],
-              totals[1], totals[2], totals[3], totals[4]);
+  std::printf("%-10s | %4d | %6d | %6d | %6d | %4d | %4d\n", "Sum",
+              totals[0], totals[1], totals[2], totals[3], totals[4],
+              totals[5]);
 
   int only_aei = 0;
   for (auto id : aei.logic_bugs) {
     if (!diff_cross.logic_bugs.count(id) && !diff_geos.logic_bugs.count(id) &&
-        !index_oracle.logic_bugs.count(id) && !tlp.logic_bugs.count(id)) {
+        !index_oracle.logic_bugs.count(id) && !tlp.logic_bugs.count(id) &&
+        !eet.logic_bugs.count(id)) {
       only_aei++;
     }
   }
@@ -165,7 +173,8 @@ int main() {
   } baselines[] = {{"Diff X", &diff_cross},
                    {"Diff G", &diff_geos},
                    {"Index", &index_oracle},
-                   {"TLP", &tlp}};
+                   {"TLP", &tlp},
+                   {"EET", &eet}};
   for (const auto& b : baselines) {
     if (aei.logic_bugs.size() < b.score->logic_bugs.size()) {
       std::printf("GATE FAIL: AEI found %zu confirmed logic bugs < %s's "
@@ -175,9 +184,10 @@ int main() {
     }
   }
   std::printf("%s: AEI %zu >= baselines (Diff X %zu, Diff G %zu, Index "
-              "%zu, TLP %zu)\n",
+              "%zu, TLP %zu, EET %zu)\n",
               ok ? "GATE OK" : "GATE FAIL", aei.logic_bugs.size(),
               diff_cross.logic_bugs.size(), diff_geos.logic_bugs.size(),
-              index_oracle.logic_bugs.size(), tlp.logic_bugs.size());
+              index_oracle.logic_bugs.size(), tlp.logic_bugs.size(),
+              eet.logic_bugs.size());
   return ok ? 0 : 1;
 }

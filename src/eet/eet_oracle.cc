@@ -1,0 +1,107 @@
+#include "eet/eet_oracle.h"
+
+#include <string>
+
+#include "common/coverage.h"
+#include "eet/transform.h"
+#include "fuzz/oracles.h"
+#include "obs/metrics.h"
+#include "sql/parser.h"
+
+namespace spatter::eet {
+
+namespace {
+
+// Data-aware ST_DWithin bound for the distance-contradiction variant,
+// computed from the raw WKT rows of the two joined tables. Any value is
+// sound (the guard only appears inside `C AND NOT C`); this one makes the
+// guard TRUE on every comparable pair so both truth values get exercised.
+double BoundFor(const fuzz::DatabaseSpec& sdb, const fuzz::QuerySpec& query) {
+  const std::vector<std::string>* rows1 = nullptr;
+  const std::vector<std::string>* rows2 = nullptr;
+  for (const auto& table : sdb.tables) {
+    if (table.name == query.table1) rows1 = &table.rows;
+    if (table.name == query.table2) rows2 = &table.rows;
+  }
+  static const std::vector<std::string> kEmpty;
+  return DistanceBoundFor(rows1 ? *rows1 : kEmpty, rows2 ? *rows2 : kEmpty);
+}
+
+}  // namespace
+
+fuzz::OracleOutcome EetOracle::Check(engine::Engine* engine,
+                                     const fuzz::DatabaseSpec& sdb1,
+                                     const fuzz::QuerySpec& query,
+                                     const fuzz::OracleCtx& ctx) {
+  SPATTER_COV("oracle", "eet_check");
+  fuzz::OracleOutcome out;
+  engine->fault_state().ClearHits();
+
+  if (!fuzz::LoadDatabase(engine, sdb1, nullptr).ok()) {
+    out.applicable = false;
+    return out;
+  }
+  auto parsed = sql::ParseStatement(query.ToSql());
+  if (!parsed.ok()) {
+    out.applicable = false;
+    return out;
+  }
+  const sql::Statement& stmt = *parsed.value();
+
+  auto base = engine->Execute(stmt);
+  if (!base.ok()) {
+    if (base.status().code() == StatusCode::kCrash) {
+      out.crash = true;
+      out.detail = base.status().ToString();
+      out.fault_hits = engine->fault_state().TakeHits();
+    } else {
+      out.applicable = false;
+    }
+    return out;
+  }
+  const int64_t base_count = base.value().count;
+
+  const double distance_bound = BoundFor(sdb1, query);
+  for (int j = 0; j < kNumEetTransforms; ++j) {
+    const auto id = static_cast<TransformId>(j);
+    if (!TransformAppliesTo(id, engine->dialect())) continue;
+    // Budget sampling over the variant loop: a pure function of the global
+    // query ordinal and the variant index, so every shard of any P x J
+    // factorization makes the same decision, and unbudgeted replay or
+    // reduction (budget 0) re-runs every variant.
+    if (budget_ >= 2 &&
+        (ctx.query_ordinal + static_cast<uint64_t>(j)) % budget_ != 0) {
+      obs::MetricsRegistry::Instance()
+          .GetCounter("oracle.eet.variant_budget_skipped")
+          ->Add();
+      continue;
+    }
+    sql::StatementPtr variant = ApplyTransform(id, stmt, distance_bound);
+    if (!variant) continue;
+    auto r = engine->Execute(*variant);
+    if (!r.ok()) {
+      if (r.status().code() == StatusCode::kCrash) {
+        out.crash = true;
+        out.detail = std::string(TransformName(id)) + ": " +
+                     r.status().ToString();
+        out.fault_hits = engine->fault_state().TakeHits();
+        return out;
+      }
+      // A rewrite can surface a capability the dialect lacks only at
+      // evaluation time; skipping keeps the oracle free of false alarms.
+      continue;
+    }
+    if (r.value().count != base_count) {
+      out.mismatch = true;
+      out.detail = std::string(TransformName(id)) + ": base {" +
+                   std::to_string(base_count) + "} vs variant {" +
+                   std::to_string(r.value().count) + "}";
+      SPATTER_COV("oracle", "eet_mismatch");
+      break;
+    }
+  }
+  out.fault_hits = engine->fault_state().TakeHits();
+  return out;
+}
+
+}  // namespace spatter::eet

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <ctime>
+#include <optional>
 
 #include "common/coverage.h"
 #include "common/strings.h"
@@ -503,6 +504,50 @@ Result<Value> Engine::Eval(const sql::Expr& expr, const Bindings& bindings) {
       }
       return Value::Bool(inner.value().is_null());
     }
+    case sql::Expr::Kind::kAnd:
+    case sql::Expr::Kind::kOr: {
+      // Kleene three-valued AND/OR. Both operands are evaluated (no
+      // short-circuit) so missing functions/operators still fail the whole
+      // statement; a per-operand semantic error reads as UNKNOWN, matching
+      // the join loop's per-pair convention.
+      auto operand =
+          [&](const sql::Expr& e) -> Result<std::optional<bool>> {
+        auto v = Eval(e, bindings);
+        if (!v.ok()) {
+          const StatusCode code = v.status().code();
+          if (code == StatusCode::kCrash ||
+              code == StatusCode::kUnsupported ||
+              code == StatusCode::kNotFound) {
+            return v.status();
+          }
+          return std::optional<bool>();
+        }
+        if (v.value().is_null()) return std::optional<bool>();
+        if (v.value().kind() != Value::Kind::kBool) {
+          return Status::InvalidArgument("AND/OR expects booleans");
+        }
+        return std::optional<bool>(v.value().bool_value());
+      };
+      SPATTER_ASSIGN_OR_RETURN(std::optional<bool> a, operand(*expr.args[0]));
+      SPATTER_ASSIGN_OR_RETURN(std::optional<bool> b, operand(*expr.args[1]));
+      std::optional<bool> out;
+      if (expr.kind == sql::Expr::Kind::kAnd) {
+        if ((a && !*a) || (b && !*b)) out = false;
+        else if (a && b) out = true;
+      } else {
+        if ((a && *a) || (b && *b)) out = true;
+        else if (a && b) out = false;
+      }
+      if (out && faults_.IsEnabled(FaultId::kInjectedConjunctionSignFlip)) {
+        // Injected bug (EET recall gate): the AND/OR evaluator flips every
+        // two-valued result. Only EET-rewritten predicates contain AND/OR,
+        // so only the EET oracle can observe the flip.
+        faults_.Fire(FaultId::kInjectedConjunctionSignFlip);
+        out = !*out;
+      }
+      if (!out) return Value::Null();
+      return Value::Bool(*out);
+    }
   }
   return Status::Internal("unhandled expression kind");
 }
@@ -630,6 +675,26 @@ Result<ExecResult> Engine::ExecSelectCountJoin(const sql::Statement& stmt) {
 
   int64_t count = 0;
   for (const Row& row1 : t1->rows) {
+    // Derived-table filter on the outer side (the EET push-through-subquery
+    // form): rows whose filter does not evaluate TRUE never reach the pair
+    // loop; filter errors follow the per-pair convention below.
+    if (stmt.filter1) {
+      Bindings filter_bindings;
+      filter_bindings[stmt.table] = Binding{t1, &row1};
+      auto fv = Eval(*stmt.filter1, filter_bindings);
+      if (!fv.ok()) {
+        const StatusCode code = fv.status().code();
+        if (code == StatusCode::kCrash || code == StatusCode::kUnsupported ||
+            code == StatusCode::kNotFound) {
+          return fv.status();
+        }
+        continue;
+      }
+      if (fv.value().kind() != Value::Kind::kBool ||
+          !fv.value().bool_value()) {
+        continue;
+      }
+    }
     std::unique_ptr<relate::PreparedGeometry> prepared;
     std::shared_ptr<const Geometry> outer_geom;
     if ((prepared_path || index_path) && t1->geometry_column >= 0) {
@@ -656,6 +721,13 @@ Result<ExecResult> Engine::ExecSelectCountJoin(const sql::Statement& stmt) {
           candidates.push_back(r);
         }
       }
+      if (candidates.size() > 1 &&
+          faults_.IsEnabled(FaultId::kInjectedIndexScanShortcut)) {
+        // Injected bug (recall gate): the index scan returns only its
+        // first hit, silently dropping every later candidate.
+        faults_.Fire(FaultId::kInjectedIndexScanShortcut);
+        candidates.resize(1);
+      }
     } else {
       candidates.resize(t2->rows.size());
       for (size_t r = 0; r < candidates.size(); ++r) candidates[r] = r;
@@ -665,6 +737,7 @@ Result<ExecResult> Engine::ExecSelectCountJoin(const sql::Statement& stmt) {
     // land in engine.prepared, everything else in engine.relate.
     obs::ScopedTimer eval_timer(prepared ? prepared_hist : relate_hist,
                                 obs::ScopedTimer::Clock::kThreadCpu);
+    bool prev_matched = false;
     for (size_t r : candidates) {
       const Row& row2 = t2->rows[r];
       stats_.pairs_evaluated++;
@@ -698,10 +771,22 @@ Result<ExecResult> Engine::ExecSelectCountJoin(const sql::Statement& stmt) {
             code == StatusCode::kNotFound) {
           return v.status();
         }
+        prev_matched = false;
         continue;
       }
       if (v.value().kind() == Value::Kind::kBool && v.value().bool_value()) {
+        if (prev_matched &&
+            faults_.IsEnabled(FaultId::kInjectedJoinDedupDrop)) {
+          // Injected bug (recall gate): a bogus dedup pass drops the
+          // second of two consecutive matching candidates.
+          faults_.Fire(FaultId::kInjectedJoinDedupDrop);
+          prev_matched = false;
+          continue;
+        }
         count++;
+        prev_matched = true;
+      } else {
+        prev_matched = false;
       }
     }
   }

@@ -14,6 +14,8 @@ const char* ComponentName(Component c) {
       return "MySQL";
     case Component::kSqlserver:
       return "SQL Server";
+    case Component::kInjected:
+      return "Injected";
   }
   return "Unknown";
 }
@@ -190,6 +192,25 @@ const std::vector<FaultInfo>& FaultCatalog() {
        "sqlserver_crash_nested_collection", Component::kSqlserver,
        BugKind::kCrash, BugStatus::kUnconfirmed,
        "nested collection inputs abort the relate engine"},
+      // --- Injected (ground-truth recall corpus; no paper counterpart) -----
+      // These model no reported bug: they are seeded defects of known class
+      // for LAVA-style oracle recall gating. Component::kInjected keeps them
+      // out of every dialect's default fault set — they fire only when a
+      // test enables them explicitly on an engine's FaultState.
+      {FaultId::kInjectedConjunctionSignFlip,
+       "injected_conjunction_sign_flip", Component::kInjected,
+       BugKind::kLogic, BugStatus::kConfirmed,
+       "AND/OR evaluation flips every two-valued result; reachable only "
+       "through EET-rewritten predicates (no generated query contains "
+       "AND/OR), so exactly the EET oracle can observe it"},
+      {FaultId::kInjectedIndexScanShortcut, "injected_index_scan_shortcut",
+       Component::kInjected, BugKind::kLogic, BugStatus::kConfirmed,
+       "the GiST candidate scan stops after its first admitted row, "
+       "dropping all later candidates (index on/off divergence)"},
+      {FaultId::kInjectedJoinDedupDrop, "injected_join_dedup_drop",
+       Component::kInjected, BugKind::kLogic, BugStatus::kConfirmed,
+       "the join counting loop drops the second of two consecutive "
+       "matching candidates (partition-sum divergence)"},
   };
   return kCatalog;
 }

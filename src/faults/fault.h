@@ -27,8 +27,12 @@
 namespace spatter::faults {
 
 /// Component the bug lives in. GEOS faults affect every dialect that links
-/// the shared library (PostGIS-sim and DuckDB-sim).
-enum class Component { kGeos, kPostgis, kDuckdb, kMysql, kSqlserver };
+/// the shared library (PostGIS-sim and DuckDB-sim). kInjected faults model
+/// no paper bug: they are the LAVA-style ground-truth corpus for oracle
+/// recall gating, belong to no dialect's default fault set, and only fire
+/// when a test enables them explicitly.
+enum class Component { kGeos, kPostgis, kDuckdb, kMysql, kSqlserver,
+                       kInjected };
 
 const char* ComponentName(Component c);
 
@@ -82,6 +86,10 @@ enum class FaultId : uint32_t {
   // --- SQL Server -----------------------------------------------------------
   kSqlserverDisjointAsymmetric,    // unconfirmed: arg-order dependent
   kSqlserverCrashNestedCollection, // unconfirmed crash: nested collections
+  // --- Injected (recall-gate ground truth, test-only) ----------------------
+  kInjectedConjunctionSignFlip,    // AND/OR evaluator flips its result
+  kInjectedIndexScanShortcut,      // index scan stops at its first hit
+  kInjectedJoinDedupDrop,          // join drops 2nd consecutive match
 
   kNumFaults,
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "eet/eet_oracle.h"
 #include "engine/functions.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -114,6 +115,8 @@ const char* OracleCliToken(OracleKind kind) {
       return "tlp";
     case OracleKind::kGeneration:
       return "gen";  // attribution-only; ParseOracleSuite rejects it
+    case OracleKind::kEet:
+      return "eet";
   }
   return "aei";
 }
@@ -183,6 +186,8 @@ Result<OracleSuiteSpec> ParseOracleSuite(const std::string& csv) {
       SPATTER_RETURN_NOT_OK(add(OracleKind::kIndex));
     } else if (token == "tlp") {
       SPATTER_RETURN_NOT_OK(add(OracleKind::kTlp));
+    } else if (token == "eet") {
+      SPATTER_RETURN_NOT_OK(add(OracleKind::kEet));
     } else if (token == "diff") {
       SPATTER_RETURN_NOT_OK(add(OracleKind::kDifferential));
     } else if (token.rfind("diff:", 0) == 0) {
@@ -195,13 +200,13 @@ Result<OracleSuiteSpec> ParseOracleSuite(const std::string& csv) {
     } else if (token == "all") {
       for (OracleKind kind :
            {OracleKind::kAei, OracleKind::kDifferential, OracleKind::kIndex,
-            OracleKind::kTlp}) {
+            OracleKind::kTlp, OracleKind::kEet}) {
         SPATTER_RETURN_NOT_OK(add(kind));
       }
     } else {
       return Status::InvalidArgument("unknown oracle '" + token +
                                      "' (expected aei, canon, diff[:dialect], "
-                                     "index, tlp, or all)");
+                                     "index, tlp, eet, or all)");
     }
     if (budget >= 2 && spec.oracles.size() == oracles_before + 1) {
       spec.budgets[spec.oracles.back()] = budget;
@@ -278,6 +283,13 @@ std::unique_ptr<Oracle> MakeOracle(OracleKind kind, engine::Dialect primary,
       return std::make_unique<IndexOracle>();
     case OracleKind::kTlp:
       return std::make_unique<TlpOracle>();
+    case OracleKind::kEet: {
+      // The /N budget samples EET's internal variant loop (see
+      // Oracle::SamplesOwnBudget); no budget entry means every variant.
+      const auto budget = spec.budgets.find(OracleKind::kEet);
+      return std::make_unique<eet::EetOracle>(
+          budget == spec.budgets.end() ? 0 : budget->second);
+    }
     case OracleKind::kGeneration:
       break;  // not a runnable oracle; fall through to the default
   }
@@ -316,8 +328,8 @@ std::vector<OracleFinding> OracleSuite::CheckAll(engine::Engine* engine,
     // function of the iteration index, so every shard of any P x J
     // factorization makes the same run/skip decision for the same query.
     const auto budget = spec_.budgets.find(oracle->Kind());
-    if (budget != spec_.budgets.end() && budget->second >= 2 &&
-        ctx.query_ordinal % budget->second != 0) {
+    if (!oracle->SamplesOwnBudget() && budget != spec_.budgets.end() &&
+        budget->second >= 2 && ctx.query_ordinal % budget->second != 0) {
       obs::MetricsRegistry::Instance()
           .GetCounter(std::string("oracle.") + oracle->Name() +
                       ".budget_skipped")

@@ -6,7 +6,7 @@
 //
 // Contracts an implementation declares:
 //   - Kind()/Name(): stable identity; Name() doubles as the CLI token for
-//     `--oracles=aei,diff,index,tlp`.
+//     `--oracles=aei,diff,index,tlp,eet`.
 //   - AppliesTo(): cheap static applicability (e.g. differential requires
 //     the predicate to exist in both dialects). Check() may still return
 //     an inapplicable outcome for input-dependent reasons.
@@ -72,6 +72,12 @@ class Oracle {
   /// Whether Check() is a pure function of its inputs. Reduction and
   /// replay only trust deterministic oracles.
   virtual bool IsDeterministic() const { return true; }
+
+  /// Whether the oracle applies its own /N budget inside Check() (the EET
+  /// oracle samples its per-query variant loop). When true, the suite's
+  /// generic every-Nth-query skip does not apply — the budget reaches the
+  /// oracle through MakeOracle instead.
+  virtual bool SamplesOwnBudget() const { return false; }
 
   /// Oracle kind a discrepancy from this check is attributed to. The AEI
   /// oracle splits itself into kAei / kCanonicalOnly on ctx.
@@ -174,10 +180,11 @@ engine::Dialect EffectiveDiffSecondary(const OracleSuiteSpec& spec,
                                        engine::Dialect primary);
 
 /// Parses a `--oracles=` list: comma-separated tokens among
-/// aei, canon, diff, index, tlp, plus "all" (= aei,diff,index,tlp) and
-/// "diff:<dialect>" to pick the differential secondary. Any single-oracle
-/// token may carry a "/N" budget suffix ("tlp/8"): run that oracle every
-/// Nth query. Duplicates and unknown tokens are errors.
+/// aei, canon, diff, index, tlp, eet, plus "all" (= aei,diff,index,tlp,eet)
+/// and "diff:<dialect>" to pick the differential secondary. Any
+/// single-oracle token may carry a "/N" budget suffix ("tlp/8"): run that
+/// oracle every Nth query (for eet: every Nth variant). Duplicates and
+/// unknown tokens are errors.
 Result<OracleSuiteSpec> ParseOracleSuite(const std::string& csv);
 
 /// Applies one `--oracle-budget=name:1/N` value to an already-parsed

@@ -18,6 +18,8 @@ const char* OracleKindName(OracleKind k) {
       return "TLP";
     case OracleKind::kGeneration:
       return "Generation";
+    case OracleKind::kEet:
+      return "EET";
   }
   return "Unknown";
 }

@@ -24,10 +24,15 @@ enum class OracleKind : uint8_t {
   /// construction (generator/derivation), which belong to no judge. Keeps
   /// per-oracle accounting honest when AEI is not even in the suite.
   kGeneration,
+  /// Equivalent-expression transformation: the query condition is rewritten
+  /// into semantics-preserving variants (tautology guards, double negation,
+  /// geometry-aware wraps) that must all return the base count. Appended
+  /// after kGeneration so persisted codec/wire values keep their meaning.
+  kEet,
 };
 
 /// Number of OracleKind values (for range validation on decode paths).
-inline constexpr uint8_t kNumOracleKinds = 6;
+inline constexpr uint8_t kNumOracleKinds = 7;
 
 const char* OracleKindName(OracleKind k);
 

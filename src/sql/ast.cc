@@ -88,4 +88,20 @@ ExprPtr Expr::MakeIsUnknown(ExprPtr inner) {
   return e;
 }
 
+ExprPtr Expr::MakeAnd(ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kAnd;
+  e->args.push_back(std::move(lhs));
+  e->args.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr Expr::MakeOr(ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kOr;
+  e->args.push_back(std::move(lhs));
+  e->args.push_back(std::move(rhs));
+  return e;
+}
+
 }  // namespace spatter::sql

@@ -27,6 +27,8 @@ struct Expr {
     kSameAs,          ///< a ~= b                  -> args[0], args[1]
     kNot,             ///< NOT expr                -> args[0]
     kIsUnknown,       ///< expr IS UNKNOWN / IS NULL -> args[0]
+    kAnd,             ///< a AND b                 -> args[0], args[1]
+    kOr,              ///< a OR b                  -> args[0], args[1]
   };
 
   Kind kind;
@@ -49,6 +51,8 @@ struct Expr {
   static ExprPtr MakeSameAs(ExprPtr lhs, ExprPtr rhs);
   static ExprPtr MakeNot(ExprPtr inner);
   static ExprPtr MakeIsUnknown(ExprPtr inner);
+  static ExprPtr MakeAnd(ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr MakeOr(ExprPtr lhs, ExprPtr rhs);
 };
 
 /// One parsed statement.
@@ -79,6 +83,12 @@ struct Statement {
   std::string set_name;                 // SET target (var or setting)
   ExprPtr set_value;
   ExprPtr condition;                    // ON / WHERE expression
+  /// Optional row filter on the primary join table — the derived-table
+  /// form `FROM (SELECT * FROM t1 WHERE filter1) JOIN t2 ON cond`. Built
+  /// in-memory by the EET push-through-subquery transformation; rows
+  /// whose filter does not evaluate TRUE are excluded before the pair
+  /// loop.
+  ExprPtr filter1;
   std::vector<ExprPtr> select_list;     // scalar SELECT expressions
 };
 

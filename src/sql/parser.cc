@@ -302,8 +302,28 @@ class Parser {
     return stmt;
   }
 
-  // expr := unary ( '~=' unary | IS [NOT] NULL/UNKNOWN )*
+  // expr := and_expr ( OR and_expr )*
   Result<ExprPtr> ParseExpr() {
+    SPATTER_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (ConsumeKeyword("OR")) {
+      SPATTER_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = Expr::MakeOr(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  // and_expr := comparison ( AND comparison )*
+  Result<ExprPtr> ParseAnd() {
+    SPATTER_ASSIGN_OR_RETURN(ExprPtr lhs, ParseComparison());
+    while (ConsumeKeyword("AND")) {
+      SPATTER_ASSIGN_OR_RETURN(ExprPtr rhs, ParseComparison());
+      lhs = Expr::MakeAnd(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  // comparison := unary ( '~=' unary | IS [NOT] NULL/UNKNOWN )*
+  Result<ExprPtr> ParseComparison() {
     SPATTER_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
     while (true) {
       if (PeekSymbol("~=")) {
@@ -515,6 +535,12 @@ std::string PrintExpr(const Expr& e) {
       return "NOT (" + PrintExpr(*e.args[0]) + ")";
     case Expr::Kind::kIsUnknown:
       return "(" + PrintExpr(*e.args[0]) + ") IS UNKNOWN";
+    case Expr::Kind::kAnd:
+      return "(" + PrintExpr(*e.args[0]) + " AND " + PrintExpr(*e.args[1]) +
+             ")";
+    case Expr::Kind::kOr:
+      return "(" + PrintExpr(*e.args[0]) + " OR " + PrintExpr(*e.args[1]) +
+             ")";
   }
   return "<expr>";
 }
@@ -553,9 +579,17 @@ std::string PrintStatement(const Statement& s) {
     }
     case Statement::Kind::kSet:
       return "SET " + s.set_name + " = " + PrintExpr(*s.set_value) + ";";
-    case Statement::Kind::kSelectCountJoin:
-      return "SELECT COUNT(*) FROM " + s.table + " JOIN " + s.table2 +
-             " ON " + PrintExpr(*s.condition) + ";";
+    case Statement::Kind::kSelectCountJoin: {
+      // The derived-table form exists only for display (the EET
+      // push-through-subquery variant is built in memory, never re-parsed).
+      std::string from = s.table;
+      if (s.filter1) {
+        from = "(SELECT * FROM " + s.table + " WHERE " +
+               PrintExpr(*s.filter1) + ") AS " + s.table;
+      }
+      return "SELECT COUNT(*) FROM " + from + " JOIN " + s.table2 + " ON " +
+             PrintExpr(*s.condition) + ";";
+    }
     case Statement::Kind::kSelectCountWhere: {
       std::string out = "SELECT COUNT(*) FROM " + s.table;
       if (s.condition) out += " WHERE " + PrintExpr(*s.condition);

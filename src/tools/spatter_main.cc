@@ -2,7 +2,7 @@
 // would run it:
 //
 //   spatter --dialect=postgis --seed=42 --iterations=100 --queries=100
-//           --geometries=10 --jobs=4 [--oracles=aei,diff,index,tlp]
+//           --geometries=10 --jobs=4 [--oracles=aei,diff,index,tlp,eet]
 //           [--no-derivative] [--fixed] [--reduce]
 //           [--corpus=dir --mutate-pct=N] [--replay=file]
 //           [--fleet=P --duration=S --curve-out=curve.json]
@@ -142,9 +142,11 @@ void Usage() {
       "  --oracles=LIST    comma-separated test oracles run on every query:\n"
       "                    aei, canon (canonicalization-only), diff[:dialect]\n"
       "                    (cross-dialect differential), index (on/off),\n"
-      "                    tlp, or all (default aei; bugs are attributed to\n"
-      "                    the detecting oracle); a name/N suffix (tlp/8)\n"
-      "                    budgets that oracle to every Nth query\n"
+      "                    tlp, eet (equivalent-expression variants), or all\n"
+      "                    (default aei; bugs are attributed to the\n"
+      "                    detecting oracle); a name/N suffix (tlp/8)\n"
+      "                    budgets that oracle to every Nth query (for eet:\n"
+      "                    every Nth variant of its per-query loop)\n"
       "  --oracle-budget=NAME:1/N  run oracle NAME on every Nth query only\n"
       "                    (deterministic off the iteration index, so the\n"
       "                    factorization invariance holds; N=1 clears it)\n"

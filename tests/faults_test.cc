@@ -29,9 +29,14 @@ std::string RunSql(Engine* e, const std::string& script) {
 // --- Catalog accounting (Table 2 / Table 3) --------------------------------
 
 TEST(FaultCatalog, Table2ReportCounts) {
+  // Component::kInjected entries are the recall-gate ground-truth corpus,
+  // not paper reports — Table 2/3 accounting skips them.
   std::map<Component, std::map<BugStatus, int>> by;
+  size_t paper_reports = 0;
   for (const auto& info : FaultCatalog()) {
+    if (info.component == Component::kInjected) continue;
     by[info.component][info.status]++;
+    paper_reports++;
   }
   auto total = [&](Component c) {
     int n = 0;
@@ -43,7 +48,7 @@ TEST(FaultCatalog, Table2ReportCounts) {
   EXPECT_EQ(total(Component::kDuckdb), 6);
   EXPECT_EQ(total(Component::kMysql), 4);
   EXPECT_EQ(total(Component::kSqlserver), 2);
-  EXPECT_EQ(FaultCatalog().size(), 35u);  // 34 unique + 1 duplicate report
+  EXPECT_EQ(paper_reports, 35u);  // 34 unique + 1 duplicate report
 
   // Status rows of Table 2.
   int fixed = 0;
@@ -51,6 +56,7 @@ TEST(FaultCatalog, Table2ReportCounts) {
   int unconfirmed = 0;
   int duplicate = 0;
   for (const auto& info : FaultCatalog()) {
+    if (info.component == Component::kInjected) continue;
     switch (info.status) {
       case BugStatus::kFixed:
         fixed++;
@@ -77,6 +83,7 @@ TEST(FaultCatalog, Table3LogicCrashSplit) {
   int logic = 0;
   int crash = 0;
   for (const auto& info : FaultCatalog()) {
+    if (info.component == Component::kInjected) continue;
     if (info.status != BugStatus::kFixed &&
         info.status != BugStatus::kConfirmed) {
       continue;
@@ -316,6 +323,77 @@ TEST(CrashFaults, SqlserverNestedCollection) {
       "SELECT STIntersects('GEOMETRYCOLLECTION(MULTIPOINT((1 1)))'::geometry,"
       "'POINT(1 1)'::geometry);");
   EXPECT_EQ(r.status().code(), StatusCode::kCrash);
+}
+
+// --- Injected ground-truth faults (recall-gate corpus) -----------------------
+
+TEST(InjectedFaults, StayOutOfEveryDefaultFaultSet) {
+  const FaultId injected[] = {FaultId::kInjectedConjunctionSignFlip,
+                              FaultId::kInjectedIndexScanShortcut,
+                              FaultId::kInjectedJoinDedupDrop};
+  for (Dialect d : {Dialect::kPostgis, Dialect::kDuckdbSpatial,
+                    Dialect::kMysql, Dialect::kSqlserver}) {
+    auto e = Faulty(d);
+    for (FaultId id : injected) {
+      EXPECT_FALSE(e->fault_state().IsEnabled(id))
+          << GetFaultInfo(id).name << " must not auto-enable";
+    }
+  }
+  EXPECT_EQ(FaultsForComponent(Component::kInjected, false).size(), 3u);
+}
+
+TEST(InjectedFaults, ConjunctionSignFlipFlipsAndOrResults) {
+  const std::string script =
+      "CREATE TABLE t1 (g geometry);"
+      "CREATE TABLE t2 (g geometry);"
+      "INSERT INTO t1 (g) VALUES ('POLYGON((0 0,4 0,4 4,0 4,0 0))');"
+      "INSERT INTO t2 (g) VALUES ('POINT(1 1)'),('POINT(2 2)'),"
+      "('POINT(9 9)');"
+      "SELECT COUNT(*) FROM t1 JOIN t2 ON ST_Contains(t1.g, t2.g) AND TRUE;";
+  auto fixed = Fixed(Dialect::kPostgis);
+  EXPECT_EQ(RunSql(fixed.get(), script), "{2}");
+  auto seeded = Fixed(Dialect::kPostgis);
+  seeded->fault_state().Enable(FaultId::kInjectedConjunctionSignFlip);
+  EXPECT_EQ(RunSql(seeded.get(), script), "{1}")
+      << "every pair flips: the two contained go false, the outsider true";
+  EXPECT_TRUE(seeded->fault_state().Hits().count(
+      FaultId::kInjectedConjunctionSignFlip));
+}
+
+TEST(InjectedFaults, IndexScanShortcutDropsLaterCandidates) {
+  const std::string script =
+      "CREATE TABLE t1 (g geometry);"
+      "CREATE TABLE t2 (g geometry);"
+      "CREATE INDEX idx ON t2 USING GIST (g);"
+      "INSERT INTO t1 (g) VALUES ('POLYGON((0 0,4 0,4 4,0 4,0 0))');"
+      "INSERT INTO t2 (g) VALUES ('POINT(1 1)'),('POINT(2 2)'),"
+      "('POINT(3 3)');"
+      "SELECT COUNT(*) FROM t1 JOIN t2 ON ST_Contains(t1.g, t2.g);";
+  auto fixed = Fixed(Dialect::kPostgis);
+  EXPECT_EQ(RunSql(fixed.get(), script), "{3}");
+  auto seeded = Fixed(Dialect::kPostgis);
+  seeded->fault_state().Enable(FaultId::kInjectedIndexScanShortcut);
+  EXPECT_EQ(RunSql(seeded.get(), script), "{1}");
+  EXPECT_TRUE(seeded->fault_state().Hits().count(
+      FaultId::kInjectedIndexScanShortcut));
+}
+
+TEST(InjectedFaults, JoinDedupDropSkipsSecondConsecutiveMatch) {
+  const std::string script =
+      "CREATE TABLE t1 (g geometry);"
+      "CREATE TABLE t2 (g geometry);"
+      "INSERT INTO t1 (g) VALUES ('POLYGON((0 0,4 0,4 4,0 4,0 0))');"
+      "INSERT INTO t2 (g) VALUES ('POINT(1 1)'),('POINT(2 2)'),"
+      "('POINT(3 3)');"
+      "SELECT COUNT(*) FROM t1 JOIN t2 ON ST_Contains(t1.g, t2.g);";
+  auto fixed = Fixed(Dialect::kPostgis);
+  EXPECT_EQ(RunSql(fixed.get(), script), "{3}");
+  auto seeded = Fixed(Dialect::kPostgis);
+  seeded->fault_state().Enable(FaultId::kInjectedJoinDedupDrop);
+  EXPECT_EQ(RunSql(seeded.get(), script), "{2}")
+      << "the second consecutive match is dropped, the third counts again";
+  EXPECT_TRUE(
+      seeded->fault_state().Hits().count(FaultId::kInjectedJoinDedupDrop));
 }
 
 // --- Shared-library blindness of differential testing ------------------------

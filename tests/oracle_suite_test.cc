@@ -79,7 +79,16 @@ TEST(OracleSuite, SpecParsingAndFormatting) {
 
   auto all = ParseOracleSuite("all");
   ASSERT_TRUE(all.ok());
-  EXPECT_EQ(all.value().oracles.size(), 4u);
+  EXPECT_EQ(all.value().oracles.size(), 5u);
+  EXPECT_EQ(all.value().oracles.back(), OracleKind::kEet);
+
+  // The eet token round-trips, with and without a variant budget.
+  auto eet = ParseOracleSuite("aei,eet/4");
+  ASSERT_TRUE(eet.ok());
+  EXPECT_EQ(eet.value().oracles,
+            (std::vector<OracleKind>{OracleKind::kAei, OracleKind::kEet}));
+  EXPECT_EQ(eet.value().budgets.at(OracleKind::kEet), 4u);
+  EXPECT_EQ(FormatOracleSuite(eet.value()), "aei,eet/4");
 
   auto with_secondary = ParseOracleSuite("diff:duckdb");
   ASSERT_TRUE(with_secondary.ok());
@@ -208,7 +217,7 @@ TEST(OracleSuite, MultiOracleBugSetInvariantAcrossJobs) {
   config.base = BaseCampaign(21);
   config.base.iterations = 9;
   config.base.queries_per_iteration = 20;
-  auto spec = ParseOracleSuite("aei,diff,index,tlp");
+  auto spec = ParseOracleSuite("all");  // includes eet
   ASSERT_TRUE(spec.ok());
   config.base.oracles = spec.Take();
 
@@ -335,6 +344,126 @@ TEST(OracleSuite, BugFrameCarriesDetectingOracle) {
   ASSERT_TRUE(back.ok());
   EXPECT_EQ(back.value().oracle, OracleKind::kTlp);
   EXPECT_EQ(back.value().dialect, Dialect::kMysql);
+}
+
+TEST(OracleSuite, EetCodecRoundTripAndBugFrame) {
+  // The codec v2 record carries kEet (appended after kGeneration, value 6)
+  // and re-encodes byte-identically.
+  corpus::TestCaseRecord rec;
+  rec.kind = corpus::RecordKind::kReproducer;
+  rec.dialect = Dialect::kPostgis;
+  rec.seed = 7;
+  rec.sdb.tables.push_back(TableSpec{"t1", {"POINT(1 1)"}});
+  rec.sdb.tables.push_back(TableSpec{"t2", {"POINT(1 1)"}});
+  rec.has_query = true;
+  rec.query.table1 = "t1";
+  rec.query.table2 = "t2";
+  rec.query.predicate = "ST_Intersects";
+  rec.oracle = OracleKind::kEet;
+  auto encoded = corpus::TestCaseCodec::Encode(rec);
+  ASSERT_TRUE(encoded.ok());
+  auto decoded = corpus::TestCaseCodec::Decode(encoded.value());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().oracle, OracleKind::kEet);
+  auto re = corpus::TestCaseCodec::Encode(decoded.value());
+  ASSERT_TRUE(re.ok());
+  EXPECT_EQ(re.value(), encoded.value());
+
+  // The fleet BUG frame carries it through the wire codec too.
+  Discrepancy d;
+  d.iteration = 1;
+  d.oracle = OracleKind::kEet;
+  d.dialect = Dialect::kPostgis;
+  d.sdb1 = rec.sdb;
+  d.query = rec.query;
+  d.detail = "self_compare_guard: base {2} vs variant {1}";
+  auto frame = fleet::MakeBugFrame(d, /*master_seed=*/42);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame.value().oracle, static_cast<uint64_t>(OracleKind::kEet));
+  auto back =
+      fleet::BugFrameToDiscrepancy(fleet::DecodeFrame(
+                                       fleet::EncodeFrame(frame.value()))
+                                       .value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().oracle, OracleKind::kEet);
+}
+
+TEST(OracleSuite, EetFindSurvivesReductionAndReplaysWithEetOracle) {
+  // An EET find over the injected predicate fault, padded with junk rows:
+  // the reducer must rebuild the EET oracle (MakeDetectingOracle — the
+  // same path --replay takes), shrink the database, and the minimized
+  // reproducer must still fail the EET check with the fault attributed.
+  engine::Engine engine(Dialect::kPostgis, /*enable_faults=*/false);
+  engine.fault_state().Enable(
+      faults::FaultId::kInjectedConjunctionSignFlip);
+
+  Discrepancy d;
+  d.oracle = OracleKind::kEet;
+  d.dialect = Dialect::kPostgis;
+  d.query.table1 = "t1";
+  d.query.table2 = "t2";
+  d.query.predicate = "ST_Contains";
+  d.transform = algo::AffineTransform::Identity();
+  d.sdb1.tables.push_back(TableSpec{
+      "t1", {"POLYGON((0 0,4 0,4 4,0 4,0 0))", "LINESTRING(7 7,8 8)"}});
+  d.sdb1.tables.push_back(TableSpec{
+      "t2", {"POINT(1 1)", "POINT(2 2)", "POINT(9 9)", "POINT EMPTY"}});
+
+  const auto oracle = MakeDetectingOracle(
+      OracleKind::kEet, d.dialect, d.diff_secondary, /*enable_faults=*/false);
+  EXPECT_STREQ(oracle->Name(), "eet");
+  EXPECT_TRUE(oracle->IsDeterministic());
+  EXPECT_TRUE(oracle->SamplesOwnBudget());
+  const OracleOutcome before =
+      oracle->Check(&engine, d.sdb1, d.query, OracleCtx{});
+  ASSERT_TRUE(before.mismatch) << before.detail;
+  d.detail = before.detail;
+  d.fault_hits = before.fault_hits;
+
+  ReductionStats stats;
+  const Discrepancy reduced = ReduceDiscrepancy(
+      &engine, d, &stats, faults::FaultId::kInjectedConjunctionSignFlip);
+  EXPECT_LT(reduced.sdb1.TotalRows(), d.sdb1.TotalRows());
+  EXPECT_GT(stats.checks, 0u);
+  EXPECT_EQ(reduced.oracle, OracleKind::kEet);
+
+  // Replay the minimized record the way --replay does: rebuild the
+  // detecting oracle from the recorded kind, re-run the check with an
+  // ordinal-free ctx (every variant), and expect the same verdict.
+  const auto replayed = MakeDetectingOracle(
+      reduced.oracle, reduced.dialect, reduced.diff_secondary,
+      /*enable_faults=*/false);
+  const OracleOutcome after =
+      replayed->Check(&engine, reduced.sdb1, reduced.query, OracleCtx{});
+  EXPECT_TRUE(after.mismatch) << "minimized repro must still fail EET";
+  EXPECT_TRUE(after.fault_hits.count(
+      faults::FaultId::kInjectedConjunctionSignFlip));
+}
+
+TEST(OracleSuite, EetCampaignAttributesAndStaysQuietWhenFixed) {
+  // A fixed-engine EET campaign must be silent (the semantics-preservation
+  // property at campaign scale) ...
+  CampaignConfig config = BaseCampaign(17);
+  config.iterations = 4;
+  config.queries_per_iteration = 25;
+  config.enable_faults = false;
+  config.oracles.oracles = {OracleKind::kEet};
+  Campaign clean(config);
+  const CampaignResult clean_result = clean.Run();
+  EXPECT_EQ(clean_result.discrepancies.size(), 0u)
+      << "EET variants must agree with the base on fixed semantics";
+
+  // ... and a faulty-engine one attributes its findings to kEet.
+  config.enable_faults = true;
+  config.iterations = 10;
+  Campaign faulty(config);
+  const CampaignResult result = faulty.Run();
+  for (const auto& d : result.discrepancies) {
+    if (d.query.predicate.empty()) continue;
+    EXPECT_EQ(d.oracle, OracleKind::kEet);
+    // EET findings never claim an affine matrix their check ignored.
+    EXPECT_TRUE(d.transform.IsIdentity());
+  }
 }
 
 TEST(OracleSuite, CanonicalOnlyOracleIgnoresDrawnTransform) {
