@@ -82,6 +82,23 @@ int main(int argc, char** argv) {
 
   const obs::MetricsSnapshot snapshot =
       obs::MetricsRegistry::Instance().Snapshot();
+  {
+    // Statement-cache effectiveness over the whole workload: the AEI hot
+    // path re-executes identical CREATE/INSERT text on every reload, so
+    // a healthy hit rate is most of the parse traffic.
+    const uint64_t hits = snapshot.CounterOr("engine.stmt_cache.hit");
+    const uint64_t misses = snapshot.CounterOr("engine.stmt_cache.miss");
+    const uint64_t evictions = snapshot.CounterOr("engine.stmt_cache.evict");
+    const uint64_t lookups = hits + misses;
+    std::printf("stmt-cache: %llu hits / %llu lookups (%.1f%%), "
+                "%llu evictions\n",
+                static_cast<unsigned long long>(hits),
+                static_cast<unsigned long long>(lookups),
+                lookups > 0 ? 100.0 * static_cast<double>(hits) /
+                                  static_cast<double>(lookups)
+                            : 0.0,
+                static_cast<unsigned long long>(evictions));
+  }
   if (!WriteMetricsJson("BENCH_throughput.json", "throughput", kSeed,
                         snapshot, elapsed_total, derived)) {
     return 1;

@@ -1,6 +1,8 @@
 #include "engine/engine.h"
 
+#include <algorithm>
 #include <array>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <ctime>
@@ -160,6 +162,31 @@ void CoverJoinBehaviour(const std::string& func, const Table& t1,
 
 }  // namespace
 
+namespace {
+
+// Process-wide tuning defaults, sampled by each Engine at construction.
+// 256 statements comfortably hold one iteration's working set (a database
+// load is ~a dozen CREATE/INSERT statements and every oracle reloads the
+// same base database several times per check).
+constexpr size_t kDefaultStatementCacheCapacity = 256;
+std::atomic<size_t> g_stmt_cache_capacity{kDefaultStatementCacheCapacity};
+std::atomic<bool> g_index_probes_enabled{true};
+
+}  // namespace
+
+void SetStatementCacheCapacity(size_t capacity) {
+  g_stmt_cache_capacity.store(capacity, std::memory_order_relaxed);
+}
+size_t StatementCacheCapacity() {
+  return g_stmt_cache_capacity.load(std::memory_order_relaxed);
+}
+void SetIndexProbesEnabled(bool enabled) {
+  g_index_probes_enabled.store(enabled, std::memory_order_relaxed);
+}
+bool IndexProbesEnabled() {
+  return g_index_probes_enabled.load(std::memory_order_relaxed);
+}
+
 int Table::ColumnIndex(const std::string& name) const {
   for (size_t i = 0; i < column_names.size(); ++i) {
     if (EqualsIgnoreCase(column_names[i], name)) return static_cast<int>(i);
@@ -167,17 +194,61 @@ int Table::ColumnIndex(const std::string& name) const {
   return -1;
 }
 
+namespace {
+
+// Classifies one geometry row for index maintenance. Returns true when
+// the row belongs in the R-tree (writing its envelope), false when it
+// belongs on the unindexed side list: the tree cannot reach a null
+// envelope (Envelope::Intersects is false for any null box), and the
+// admission contract admits EMPTY rows for every probe ("evaluate
+// exactly"), so both classes ride the side list instead. `at_origin`
+// flags envelopes collapsed onto the origin — the rows the
+// kPostgisGistEmptySameAs fault must examine for every probe.
+bool IndexableEnvelope(const Geometry& g, geom::Envelope* env_out,
+                       bool* at_origin) {
+  const geom::Envelope env = g.GetEnvelope();
+  if (env.IsNull() || g.IsEmpty()) return false;
+  *env_out = env;
+  *at_origin = env == geom::Envelope(0, 0, 0, 0);
+  return true;
+}
+
+}  // namespace
+
 void Table::RebuildIndex() {
   std::vector<index::RTreeEntry> entries;
+  unindexed_rows.clear();
+  origin_rows.clear();
   if (geometry_column >= 0) {
     for (size_t r = 0; r < rows.size(); ++r) {
       const Value& v = rows[r][geometry_column];
       if (v.kind() != Value::Kind::kGeometry || !v.geometry()) continue;
-      entries.push_back({v.geometry()->GetEnvelope(), r});
+      geom::Envelope env;
+      bool at_origin = false;
+      if (!IndexableEnvelope(*v.geometry(), &env, &at_origin)) {
+        unindexed_rows.push_back(r);
+        continue;
+      }
+      if (at_origin) origin_rows.push_back(r);
+      entries.push_back({env, r});
     }
   }
   rtree = index::RTree();
   rtree.BulkLoad(std::move(entries));
+}
+
+void Table::IndexInsert(size_t row_id) {
+  if (geometry_column < 0) return;
+  const Value& v = rows[row_id][geometry_column];
+  if (v.kind() != Value::Kind::kGeometry || !v.geometry()) return;
+  geom::Envelope env;
+  bool at_origin = false;
+  if (!IndexableEnvelope(*v.geometry(), &env, &at_origin)) {
+    unindexed_rows.push_back(row_id);  // rows only append: stays sorted
+    return;
+  }
+  if (at_origin) origin_rows.push_back(row_id);
+  rtree.Insert(env, row_id);
 }
 
 std::string ExecResult::ToString() const {
@@ -203,11 +274,17 @@ std::string ExecResult::ToString() const {
 
 Engine::Engine(Dialect dialect, bool enable_faults)
     : dialect_(dialect),
-      faults_(DefaultFaultStateFor(dialect, enable_faults)) {}
+      faults_(DefaultFaultStateFor(dialect, enable_faults)),
+      stmt_cache_(StatementCacheCapacity()),
+      index_probes_enabled_(IndexProbesEnabled()) {}
 
 void Engine::Reset() {
   tables_.clear();
   variables_.clear();
+}
+
+void Engine::set_statement_cache_capacity(size_t capacity) {
+  stmt_cache_.SetCapacity(capacity);
 }
 
 Table* Engine::FindTable(const std::string& name) {
@@ -218,10 +295,31 @@ Table* Engine::FindTable(const std::string& name) {
 Result<ExecResult> Engine::Execute(const std::string& sql) {
   static obs::LatencyHistogram* parse_hist =
       obs::MetricsRegistry::Instance().GetHistogram("engine.parse");
+  // Statement cache: parsing is a pure function of the text, so a hit
+  // replays the cached AST and skips the parser entirely. Strictly
+  // passive — the executed statement is identical either way.
+  if (stmt_cache_.capacity() > 0) {
+    if (std::shared_ptr<const sql::Statement> cached =
+            stmt_cache_.Lookup(sql)) {
+      SPATTER_METRIC_INC("engine.stmt_cache.hit");
+      return Execute(*cached);
+    }
+  }
   sql::StatementPtr stmt;
   {
     obs::ScopedTimer t(parse_hist, obs::ScopedTimer::Clock::kThreadCpu);
     SPATTER_ASSIGN_OR_RETURN(stmt, sql::ParseStatement(sql));
+  }
+  if (stmt_cache_.capacity() > 0) {
+    SPATTER_METRIC_INC("engine.stmt_cache.miss");
+    // Keep a reference across Execute: an eviction storm must never free
+    // the statement out from under the executor.
+    std::shared_ptr<const sql::Statement> shared = std::move(stmt);
+    if (stmt_cache_.Insert(sql, shared)) {
+      SPATTER_METRIC_INC("engine.stmt_cache.evict");
+    }
+    SPATTER_METRIC_GAUGE_SET("engine.stmt_cache.size", stmt_cache_.size());
+    return Execute(*shared);
   }
   return Execute(*stmt);
 }
@@ -389,8 +487,11 @@ Result<ExecResult> Engine::ExecInsert(const sql::Statement& stmt) {
       row[col] = std::move(v);
     }
     table->rows.push_back(std::move(row));
+    // Incremental maintenance (Guttman insert) instead of a full STR
+    // rebuild per INSERT: CREATE INDEX after bulk generation still
+    // STR-packs via RebuildIndex.
+    if (table->has_index) table->IndexInsert(table->rows.size() - 1);
   }
-  if (table->has_index) table->RebuildIndex();
   SPATTER_COV("engine", "insert");
   return ExecResult{};
 }
@@ -634,6 +735,93 @@ bool IndexAdmitsRow(const faults::FaultState& faults,
 
 }  // namespace
 
+void Engine::CollectIndexCandidates(const Table& table,
+                                    const geom::Envelope& probe,
+                                    std::vector<size_t>* candidates) {
+  candidates->clear();
+  const int gcol = table.geometry_column;
+  if (gcol < 0) return;
+
+  if (!index_probes_enabled_) {
+    // Reference path (--no-index-probe): the linear admission scan the
+    // R-tree probe replaced. Kept as the byte-equivalence anchor for the
+    // CI index-on/off bug-set diff and the engine_test property pin.
+    for (size_t r = 0; r < table.rows.size(); ++r) {
+      const Value& gv = table.rows[r][gcol];
+      if (gv.kind() != Value::Kind::kGeometry || !gv.geometry()) continue;
+      const Geometry& g = *gv.geometry();
+      if (IndexAdmitsRow(faults_, probe, g.GetEnvelope(), g.IsEmpty())) {
+        candidates->push_back(r);
+      }
+    }
+    return;
+  }
+
+  if (probe.IsNull()) {
+    // A null probe admits every row ("evaluate exactly"): enumerate the
+    // tree instead of probing it — a null envelope intersects nothing.
+    probe_scratch_.clear();
+    table.rtree.AllIds(&probe_scratch_);
+  } else {
+    geom::Envelope tree_probe = probe;
+    if (faults_.IsEnabled(FaultId::kMysqlWithinIndexGrid)) {
+      // The grid fault admits rows against a probe snapped DOWN onto a
+      // coarse grid, which both loses rows near upper cell edges and
+      // gains rows below the lower ones. Widen the tree probe to cover
+      // the snapped box too, so the post-filter below sees every row the
+      // faulty linear scan would have admitted or Fired on.
+      const double mag =
+          std::max({std::fabs(probe.min_x()), std::fabs(probe.max_x()),
+                    std::fabs(probe.min_y()), std::fabs(probe.max_y())});
+      if (mag >= 512.0) {
+        auto snap = [](double v) { return std::floor(v / 64.0) * 64.0; };
+        tree_probe.ExpandToInclude(
+            geom::Envelope(snap(probe.min_x()), snap(probe.min_y()),
+                           snap(probe.max_x()), snap(probe.max_y())));
+      }
+    }
+    table.rtree.QueryIds(tree_probe, &probe_scratch_);
+  }
+  candidates->reserve(probe_scratch_.size() + table.unindexed_rows.size());
+  for (uint64_t id : probe_scratch_) {
+    candidates->push_back(static_cast<size_t>(id));
+  }
+  // EMPTY / null-envelope rows are admitted for every probe.
+  candidates->insert(candidates->end(), table.unindexed_rows.begin(),
+                     table.unindexed_rows.end());
+  const bool gist_fault = faults_.IsEnabled(FaultId::kPostgisGistEmptySameAs);
+  const bool grid_fault = faults_.IsEnabled(FaultId::kMysqlWithinIndexGrid);
+  if (gist_fault) {
+    // The GiST fault examines (and Fires on) origin-collapsed rows for
+    // every probe regardless of envelope intersection — fault hits feed
+    // bug deduplication, so the firing set must match the linear scan.
+    candidates->insert(candidates->end(), table.origin_rows.begin(),
+                       table.origin_rows.end());
+  }
+  // Candidate order must match the linear scan: the shortcut fault
+  // truncates to the FIRST candidate and the join dedup fault keys off
+  // CONSECUTIVE matches. Origin rows can arrive twice (tree + side list).
+  std::sort(candidates->begin(), candidates->end());
+  candidates->erase(std::unique(candidates->begin(), candidates->end()),
+                    candidates->end());
+
+  // Fault post-filter: re-applies the exact linear-scan admission (and
+  // Fire) semantics over the candidate set so pinned bug sets stay
+  // byte-identical. With neither fault enabled it is the identity — tree
+  // hits already intersect the probe and side-list rows are admitted
+  // unconditionally — so skip the envelope recomputation.
+  if (!gist_fault && !grid_fault) return;
+  size_t kept = 0;
+  for (size_t r : *candidates) {
+    const Value& gv = table.rows[r][gcol];
+    const Geometry& g = *gv.geometry();
+    if (IndexAdmitsRow(faults_, probe, g.GetEnvelope(), g.IsEmpty())) {
+      (*candidates)[kept++] = r;
+    }
+  }
+  candidates->resize(kept);
+}
+
 Result<ExecResult> Engine::ExecSelectCountJoin(const sql::Statement& stmt) {
   Table* t1 = FindTable(stmt.table);
   Table* t2 = FindTable(stmt.table2);
@@ -674,6 +862,7 @@ Result<ExecResult> Engine::ExecSelectCountJoin(const sql::Statement& stmt) {
   }
 
   int64_t count = 0;
+  std::vector<size_t> candidates;  // reused across outer rows
   for (const Row& row1 : t1->rows) {
     // Derived-table filter on the outer side (the EET push-through-subquery
     // form): rows whose filter does not evaluate TRUE never reach the pair
@@ -705,22 +894,16 @@ Result<ExecResult> Engine::ExecSelectCountJoin(const sql::Statement& stmt) {
       prepared = std::make_unique<relate::PreparedGeometry>(*outer_geom);
     }
 
-    // Candidate rows of t2, possibly via the index.
-    std::vector<size_t> candidates;
+    // Candidate rows of t2, via one R-tree probe per outer row. The
+    // engine.index_scan histogram samples once per probe (candidate
+    // collection only — predicate evaluation lands in prepared/relate).
     if (index_path && outer_geom) {
       obs::ScopedTimer scan_timer(index_scan_hist,
                                   obs::ScopedTimer::Clock::kThreadCpu);
       SPATTER_COV("engine", "join_index_scan");
       stats_.index_scans++;
       const geom::Envelope probe = outer_geom->GetEnvelope();
-      for (size_t r = 0; r < t2->rows.size(); ++r) {
-        const Value& gv = (*t2).rows[r][t2->geometry_column];
-        if (gv.kind() != Value::Kind::kGeometry || !gv.geometry()) continue;
-        const Geometry& g2 = *gv.geometry();
-        if (IndexAdmitsRow(faults_, probe, g2.GetEnvelope(), g2.IsEmpty())) {
-          candidates.push_back(r);
-        }
-      }
+      CollectIndexCandidates(*t2, probe, &candidates);
       if (candidates.size() > 1 &&
           faults_.IsEnabled(FaultId::kInjectedIndexScanShortcut)) {
         // Injected bug (recall gate): the index scan returns only its
@@ -817,26 +1000,35 @@ Result<ExecResult> Engine::ExecSelectCountWhere(const sql::Statement& stmt) {
       if (g.ok() && g.value().kind() == Value::Kind::kGeometry) {
         probe = g.value().geometry()->GetEnvelope();
         index_scan = true;
-        stats_.index_scans++;
-        SPATTER_COV("engine", "where_index_scan");
       }
     }
   }
-  static obs::LatencyHistogram* where_scan_hist =
-      obs::MetricsRegistry::Instance().GetHistogram("engine.index_scan");
-  obs::ScopedTimer scan_timer(index_scan ? where_scan_hist : nullptr,
-                              obs::ScopedTimer::Clock::kThreadCpu);
-  for (const Row& row : t->rows) {
+  // The probe itself: one engine.index_scan sample and one index_scans
+  // bump per probe (candidate collection only — predicate evaluation is
+  // accounted separately), the same unit as the join path.
+  std::vector<char> admitted;
+  if (index_scan) {
+    static obs::LatencyHistogram* where_scan_hist =
+        obs::MetricsRegistry::Instance().GetHistogram("engine.index_scan");
+    obs::ScopedTimer scan_timer(where_scan_hist,
+                                obs::ScopedTimer::Clock::kThreadCpu);
+    SPATTER_COV("engine", "where_index_scan");
+    stats_.index_scans++;
+    std::vector<size_t> candidates;
+    CollectIndexCandidates(*t, probe, &candidates);
+    admitted.assign(t->rows.size(), 0);
+    for (size_t r : candidates) admitted[r] = 1;
+  }
+  for (size_t r = 0; r < t->rows.size(); ++r) {
+    const Row& row = t->rows[r];
     if (cond == nullptr) {
       count++;
       continue;
     }
     if (index_scan && t->geometry_column >= 0 &&
-        row[t->geometry_column].kind() == Value::Kind::kGeometry) {
-      const Geometry& g = *row[t->geometry_column].geometry();
-      if (!IndexAdmitsRow(faults_, probe, g.GetEnvelope(), g.IsEmpty())) {
-        continue;
-      }
+        row[t->geometry_column].kind() == Value::Kind::kGeometry &&
+        !admitted[r]) {
+      continue;
     }
     Bindings bindings;
     bindings[stmt.table] = Binding{t, &row};

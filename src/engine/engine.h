@@ -15,10 +15,21 @@
 #include "faults/fault.h"
 #include "index/rtree.h"
 #include "sql/ast.h"
+#include "sql/stmt_cache.h"
 
 namespace spatter::engine {
 
 using Row = std::vector<Value>;
+
+/// Process-wide engine tuning knobs, read once per Engine construction.
+/// Both are strictly passive — results and bug sets are byte-identical
+/// either way (CI-diffed) — so they need no place in the campaign
+/// identity or checkpoint format; they exist for the passivity gates and
+/// for benchmarking the win.
+void SetStatementCacheCapacity(size_t capacity);  ///< 0 disables the cache.
+size_t StatementCacheCapacity();
+void SetIndexProbesEnabled(bool enabled);  ///< false = linear reference scan.
+bool IndexProbesEnabled();
 
 /// One table: a column schema, rows, and an optional envelope R-tree over
 /// the geometry column.
@@ -29,9 +40,25 @@ struct Table {
   int geometry_column = -1;
   bool has_index = false;
   index::RTree rtree;
+  /// Row ids whose geometry is EMPTY or has a null envelope. The R-tree
+  /// cannot reach them (a null envelope intersects nothing, and the scan
+  /// contract admits EMPTY rows for every probe — "evaluate exactly"),
+  /// so the index keeps them aside and every probe unions them back in.
+  std::vector<size_t> unindexed_rows;
+  /// Row ids whose envelope collapses onto the origin, kept sorted. The
+  /// kPostgisGistEmptySameAs fault must examine (and Fire on) these for
+  /// every probe regardless of envelope intersection, exactly as the
+  /// pre-R-tree linear scan did — fault hits feed bug deduplication, so
+  /// the firing set is part of the pinned behaviour.
+  std::vector<size_t> origin_rows;
 
   int ColumnIndex(const std::string& name) const;
+  /// Bulk (re)load: STR-packs the whole geometry column. Used by CREATE
+  /// INDEX after generation; INSERT maintains the tree incrementally.
   void RebuildIndex();
+  /// Incremental maintenance: classifies and indexes the single row
+  /// `row_id` (Guttman insert — no O(n log n) rebuild per INSERT).
+  void IndexInsert(size_t row_id);
 };
 
 /// Result of executing one statement.
@@ -108,8 +135,21 @@ class Engine {
   Result<ExecResult> ExecuteScript(const std::string& script);
 
   /// Drops all tables and session variables (fault configuration and
-  /// statistics are preserved).
+  /// statistics are preserved, and so is the statement cache — parsing
+  /// is a pure function of the text, so reloading a database re-hits the
+  /// cached CREATE/INSERT statements).
   void Reset();
+
+  /// Test/bench knobs; the process-wide defaults above seed them at
+  /// construction. Resizing the cache evicts LRU entries as needed;
+  /// disabling index probes routes both index paths through the linear
+  /// reference scan the R-tree replaced (byte-identical by contract).
+  void set_statement_cache_capacity(size_t capacity);
+  size_t statement_cache_size() const { return stmt_cache_.size(); }
+  void set_index_probes_enabled(bool enabled) {
+    index_probes_enabled_ = enabled;
+  }
+  bool index_probes_enabled() const { return index_probes_enabled_; }
 
   const std::map<std::string, Table>& tables() const { return tables_; }
   Table* FindTable(const std::string& name);
@@ -151,11 +191,21 @@ class Engine {
                                const std::string& alias2,
                                std::string* func_name) const;
 
+  /// Fills `candidates` (sorted row ids of `table`) for one index probe,
+  /// byte-equivalent to the pre-R-tree linear admission scan — fault
+  /// firing included. Routes through RTree::QueryIds unless index probes
+  /// are disabled.
+  void CollectIndexCandidates(const Table& table, const geom::Envelope& probe,
+                              std::vector<size_t>* candidates);
+
   Dialect dialect_;
   faults::FaultState faults_;
   EngineStats stats_;
   std::map<std::string, Table> tables_;
   std::map<std::string, Value> variables_;
+  sql::StatementCache stmt_cache_;
+  bool index_probes_enabled_;
+  std::vector<uint64_t> probe_scratch_;  // reused across index probes
 };
 
 }  // namespace spatter::engine

@@ -17,6 +17,7 @@
 #include "common/fsio.h"
 #include "corpus/codec.h"
 #include "engine/dialect.h"
+#include "engine/engine.h"
 #include "fleet/flight.h"
 #include "fleet/wire.h"
 #include "fuzz/transfer.h"
@@ -166,6 +167,12 @@ void FleetCoordinator::Spawn(size_t index) {
         args.push_back("--no-derivative");
       }
       if (!o.base.enable_faults) args.push_back("--fixed");
+      // Passive engine knobs propagate so a --no-stmt-cache/--no-index-probe
+      // fleet run really exercises the disabled path in every worker.
+      if (engine::StatementCacheCapacity() == 0) {
+        args.push_back("--no-stmt-cache");
+      }
+      if (!engine::IndexProbesEnabled()) args.push_back("--no-index-probe");
       // Always explicit: a worker must judge with the coordinator's exact
       // oracle suite, not its own default.
       args.push_back("--oracles=" + fuzz::FormatOracleSuite(o.base.oracles));

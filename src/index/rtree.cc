@@ -249,6 +249,24 @@ std::vector<uint64_t> RTree::QueryIds(const Envelope& query) const {
   return ids;
 }
 
+void RTree::QueryIds(const Envelope& query, std::vector<uint64_t>* out) const {
+  out->clear();
+  Query(query, [out](const RTreeEntry& e) { out->push_back(e.id); });
+}
+
+void RTree::AllIds(std::vector<uint64_t>* out) const {
+  std::vector<const Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    if (node->leaf) {
+      for (const auto& e : node->entries) out->push_back(e.id);
+    } else {
+      for (const auto& c : node->children) stack.push_back(c.get());
+    }
+  }
+}
+
 size_t RTree::Height() const {
   if (size_ == 0) return 0;
   size_t h = 1;

@@ -44,6 +44,22 @@ class RTree {
 
   /// Convenience: collects matching ids.
   std::vector<uint64_t> QueryIds(const geom::Envelope& query) const;
+  /// Allocation-reusing variant: clears `out` and fills it with matching
+  /// ids (the engine probes once per join outer row, so the scratch
+  /// buffer's capacity survives across probes).
+  void QueryIds(const geom::Envelope& query, std::vector<uint64_t>* out) const;
+
+  /// Appends every stored id to `out`, in unspecified order. The engine
+  /// uses this when a probe envelope is null ("admit everything —
+  /// evaluate exactly"), where Query would return nothing because a null
+  /// envelope intersects nothing.
+  void AllIds(std::vector<uint64_t>* out) const;
+
+  /// NOTE: entries with a null (default-constructed) envelope are
+  /// unreachable by construction — Envelope::Intersects is false for any
+  /// null box and ExpandToInclude ignores them — so callers must keep
+  /// null-envelope payloads out of the tree and track them separately
+  /// (see Table::unindexed_rows). Pinned by rtree_test.
 
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }

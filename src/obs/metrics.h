@@ -258,6 +258,15 @@ class ScopedTimer {
     _metric_counter->Add(n);                                      \
   } while (0)
 
+/// One-line gauge write with the pointer cached across calls.
+/// Usage: SPATTER_METRIC_GAUGE_SET("engine.stmt_cache.size", n);
+#define SPATTER_METRIC_GAUGE_SET(name, v)                         \
+  do {                                                            \
+    static ::spatter::obs::Gauge* _metric_gauge =                 \
+        ::spatter::obs::MetricsRegistry::Instance().GetGauge(name); \
+    _metric_gauge->Set(static_cast<int64_t>(v));                  \
+  } while (0)
+
 }  // namespace spatter::obs
 
 #endif  // SPATTER_OBS_METRICS_H_

@@ -50,6 +50,7 @@
 #include "common/coverage.h"
 #include "common/fsio.h"
 #include "corpus/codec.h"
+#include "engine/engine.h"
 #include "fleet/checkpoint.h"
 #include "fleet/coordinator.h"
 #include "fleet/curve.h"
@@ -207,6 +208,12 @@ void Usage() {
       "                    uninterrupted run\n"
       "  --no-derivative   random-shape strategy only (RSG ablation)\n"
       "  --fixed           run against the fixed engine (expect 0 bugs)\n"
+      "  --no-stmt-cache   disable the engine's LRU statement parse cache\n"
+      "                    (strictly passive: bug-set lines are\n"
+      "                    byte-identical either way, CI-diffed)\n"
+      "  --no-index-probe  route index scans through the linear reference\n"
+      "                    scan instead of the R-tree (byte-identical by\n"
+      "                    contract, CI-diffed; for the passivity gate)\n"
       "  --no-reduce       skip test-case reduction\n"
       "  --corpus=DIR      greybox mode: persist coverage-novel test cases\n"
       "                    and bug reproducers to DIR, reloading them on\n"
@@ -393,6 +400,10 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
       opts->derivative = false;
     } else if (std::strcmp(argv[i], "--fixed") == 0) {
       opts->enable_faults = false;
+    } else if (std::strcmp(argv[i], "--no-stmt-cache") == 0) {
+      engine::SetStatementCacheCapacity(0);
+    } else if (std::strcmp(argv[i], "--no-index-probe") == 0) {
+      engine::SetIndexProbesEnabled(false);
     } else if (std::strcmp(argv[i], "--no-reduce") == 0) {
       opts->reduce = false;
     } else if (std::strcmp(argv[i], "--no-transfer") == 0) {

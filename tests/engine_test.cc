@@ -5,6 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
 #include "engine/functions.h"
 
 namespace spatter::engine {
@@ -305,6 +310,263 @@ TEST(Engine, ExecResultFormatting) {
   EXPECT_EQ(count.ToString(), "{7}");
   ExecResult none;
   EXPECT_EQ(none.ToString(), "OK");
+}
+
+// --- Index path properties --------------------------------------------
+//
+// The R-tree probe path must be byte-equivalent to the linear admission
+// scan it replaced — counts AND injected-fault firing sets — across every
+// dialect, including EMPTY and degenerate geometries and every injected
+// index fault. The linear scan survives behind
+// set_index_probes_enabled(false) exactly as this contract's anchor.
+
+using faults::FaultId;
+
+// Random row mix stressing every index classification: EMPTY (side
+// list), origin-collapsed (gist-fault side list), large coordinates
+// (>= 512 trips the grid fault's snapping), plus ordinary points/boxes.
+std::string RandomIndexWkt(Rng* rng) {
+  switch (rng->Below(8)) {
+    case 0:
+      return "POINT EMPTY";
+    case 1:
+      return "POINT(0 0)";
+    case 2: {  // origin-degenerate line (envelope collapses onto 0,0)
+      return "LINESTRING(0 0,0 0.000001)";
+    }
+    case 3: {  // large coordinates: the grid fault snaps probes >= 512
+      const int64_t x = rng->IntIn(512, 1200);
+      const int64_t y = rng->IntIn(512, 1200);
+      return "POINT(" + std::to_string(x) + " " + std::to_string(y) + ")";
+    }
+    case 4: {  // large box straddling a 64-grid cell edge
+      const int64_t x = rng->IntIn(8, 18) * 64 - 2;
+      return "POLYGON((" + std::to_string(x) + " 600," +
+             std::to_string(x + 4) + " 600," + std::to_string(x + 4) +
+             " 604," + std::to_string(x) + " 604," + std::to_string(x) +
+             " 600))";
+    }
+    case 5: {  // degenerate horizontal line
+      const int64_t x = rng->IntIn(-20, 20);
+      const int64_t y = rng->IntIn(-20, 20);
+      return "LINESTRING(" + std::to_string(x) + " " + std::to_string(y) +
+             "," + std::to_string(x + 3) + " " + std::to_string(y) + ")";
+    }
+    case 6: {
+      const int64_t x = rng->IntIn(-30, 30);
+      const int64_t y = rng->IntIn(-30, 30);
+      return "POINT(" + std::to_string(x) + " " + std::to_string(y) + ")";
+    }
+    default: {
+      const int64_t x = rng->IntIn(-30, 30);
+      const int64_t y = rng->IntIn(-30, 30);
+      const int64_t w = rng->IntIn(1, 8);
+      return "POLYGON((" + std::to_string(x) + " " + std::to_string(y) +
+             "," + std::to_string(x + w) + " " + std::to_string(y) + "," +
+             std::to_string(x + w) + " " + std::to_string(y + w) + "," +
+             std::to_string(x) + " " + std::to_string(y + w) + "," +
+             std::to_string(x) + " " + std::to_string(y) + "))";
+    }
+  }
+}
+
+void LoadIndexedTables(Engine* e, const std::vector<std::string>& a_rows,
+                       const std::vector<std::string>& b_rows) {
+  ASSERT_TRUE(e->ExecuteScript("CREATE TABLE a (g geometry);"
+                               "CREATE TABLE b (g geometry);"
+                               "CREATE INDEX ia ON a USING GIST (g);"
+                               "CREATE INDEX ib ON b USING GIST (g);")
+                  .ok());
+  for (const std::string& w : a_rows) {
+    ASSERT_TRUE(
+        e->Execute("INSERT INTO a (g) VALUES ('" + w + "');").ok());
+  }
+  for (const std::string& w : b_rows) {
+    ASSERT_TRUE(
+        e->Execute("INSERT INTO b (g) VALUES ('" + w + "');").ok());
+  }
+}
+
+TEST(EngineIndexPath, RTreeProbeMatchesLinearReferenceScan) {
+  const Dialect dialects[] = {Dialect::kPostgis, Dialect::kDuckdbSpatial,
+                              Dialect::kMysql, Dialect::kSqlserver};
+  const std::optional<FaultId> fault_cases[] = {
+      std::nullopt, FaultId::kPostgisGistEmptySameAs,
+      FaultId::kMysqlWithinIndexGrid, FaultId::kInjectedIndexScanShortcut};
+  for (Dialect d : dialects) {
+    for (uint64_t seed : {11u, 22u, 33u}) {
+      for (const auto& fault : fault_cases) {
+        Rng rng(seed);
+        std::vector<std::string> a_rows, b_rows;
+        for (int i = 0; i < 16; ++i) a_rows.push_back(RandomIndexWkt(&rng));
+        for (int i = 0; i < 24; ++i) b_rows.push_back(RandomIndexWkt(&rng));
+
+        Engine probe(d, /*enable_faults=*/false);
+        Engine ref(d, /*enable_faults=*/false);
+        ref.set_index_probes_enabled(false);
+        ASSERT_TRUE(probe.index_probes_enabled());
+        ASSERT_FALSE(ref.index_probes_enabled());
+        if (fault) {
+          probe.fault_state().Enable(*fault);
+          ref.fault_state().Enable(*fault);
+        }
+        LoadIndexedTables(&probe, a_rows, b_rows);
+        LoadIndexedTables(&ref, a_rows, b_rows);
+
+        const std::string join =
+            "SELECT COUNT(*) FROM a JOIN b ON ST_Intersects(a.g, b.g);";
+        auto r1 = probe.Execute(join);
+        auto r2 = ref.Execute(join);
+        const std::string label =
+            std::string(DialectName(d)) + " seed=" + std::to_string(seed) +
+            " fault=" +
+            (fault ? faults::GetFaultInfo(*fault).name : "(none)");
+        ASSERT_EQ(r1.ok(), r2.ok()) << label;
+        if (r1.ok()) {
+          EXPECT_EQ(r1.value().count, r2.value().count) << label;
+        }
+        if (d == Dialect::kPostgis) {
+          // WHERE path too (`~=` is PostGIS-only): probe with EMPTY,
+          // origin, large-coordinate, and ordinary literals.
+          for (const char* lit :
+               {"POINT EMPTY", "POINT(0 0)", "POINT(600 620)",
+                "POLYGON((510 510,650 510,650 650,510 650,510 510))",
+                "POINT(5 5)"}) {
+            const std::string where =
+                std::string("SELECT COUNT(*) FROM b WHERE g ~= '") + lit +
+                "'::geometry;";
+            auto w1 = probe.Execute(where);
+            auto w2 = ref.Execute(where);
+            ASSERT_EQ(w1.ok(), w2.ok()) << label << " lit=" << lit;
+            if (w1.ok()) {
+              EXPECT_EQ(w1.value().count, w2.value().count)
+                  << label << " lit=" << lit;
+            }
+          }
+        }
+        // Fault firing feeds bug deduplication, so the hit SET (not just
+        // the counts) must survive the R-tree rewrite byte-for-byte.
+        EXPECT_EQ(probe.fault_state().Hits(), ref.fault_state().Hits())
+            << label;
+      }
+    }
+  }
+}
+
+TEST(EngineIndexPath, IndexedAndUnindexedAgreeWithoutFaults) {
+  for (Dialect d : {Dialect::kPostgis, Dialect::kDuckdbSpatial,
+                    Dialect::kMysql, Dialect::kSqlserver}) {
+    for (uint64_t seed : {7u, 8u}) {
+      Rng rng(seed);
+      std::vector<std::string> a_rows, b_rows;
+      for (int i = 0; i < 12; ++i) a_rows.push_back(RandomIndexWkt(&rng));
+      for (int i = 0; i < 18; ++i) b_rows.push_back(RandomIndexWkt(&rng));
+      Engine indexed(d, /*enable_faults=*/false);
+      LoadIndexedTables(&indexed, a_rows, b_rows);
+      Engine plain(d, /*enable_faults=*/false);
+      ASSERT_TRUE(plain
+                      .ExecuteScript("CREATE TABLE a (g geometry);"
+                                     "CREATE TABLE b (g geometry);")
+                      .ok());
+      for (const std::string& w : a_rows) {
+        ASSERT_TRUE(
+            plain.Execute("INSERT INTO a (g) VALUES ('" + w + "');").ok());
+      }
+      for (const std::string& w : b_rows) {
+        ASSERT_TRUE(
+            plain.Execute("INSERT INTO b (g) VALUES ('" + w + "');").ok());
+      }
+      const std::string join =
+          "SELECT COUNT(*) FROM a JOIN b ON ST_Intersects(a.g, b.g);";
+      auto r1 = indexed.Execute(join);
+      auto r2 = plain.Execute(join);
+      ASSERT_EQ(r1.ok(), r2.ok());
+      if (r1.ok()) {
+        EXPECT_EQ(r1.value().count, r2.value().count)
+            << DialectName(d) << " seed=" << seed;
+      }
+      EXPECT_GT(indexed.stats().index_scans, 0u);
+    }
+  }
+}
+
+TEST(EngineIndexPath, IncrementalInsertMatchesBulkRebuild) {
+  // CREATE INDEX before the data (Guttman inserts maintain the tree) and
+  // after the data (one STR bulk load) must yield identical scans.
+  Rng rng(99);
+  std::vector<std::string> rows;
+  for (int i = 0; i < 40; ++i) rows.push_back(RandomIndexWkt(&rng));
+  auto incremental = Clean();
+  ASSERT_TRUE(incremental
+                  ->ExecuteScript("CREATE TABLE b (g geometry);"
+                                  "CREATE INDEX ib ON b USING GIST (g);")
+                  .ok());
+  for (const std::string& w : rows) {
+    ASSERT_TRUE(
+        incremental->Execute("INSERT INTO b (g) VALUES ('" + w + "');")
+            .ok());
+  }
+  auto bulk = Clean();
+  ASSERT_TRUE(bulk->Execute("CREATE TABLE b (g geometry);").ok());
+  for (const std::string& w : rows) {
+    ASSERT_TRUE(
+        bulk->Execute("INSERT INTO b (g) VALUES ('" + w + "');").ok());
+  }
+  ASSERT_TRUE(bulk->Execute("CREATE INDEX ib ON b USING GIST (g);").ok());
+  for (const char* lit :
+       {"POINT EMPTY", "POINT(0 0)", "POINT(600 620)", "POINT(5 5)",
+        "POLYGON((-10 -10,30 -10,30 30,-10 30,-10 -10))"}) {
+    const std::string where =
+        std::string("SELECT COUNT(*) FROM b WHERE g ~= '") + lit +
+        "'::geometry;";
+    EXPECT_EQ(Count(incremental.get(), where), Count(bulk.get(), where))
+        << lit;
+  }
+}
+
+// --- Statement cache ---------------------------------------------------
+
+TEST(EngineStmtCache, CacheIsPassiveAndSurvivesReset) {
+  auto cached = Clean();
+  auto uncached = Clean();
+  uncached->set_statement_cache_capacity(0);
+  const std::vector<std::string> script = {
+      "CREATE TABLE t (g geometry);",
+      "INSERT INTO t (g) VALUES ('POINT(1 1)'),('POINT EMPTY');",
+      "SELECT COUNT(*) FROM t;",
+  };
+  for (int round = 0; round < 3; ++round) {
+    for (const std::string& sql : script) {
+      auto r1 = cached->Execute(sql);
+      auto r2 = uncached->Execute(sql);
+      ASSERT_TRUE(r1.ok()) << sql;
+      ASSERT_TRUE(r2.ok()) << sql;
+      EXPECT_EQ(r1.value().ToString(), r2.value().ToString()) << sql;
+    }
+    // Reset drops tables but keeps the parse cache: the reload re-hits
+    // the identical CREATE/INSERT text (the AEI hot path).
+    cached->Reset();
+    uncached->Reset();
+  }
+  EXPECT_EQ(cached->statement_cache_size(), script.size());
+  EXPECT_EQ(uncached->statement_cache_size(), 0u);
+}
+
+TEST(EngineStmtCache, LruEvictionBoundsTheCache) {
+  auto e = Clean();
+  e->set_statement_cache_capacity(4);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(
+        e->Execute("SELECT ST_IsEmpty('POINT(" + std::to_string(i) +
+                   " 0)');")
+            .ok());
+  }
+  EXPECT_EQ(e->statement_cache_size(), 4u);
+  // Shrinking evicts down to the new bound.
+  e->set_statement_cache_capacity(2);
+  EXPECT_EQ(e->statement_cache_size(), 2u);
+  e->set_statement_cache_capacity(0);
+  EXPECT_EQ(e->statement_cache_size(), 0u);
 }
 
 TEST(Engine, SwapXYAndAffineFunctions) {

@@ -109,6 +109,69 @@ TEST(RTree, DegenerateBoxes) {
   EXPECT_EQ(tree.QueryIds(Envelope(4, -1, 6, 6)).size(), 2u);
 }
 
+// Pin of the null-envelope blind spot the engine works around: a null
+// envelope intersects nothing, so an entry inserted with one can never
+// come back from any query — not even an unbounded one. The engine must
+// therefore keep EMPTY/null-envelope rows OUT of the tree and union them
+// back per probe from its `unindexed_rows` side list.
+TEST(RTree, NullEnvelopeEntryIsUnreachable) {
+  RTree tree;
+  tree.Insert(Envelope(), 1);  // null box
+  tree.Insert(Envelope(0, 0, 1, 1), 2);
+  tree.Insert(Envelope(-5, -5, 5, 5), 3);
+  EXPECT_EQ(tree.size(), 3u);
+  const auto huge = tree.QueryIds(Envelope(-1e9, -1e9, 1e9, 1e9));
+  const std::set<uint64_t> got(huge.begin(), huge.end());
+  EXPECT_EQ(got, (std::set<uint64_t>{2, 3}));
+  // Even a null query box finds nothing (null intersects null = false).
+  EXPECT_TRUE(tree.QueryIds(Envelope()).empty());
+}
+
+TEST(RTree, AllIdsEnumeratesEveryEntry) {
+  RTree inserted(4);
+  std::vector<RTreeEntry> entries;
+  for (uint64_t i = 0; i < 150; ++i) {
+    const double x = static_cast<double>(i % 15);
+    const double y = static_cast<double>(i / 15);
+    entries.push_back({Envelope(x, y, x + 0.25, y + 0.25), i});
+    inserted.Insert(entries.back().box, i);
+  }
+  RTree bulk(4);
+  bulk.BulkLoad(entries);
+  for (const RTree* tree : {&inserted, &bulk}) {
+    std::vector<uint64_t> ids;
+    tree->AllIds(&ids);
+    std::set<uint64_t> got(ids.begin(), ids.end());
+    EXPECT_EQ(ids.size(), 150u) << "duplicate or missing ids";
+    EXPECT_EQ(got.size(), 150u);
+    EXPECT_EQ(*got.begin(), 0u);
+    EXPECT_EQ(*got.rbegin(), 149u);
+  }
+  // AllIds appends; a second call doubles the vector.
+  std::vector<uint64_t> ids;
+  inserted.AllIds(&ids);
+  inserted.AllIds(&ids);
+  EXPECT_EQ(ids.size(), 300u);
+}
+
+TEST(RTree, QueryIdsOutParamMatchesAllocatingOverload) {
+  spatter::Rng rng(99);
+  RTree tree(8);
+  for (uint64_t i = 0; i < 200; ++i) {
+    const double x = static_cast<double>(rng.IntIn(-50, 50));
+    const double y = static_cast<double>(rng.IntIn(-50, 50));
+    tree.Insert(Envelope(x, y, x + 3, y + 3), i);
+  }
+  std::vector<uint64_t> out;
+  for (int q = 0; q < 25; ++q) {
+    const double x = static_cast<double>(rng.IntIn(-60, 60));
+    const double y = static_cast<double>(rng.IntIn(-60, 60));
+    const Envelope query(x, y, x + 20, y + 20);
+    tree.QueryIds(query, &out);  // must clear previous contents
+    EXPECT_EQ(out, tree.QueryIds(query));
+  }
+}
+
 TEST(RTree, MoveSemantics) {
   RTree tree;
   tree.Insert(Envelope(0, 0, 1, 1), 1);
